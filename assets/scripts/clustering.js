@@ -1,0 +1,156 @@
+// clustering.js — streaming place detection (paper §4.1, Figure 1).
+// A modified DBSCAN over a sliding window of 60 samples: a scan is a
+// core object if at least MIN_PTS window scans lie within EPS cosine
+// distance; a core object opens a cluster seeded with its window
+// neighbours; a sample unreachable from the cluster closes it. A closed
+// cluster is characterized by the member nearest to the mean of all
+// members and published with entry/exit timestamps.
+//
+// This is the same algorithm as the native pogo-cluster::stream module;
+// the repository's differential tests check the two stay in lock-step.
+setDescription('Sliding-window DBSCAN place clustering');
+
+var WINDOW = 60;
+var EPS = 0.35;
+var MIN_PTS = 4;
+var REACH_DEPTH = 5;
+// A long silence between scans (phone was off) ends the session: close
+// and start fresh rather than fusing evening and morning.
+var GAP_RESET = 30 * 60 * 1000;
+// The §5.3 deployment ran before freeze/thaw existed; flipping this on is
+// the paper's proposed fix for state loss across restarts.
+var USE_FREEZE = false;
+
+var window_ = [];
+var members = [];
+
+var saved = thaw();
+if (USE_FREEZE && saved != null) {
+    window_ = saved.window_;
+    members = saved.members;
+}
+
+// Cosine coefficient over BSSID-sorted sparse vectors (merge join, same
+// accumulation order as the native implementation).
+function cosine(a, b) {
+    var dot = 0, na = 0, nb = 0;
+    var i = 0, j = 0;
+    while (i < a.aps.length && j < b.aps.length) {
+        var x = a.aps[i], y = b.aps[j];
+        if (x.b < y.b) {
+            na += x.l * x.l;
+            i++;
+        } else if (x.b > y.b) {
+            nb += y.l * y.l;
+            j++;
+        } else {
+            dot += x.l * y.l;
+            na += x.l * x.l;
+            nb += y.l * y.l;
+            i++;
+            j++;
+        }
+    }
+    while (i < a.aps.length) { na += a.aps[i].l * a.aps[i].l; i++; }
+    while (j < b.aps.length) { nb += b.aps[j].l * b.aps[j].l; j++; }
+    if (na == 0 || nb == 0) return 0;
+    return dot / (Math.sqrt(na) * Math.sqrt(nb));
+}
+
+function distance(a, b) {
+    return 1 - cosine(a, b);
+}
+
+function isReachable(scan) {
+    var lo = members.length - REACH_DEPTH;
+    if (lo < 0) lo = 0;
+    for (var i = members.length - 1; i >= lo; i--) {
+        if (distance(scan, members[i]) <= EPS)
+            return true;
+    }
+    return false;
+}
+
+function isCore(scan) {
+    var hits = 0;
+    for (var i = 0; i < window_.length; i++) {
+        if (distance(scan, window_[i]) <= EPS)
+            hits++;
+    }
+    return hits >= MIN_PTS;
+}
+
+// The member scan nearest to the cluster mean (footnote 6).
+function nearestToMean(ms) {
+    var sums = {};
+    var order = [];
+    for (var i = 0; i < ms.length; i++) {
+        for (var j = 0; j < ms[i].aps.length; j++) {
+            var ap = ms[i].aps[j];
+            if (sums[ap.b] == null) {
+                sums[ap.b] = 0;
+                order.push(ap.b);
+            }
+            sums[ap.b] += ap.l;
+        }
+    }
+    order.sort();
+    var meanAps = [];
+    for (var k = 0; k < order.length; k++)
+        meanAps.push({ b: order[k], l: sums[order[k]] / ms.length });
+    var mean = { t: ms[0].t, aps: meanAps };
+    var best = 0;
+    var bestCos = cosine(ms[0], mean);
+    for (var m = 1; m < ms.length; m++) {
+        var c = cosine(ms[m], mean);
+        if (c > bestCos) {
+            bestCos = c;
+            best = m;
+        }
+    }
+    return ms[best];
+}
+
+function closeCluster() {
+    var ms = members;
+    members = [];
+    if (ms.length < MIN_PTS)
+        return;
+    publish('locations', {
+        entry: ms[0].t,
+        exit: ms[ms.length - 1].t,
+        n: ms.length,
+        rep: nearestToMean(ms)
+    });
+}
+
+subscribe('scans', function (scan) {
+    if (window_.length > 0 && scan.t - window_[window_.length - 1].t > GAP_RESET) {
+        closeCluster();
+        window_ = [];
+    }
+    if (window_.length == WINDOW)
+        window_.shift();
+    window_.push(scan);
+
+    if (members.length > 0) {
+        if (isReachable(scan)) {
+            members.push(scan);
+        } else {
+            closeCluster();
+            if (isCore(scan)) {
+                for (var i = 0; i < window_.length; i++) {
+                    if (distance(scan, window_[i]) <= EPS)
+                        members.push(window_[i]);
+                }
+            }
+        }
+    } else if (isCore(scan)) {
+        for (var j = 0; j < window_.length; j++) {
+            if (distance(scan, window_[j]) <= EPS)
+                members.push(window_[j]);
+        }
+    }
+    if (USE_FREEZE)
+        freeze({ window_: window_, members: members });
+});

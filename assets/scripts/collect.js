@@ -1,0 +1,21 @@
+// collect.js — collector-side endpoint of the localization experiment
+// (paper §4.1, Figure 1). Receives cluster characterizations from every
+// device, annotates them with coordinates via the geolocation service,
+// and pushes them into the places database (a persistent log here).
+setDescription('Collect and geo-annotate dwelling places');
+
+subscribe('locations', function (msg, from) {
+    var place = {
+        user: from,
+        entry: msg.entry,
+        exit: msg.exit,
+        n: msg.n,
+        rep: msg.rep
+    };
+    var fix = geolocate(msg.rep);
+    if (fix != null) {
+        place.lat = fix.lat;
+        place.lon = fix.lon;
+    }
+    logTo('places', json(place));
+});

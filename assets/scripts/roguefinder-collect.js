@@ -1,0 +1,6 @@
+// roguefinder-collect.js — collector endpoint for RogueFinder (§5.1).
+setDescription('Collect filtered scans from the target area');
+
+subscribe('filtered-scans', function (msg, from) {
+    logTo('rogue-scans', from + ' ' + json(msg));
+});

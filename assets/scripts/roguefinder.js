@@ -1,0 +1,39 @@
+// roguefinder.js — the AnonySense comparison application (paper §5.1,
+// Listing 2). Reports Wi-Fi access point scans once per minute, but only
+// while the device is inside a given geographical polygon.
+setDescription('RogueFinder: scan for APs inside a target area');
+
+function locationInPolygon(loc, polygon) {
+    // Ray casting on the (x, y) vertices.
+    var inside = false;
+    var j = polygon.length - 1;
+    for (var i = 0; i < polygon.length; i++) {
+        var a = polygon[i], b = polygon[j];
+        if ((a.y > loc.y) != (b.y > loc.y)) {
+            var x = (b.x - a.x) * (loc.y - a.y) / (b.y - a.y) + a.x;
+            if (loc.x < x)
+                inside = !inside;
+        }
+        j = i;
+    }
+    return inside;
+}
+
+function start() {
+    var polygon = [{ x: 1, y: 1 }, { x: 2, y: 2 }, { x: 3, y: 0 }];
+
+    var subscription = subscribe('wifi-scan', function (msg) {
+        publish(msg, 'filtered-scans');
+    }, { interval: 60 * 1000 });
+
+    subscription.release();
+
+    subscribe('location', function (msg) {
+        if (locationInPolygon({ x: msg.lon, y: msg.lat }, polygon))
+            subscription.renew();
+        else
+            subscription.release();
+    });
+}
+
+start();

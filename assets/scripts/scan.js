@@ -1,0 +1,47 @@
+// scan.js — Wi-Fi access point scanning and sanitization.
+// Part of the Pogo localization experiment (paper §4.1, Figure 1).
+// Requests a scan per minute, removes locally administered access
+// points, normalizes RSSI so 0/1 map to -100/-55 dBm, and forwards the
+// clean scans to clustering.js. Raw results are logged to storage as
+// ground truth, as in the §5.3 deployment.
+setDescription('Wi-Fi scanning and sanitization');
+
+var SCAN_INTERVAL = 60 * 1000;
+
+function isLocallyAdministered(bssid) {
+    // Second hex digit carries the locally-administered bit (0x02).
+    var d = bssid.charAt(1).toLowerCase();
+    return '26ae37bf'.indexOf(d) >= 0;
+}
+
+function normalize(rssi) {
+    var v = (rssi + 100) / 45;
+    if (v < 0) return 0;
+    if (v > 1) return 1;
+    return v;
+}
+
+function byBssid(x, y) {
+    if (x.b < y.b) return -1;
+    if (x.b > y.b) return 1;
+    return 0;
+}
+
+subscribe('wifi-scan', function (msg) {
+    logTo('raw-scans', json(msg));
+    var aps = [];
+    for (var i = 0; i < msg.aps.length; i++) {
+        var ap = msg.aps[i];
+        if (isLocallyAdministered(ap.bssid))
+            continue;
+        aps.push({ b: ap.bssid, l: normalize(ap.rssi) });
+    }
+    aps.sort(byBssid);
+    // Drop duplicate BSSIDs, keeping the first reading.
+    var unique = [];
+    for (var j = 0; j < aps.length; j++) {
+        if (j == 0 || aps[j].b != aps[j - 1].b)
+            unique.push(aps[j]);
+    }
+    publish('scans', { t: msg.timestamp, aps: unique });
+}, { interval: SCAN_INTERVAL });

@@ -1,0 +1,30 @@
+// Microbenchmark kernel: the cosine merge-join exactly as clustering.js
+// runs it, over two synthetic 10-AP scans.
+function cosine(a, b) {
+    var dot = 0, na = 0, nb = 0;
+    var i = 0, j = 0;
+    while (i < a.aps.length && j < b.aps.length) {
+        var x = a.aps[i], y = b.aps[j];
+        if (x.b < y.b) { na += x.l * x.l; i++; }
+        else if (x.b > y.b) { nb += y.l * y.l; j++; }
+        else { dot += x.l * y.l; na += x.l * x.l; nb += y.l * y.l; i++; j++; }
+    }
+    while (i < a.aps.length) { na += a.aps[i].l * a.aps[i].l; i++; }
+    while (j < b.aps.length) { nb += b.aps[j].l * b.aps[j].l; j++; }
+    if (na == 0 || nb == 0) return 0;
+    return dot / (Math.sqrt(na) * Math.sqrt(nb));
+}
+
+function mkScan(base) {
+    var aps = [];
+    for (var i = 0; i < 10; i++)
+        aps.push({ b: 'ap-' + (base + i), l: 0.3 + 0.05 * i });
+    return { t: 0, aps: aps };
+}
+
+var s1 = mkScan(100);
+var s2 = mkScan(105);
+
+function bench() {
+    return cosine(s1, s2);
+}

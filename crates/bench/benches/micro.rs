@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks for the middleware's hot paths: broker
+//! routing, PogoScript execution, JSON codec, cosine similarity, and the
+//! streaming clusterer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pogo::cluster::{cosine, Bssid, Scan, StreamClusterer, StreamConfig};
+use pogo::core::{Broker, Msg};
+use pogo::script::Interpreter;
+
+fn scan_at(base: u64, t: u64) -> Scan {
+    Scan::from_parts(
+        t,
+        (0..10)
+            .map(|i| (Bssid::new(base + i), 0.3 + 0.05 * i as f64))
+            .collect(),
+    )
+}
+
+fn bench_broker(c: &mut Criterion) {
+    c.bench_function("broker_publish_10_subs", |b| {
+        let broker = Broker::new();
+        for _ in 0..10 {
+            broker.subscribe("ch", Msg::Null, |_, _, _| {});
+        }
+        let msg = Msg::obj([("v", Msg::Num(1.0))]);
+        b.iter(|| black_box(broker.publish("ch", &msg)));
+    });
+}
+
+fn bench_script(c: &mut Criterion) {
+    c.bench_function("script_fib_15", |b| {
+        let mut interp = Interpreter::new();
+        interp
+            .eval("function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); }")
+            .unwrap();
+        b.iter(|| black_box(interp.eval("fib(15);").unwrap()));
+    });
+    c.bench_function("script_cosine_merge_join", |b| {
+        let mut interp = Interpreter::new();
+        interp.eval(include_str!("cosine_kernel.js")).unwrap();
+        b.iter(|| black_box(interp.eval("bench();").unwrap()));
+    });
+}
+
+fn bench_json(c: &mut Criterion) {
+    let msg = Msg::obj([
+        ("t", Msg::Num(123_456.0)),
+        (
+            "aps",
+            Msg::Arr(
+                (0..15)
+                    .map(|i| {
+                        Msg::obj([
+                            ("b", Msg::str(format!("00:10:00:00:00:{i:02x}"))),
+                            ("l", Msg::Num(0.123_456 + i as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let json = msg.to_json();
+    c.bench_function("json_serialize_scan", |b| {
+        b.iter(|| black_box(msg.to_json()));
+    });
+    c.bench_function("json_parse_scan", |b| {
+        b.iter(|| black_box(Msg::from_json(&json).unwrap()));
+    });
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let a = scan_at(100, 0);
+    let b_scan = scan_at(105, 1);
+    c.bench_function("cosine_10ap_partial_overlap", |b| {
+        b.iter(|| black_box(cosine(&a, &b_scan)));
+    });
+    c.bench_function("stream_clusterer_1h_dwell", |b| {
+        b.iter(|| {
+            let mut clusterer = StreamClusterer::new(StreamConfig::default());
+            for t in 0..60u64 {
+                black_box(clusterer.push(scan_at(100, t * 60_000)));
+            }
+            black_box(clusterer.finish())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_broker, bench_script, bench_json, bench_cluster
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Ablation A: flush-policy sweep in the Table 3 scenario.
+use pogo_bench::ablation;
+
+fn main() {
+    let rows = ablation::run_batching();
+    println!("{}", ablation::render_batching(&rows));
+}

@@ -1,0 +1,11 @@
+//! Ablation B: freeze/thaw state preservation under frequent restarts.
+//! Usage: `ablation_freeze <days> <seed>` (defaults: 8 days, seed 42).
+use pogo_bench::ablation;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let days: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let result = ablation::run_freeze(days, seed);
+    println!("{}", ablation::render_freeze(&result));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 3 (3G tail power trace, KPN).
+use pogo_bench::fig3;
+
+fn main() {
+    let fig = fig3::run(pogo_platform::CarrierProfile::kpn());
+    println!("{}", fig3::render(&fig));
+}

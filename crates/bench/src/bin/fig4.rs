@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (tail-synchronized transmission timeline).
+use pogo_bench::fig4;
+
+fn main() {
+    let fig = fig4::run();
+    println!("{}", fig4::render(&fig));
+}

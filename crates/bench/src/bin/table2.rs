@@ -1,0 +1,7 @@
+//! Regenerates Table 2 (application code complexity).
+use pogo_bench::table2;
+
+fn main() {
+    let rows = table2::run();
+    println!("{}", table2::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3 (hourly energy per carrier, with/without Pogo).
+use pogo_bench::table3;
+
+fn main() {
+    let rows = table3::run();
+    println!("{}", table3::render(&rows));
+}

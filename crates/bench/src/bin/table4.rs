@@ -1,0 +1,11 @@
+//! Regenerates Table 4 (the 24-day localization deployment).
+//! Usage: `table4 <days> <seed>` (defaults: 24 days, seed 42).
+use pogo_bench::table4;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let days: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let rows = table4::run(days, seed);
+    println!("{}", table4::render(&rows));
+}

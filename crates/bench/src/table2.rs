@@ -1,0 +1,154 @@
+//! Table 2 — "Code complexity for Pogo applications": SLOC and byte
+//! sizes of the localization and RogueFinder scripts, counted with the
+//! paper's convention (empty lines and comments excluded).
+
+use pogo::glue;
+use pogo_script::count_sloc;
+
+use crate::report;
+
+/// One Table 2 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Application name (group header rows in the paper).
+    pub application: &'static str,
+    /// Script file name.
+    pub file: &'static str,
+    /// Source lines of code.
+    pub sloc: usize,
+    /// Size in bytes.
+    pub bytes: usize,
+    /// The paper's reported SLOC (for side-by-side printing).
+    pub paper_sloc: usize,
+    /// The paper's reported size in bytes.
+    pub paper_bytes: usize,
+}
+
+/// Counts every script of both applications.
+pub fn run() -> Vec<Row> {
+    let entries: [(&str, &str, &str, usize, usize); 5] = [
+        ("Localization", "scan.js", glue::SCAN_JS, 41, 1_414),
+        (
+            "Localization",
+            "clustering.js",
+            glue::CLUSTERING_JS,
+            155,
+            4_096,
+        ),
+        ("Localization", "collect.js", glue::COLLECT_JS, 18, 469),
+        (
+            "RogueFinder",
+            "roguefinder.js",
+            glue::ROGUEFINDER_JS,
+            28,
+            799,
+        ),
+        (
+            "RogueFinder",
+            "collect.js",
+            glue::ROGUEFINDER_COLLECT_JS,
+            5,
+            100,
+        ),
+    ];
+    entries
+        .into_iter()
+        .map(|(application, file, source, paper_sloc, paper_bytes)| {
+            let stats = count_sloc(source);
+            Row {
+                application,
+                file,
+                sloc: stats.sloc,
+                bytes: stats.bytes,
+                paper_sloc,
+                paper_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table, paper numbers alongside.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = report::banner("Table 2 — code complexity for Pogo applications");
+    let mut cells = Vec::new();
+    let mut app_totals: Vec<(&str, usize, usize, usize, usize)> = Vec::new();
+    for row in rows {
+        match app_totals.last_mut() {
+            Some((app, sloc, bytes, ps, pb)) if *app == row.application => {
+                *sloc += row.sloc;
+                *bytes += row.bytes;
+                *ps += row.paper_sloc;
+                *pb += row.paper_bytes;
+            }
+            _ => app_totals.push((
+                row.application,
+                row.sloc,
+                row.bytes,
+                row.paper_sloc,
+                row.paper_bytes,
+            )),
+        }
+        cells.push(vec![
+            row.application.to_owned(),
+            row.file.to_owned(),
+            row.sloc.to_string(),
+            report::thousands(row.bytes as u64),
+            row.paper_sloc.to_string(),
+            report::thousands(row.paper_bytes as u64),
+        ]);
+    }
+    for (app, sloc, bytes, ps, pb) in app_totals {
+        cells.push(vec![
+            app.to_owned(),
+            "total".to_owned(),
+            sloc.to_string(),
+            report::thousands(bytes as u64),
+            ps.to_string(),
+            report::thousands(pb as u64),
+        ]);
+    }
+    out.push_str(&report::table(
+        &[
+            "Application",
+            "File",
+            "SLOC",
+            "Size",
+            "paper SLOC",
+            "paper Size",
+        ],
+        &cells,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_stay_in_the_papers_size_class() {
+        let rows = run();
+        assert_eq!(rows.len(), 5);
+        let total_loc: usize = rows[..3].iter().map(|r| r.sloc).sum();
+        // Paper: 214 SLOC for the whole localization app. Ours should be
+        // the same order — a small scripting-level program, not a rewrite
+        // of the middleware.
+        assert!(
+            (100..400).contains(&total_loc),
+            "localization total SLOC {total_loc}"
+        );
+        // clustering.js dominates, as in the paper.
+        assert!(rows[1].sloc > rows[0].sloc);
+        assert!(rows[1].sloc > rows[2].sloc * 3);
+        // RogueFinder is tiny.
+        let rogue_loc: usize = rows[3..].iter().map(|r| r.sloc).sum();
+        assert!(rogue_loc < 60, "roguefinder total {rogue_loc}");
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let out = render(&run());
+        assert!(out.contains("total"));
+        assert!(out.contains("clustering.js"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Classic batch DBSCAN (Ester et al. 1996) over scans — the baseline the
+//! paper's streaming variant is derived from.
+
+use crate::scan::Scan;
+use crate::similarity::cosine_distance;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighbourhood radius in cosine distance (`1 − similarity`).
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        DbscanParams {
+            eps: 0.35,
+            min_pts: 4,
+        }
+    }
+}
+
+/// Runs DBSCAN, returning one label per scan: `Some(cluster_id)` with ids
+/// numbered from 0 in order of discovery, or `None` for noise.
+///
+/// # Example
+///
+/// ```
+/// use pogo_cluster::{dbscan, Bssid, DbscanParams, Scan};
+///
+/// let home: Vec<Scan> = (0..5)
+///     .map(|t| Scan::from_parts(t, vec![(Bssid::new(1), 0.9)]))
+///     .collect();
+/// let labels = dbscan(&home, DbscanParams { eps: 0.2, min_pts: 3 });
+/// assert!(labels.iter().all(|l| *l == Some(0)));
+/// ```
+pub fn dbscan(scans: &[Scan], params: DbscanParams) -> Vec<Option<usize>> {
+    let n = scans.len();
+    // Precompute neighbourhoods (O(n²); ground-truth post-processing only).
+    let neighbours: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| cosine_distance(&scans[i], &scans[j]) <= params.eps)
+                .collect()
+        })
+        .collect();
+
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut next_cluster = 0;
+
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        if neighbours[i].len() < params.min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        // i is a core point: expand a new cluster from it.
+        let cluster = next_cluster;
+        next_cluster += 1;
+        labels[i] = cluster;
+        let mut frontier: Vec<usize> = neighbours[i].clone();
+        while let Some(j) = frontier.pop() {
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point
+            }
+            if labels[j] != UNVISITED {
+                continue;
+            }
+            labels[j] = cluster;
+            if neighbours[j].len() >= params.min_pts {
+                frontier.extend(neighbours[j].iter().copied());
+            }
+        }
+    }
+
+    labels
+        .into_iter()
+        .map(|l| if l == NOISE { None } else { Some(l) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::Bssid;
+
+    fn place_scan(t: u64, base: u64, strengths: &[f64]) -> Scan {
+        Scan::from_parts(
+            t,
+            strengths
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (Bssid::new(base + i as u64), s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn two_places_give_two_clusters() {
+        let mut scans = Vec::new();
+        for t in 0..6 {
+            scans.push(place_scan(t, 100, &[0.9, 0.7, 0.5]));
+        }
+        for t in 6..12 {
+            scans.push(place_scan(t, 200, &[0.6, 0.8]));
+        }
+        let labels = dbscan(&scans, DbscanParams::default());
+        assert!(labels[..6].iter().all(|l| *l == Some(0)));
+        assert!(labels[6..].iter().all(|l| *l == Some(1)));
+    }
+
+    #[test]
+    fn isolated_scans_are_noise() {
+        let scans: Vec<Scan> = (0..5)
+            .map(|t| place_scan(t, 1000 * (t + 1), &[0.5]))
+            .collect();
+        let labels = dbscan(&scans, DbscanParams::default());
+        assert!(labels.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn border_points_join_cluster() {
+        // 4 tight core scans plus one partial-overlap border scan.
+        let mut scans: Vec<Scan> = (0..4)
+            .map(|t| place_scan(t, 10, &[0.9, 0.9, 0.9]))
+            .collect();
+        scans.push(Scan::from_parts(
+            5,
+            vec![
+                (Bssid::new(10), 0.9),
+                (Bssid::new(11), 0.9),
+                (Bssid::new(99), 0.9),
+            ],
+        ));
+        // Border scan shares 2 of 3 APs with the core: cosine = 2/3,
+        // distance = 1/3, inside eps = 0.35 but itself not core.
+        let labels = dbscan(
+            &scans,
+            DbscanParams {
+                eps: 0.35,
+                min_pts: 5,
+            },
+        );
+        assert_eq!(labels[4], Some(0), "border point absorbed");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(&[], DbscanParams::default()).is_empty());
+    }
+
+    #[test]
+    fn min_pts_one_clusters_everything() {
+        let scans: Vec<Scan> = (0..3)
+            .map(|t| place_scan(t, 1000 * (t + 1), &[0.5]))
+            .collect();
+        let labels = dbscan(
+            &scans,
+            DbscanParams {
+                eps: 0.1,
+                min_pts: 1,
+            },
+        );
+        // Every point is its own core.
+        assert_eq!(labels, vec![Some(0), Some(1), Some(2)]);
+    }
+}

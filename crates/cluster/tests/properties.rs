@@ -1,0 +1,199 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+
+use pogo_cluster::{
+    cosine, dbscan, ApReading, Bssid, DbscanParams, RawScan, Scan, StreamClusterer, StreamConfig,
+};
+
+/// Strategy: a plausible scan with up to 12 APs from a small universe
+/// (overlap is likely, which is what exercises the metric).
+fn scan_strategy() -> impl Strategy<Value = Scan> {
+    (
+        0u64..1_000_000,
+        proptest::collection::vec((0u64..40, 0.01f64..1.0), 0..12),
+    )
+        .prop_map(|(t, aps)| {
+            Scan::from_parts(
+                t,
+                aps.into_iter().map(|(b, l)| (Bssid::new(b), l)).collect(),
+            )
+        })
+}
+
+/// Strategy: a time-ordered stream of scans at 1-minute spacing.
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<Scan>> {
+    proptest::collection::vec(scan_strategy(), 0..max_len).prop_map(|mut scans| {
+        for (i, s) in scans.iter_mut().enumerate() {
+            *s = Scan::from_parts(i as u64 * 60_000, s.aps().to_vec());
+        }
+        scans
+    })
+}
+
+proptest! {
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in scan_strategy(), b in scan_strategy()) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "cosine {ab}");
+        prop_assert!((ab - ba).abs() < 1e-12, "symmetry {ab} vs {ba}");
+    }
+
+    #[test]
+    fn cosine_self_similarity_is_one(a in scan_strategy()) {
+        prop_assume!(!a.is_empty());
+        let s = cosine(&a, &a);
+        prop_assert!((s - 1.0).abs() < 1e-9, "self-cosine {s}");
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_and_clean(
+        t in 0u64..1_000_000,
+        readings in proptest::collection::vec((0u64..(1u64 << 48), -120.0f64..-20.0), 0..20),
+    ) {
+        let raw = RawScan {
+            timestamp_ms: t,
+            readings: readings
+                .into_iter()
+                .map(|(b, rssi)| ApReading { bssid: Bssid::new(b), rssi_dbm: rssi })
+                .collect(),
+        };
+        let scan = raw.sanitize();
+        // No locally administered BSSIDs survive; strengths normalized;
+        // sorted unique by BSSID.
+        for w in scan.aps().windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "sorted unique");
+        }
+        for &(b, l) in scan.aps() {
+            prop_assert!(!b.is_locally_administered());
+            prop_assert!((0.0..=1.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn dbscan_labels_are_wellformed(scans in stream_strategy(40)) {
+        let params = DbscanParams { eps: 0.3, min_pts: 3 };
+        let labels = dbscan(&scans, params);
+        prop_assert_eq!(labels.len(), scans.len());
+        // Cluster ids are contiguous from zero.
+        let max = labels.iter().flatten().copied().max();
+        if let Some(max) = max {
+            for id in 0..=max {
+                prop_assert!(
+                    labels.iter().flatten().any(|&l| l == id),
+                    "cluster id {id} missing"
+                );
+            }
+        }
+        // Every cluster contains at least one core point.
+        if let Some(max) = max {
+            for id in 0..=max {
+                let members: Vec<usize> = labels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| **l == Some(id))
+                    .map(|(i, _)| i)
+                    .collect();
+                let has_core = members.iter().any(|&i| {
+                    scans
+                        .iter()
+                        .filter(|s| {
+                            1.0 - cosine(&scans[i], s) <= params.eps
+                        })
+                        .count()
+                        >= params.min_pts
+                });
+                prop_assert!(has_core, "cluster {id} has no core point");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_summaries_are_wellformed(scans in stream_strategy(120)) {
+        let cfg = StreamConfig::default();
+        let mut clusterer = StreamClusterer::new(cfg);
+        let mut summaries = Vec::new();
+        for s in scans {
+            summaries.extend(clusterer.push(s));
+        }
+        summaries.extend(clusterer.finish());
+        let mut last_exit = 0;
+        for s in &summaries {
+            prop_assert!(s.samples >= cfg.min_pts);
+            prop_assert!(s.entry_ms <= s.exit_ms);
+            prop_assert!(!s.representative.is_empty(), "representative has APs");
+            // Emissions are ordered by closing time, which is monotone in
+            // exit timestamps.
+            prop_assert!(s.exit_ms >= last_exit, "exit order");
+            last_exit = s.exit_ms;
+        }
+    }
+
+    #[test]
+    fn gap_reset_equals_split_runs(
+        first in stream_strategy(60),
+        second in stream_strategy(60),
+    ) {
+        // Clustering A ++ (gap) ++ B must equal clustering A and B
+        // independently: the gap reset makes the window memoryless across
+        // long silences.
+        let cfg = StreamConfig::default();
+        let gap_offset = 60 * 60_000 + cfg.max_gap_ms * 2;
+        let second_shifted: Vec<Scan> = second
+            .iter()
+            .map(|s| Scan::from_parts(s.timestamp_ms + gap_offset, s.aps().to_vec()))
+            .collect();
+
+        let mut joined = StreamClusterer::new(cfg);
+        let mut out_joined = Vec::new();
+        for s in first.iter().cloned().chain(second_shifted.iter().cloned()) {
+            out_joined.extend(joined.push(s));
+        }
+        out_joined.extend(joined.finish());
+
+        let mut out_split = Vec::new();
+        let mut a = StreamClusterer::new(cfg);
+        for s in first {
+            out_split.extend(a.push(s));
+        }
+        out_split.extend(a.finish());
+        let mut b = StreamClusterer::new(cfg);
+        for s in second_shifted {
+            out_split.extend(b.push(s));
+        }
+        out_split.extend(b.finish());
+
+        prop_assert_eq!(out_joined, out_split);
+    }
+
+    #[test]
+    fn dwell_then_move_emits_at_most_expected_clusters(
+        dwell_len in 5usize..40,
+        noise_len in 5usize..40,
+    ) {
+        // Deterministic shape check across sizes: a stable dwell followed
+        // by random transit emits exactly one cluster for the dwell.
+        let mut scans = Vec::new();
+        for t in 0..dwell_len {
+            scans.push(Scan::from_parts(
+                t as u64 * 60_000,
+                vec![(Bssid::new(1), 0.9), (Bssid::new(2), 0.7)],
+            ));
+        }
+        for t in 0..noise_len {
+            scans.push(Scan::from_parts(
+                (dwell_len + t) as u64 * 60_000,
+                vec![(Bssid::new(1_000 + 17 * t as u64), 0.4)],
+            ));
+        }
+        let mut clusterer = StreamClusterer::new(StreamConfig::default());
+        let mut out = Vec::new();
+        for s in scans {
+            out.extend(clusterer.push(s));
+        }
+        out.extend(clusterer.finish());
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(out[0].samples, dwell_len);
+    }
+}

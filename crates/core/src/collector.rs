@@ -1,0 +1,601 @@
+//! The collector node: the researcher's side of the middleware.
+//!
+//! §4.2: "researcher nodes are operating in *collector* mode, which gives
+//! them the ability to deploy scripts". A collector runs the same
+//! middleware minus the phone: it is a PC on mains power with a wired
+//! connection, so its "CPU" never sleeps and its transmissions carry no
+//! tail energy. It owns the collector-side contexts (multi-brokers), the
+//! reliable control channel to each device (retransmitting on presence),
+//! and script deployment.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pogo_net::{DedupFilter, Envelope, Jid, MessageStore, Payload, Session, Switchboard};
+use pogo_platform::{Cpu, CpuConfig, EnergyMeter};
+use pogo_script::ScriptError;
+use pogo_sim::{Sim, SimDuration};
+
+use crate::context::CollectorContext;
+use crate::host::{LogStore, ScriptHost};
+use crate::proto::{ControlMsg, ExperimentSpec};
+use crate::scheduler::Scheduler;
+
+/// Retransmission backstop for pending control messages (presence is the
+/// fast path; this covers acks lost in flight).
+const RETRY_PERIOD: SimDuration = SimDuration::from_secs(60);
+
+struct Inner {
+    jid: Jid,
+    server: Switchboard,
+    sim: Sim,
+    scheduler: Scheduler,
+    session: Session,
+    contexts: HashMap<String, CollectorContext>,
+    /// Per-device reliable outgoing queues (control messages).
+    outstores: HashMap<Jid, MessageStore>,
+    dedup: DedupFilter,
+    logs: LogStore,
+    versions: HashMap<String, u64>,
+    data_received: u64,
+    retry_armed: bool,
+}
+
+/// A Pogo collector node. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct CollectorNode {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for CollectorNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("CollectorNode")
+            .field("jid", &inner.jid.as_str())
+            .field("experiments", &inner.contexts.len())
+            .field("data_received", &inner.data_received)
+            .finish()
+    }
+}
+
+impl CollectorNode {
+    /// Creates and connects a collector. The JID must be registered on
+    /// the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the JID is unknown to the server (a deployment
+    /// configuration error).
+    pub fn new(sim: &Sim, server: &Switchboard, jid: &Jid) -> Self {
+        // The collector's machine: always-on, not energy-metered (mains).
+        let meter = EnergyMeter::new(sim);
+        let cpu = Cpu::new(
+            sim,
+            &meter,
+            CpuConfig {
+                awake_power: 0.0,
+                asleep_power: 0.0,
+                ..CpuConfig::default()
+            },
+        );
+        // Never let the PC sleep.
+        std::mem::forget(cpu.acquire_wake_lock());
+        let scheduler = Scheduler::new(&cpu);
+        let session = server
+            .connect(jid, SimDuration::from_millis(5))
+            .expect("collector JID must be registered");
+        let node = CollectorNode {
+            inner: Rc::new(RefCell::new(Inner {
+                jid: jid.clone(),
+                server: server.clone(),
+                sim: sim.clone(),
+                scheduler,
+                session: session.clone(),
+                contexts: HashMap::new(),
+                outstores: HashMap::new(),
+                dedup: DedupFilter::new(),
+                logs: LogStore::new(),
+                versions: HashMap::new(),
+                data_received: 0,
+                retry_armed: false,
+            })),
+        };
+        let me = node.clone();
+        session.on_receive(move |envelope| me.on_envelope(envelope));
+        let me = node.clone();
+        session.on_presence(move |device, online| {
+            if online {
+                me.retransmit_to(&device.clone());
+            }
+        });
+        node
+    }
+
+    /// This collector's JID.
+    pub fn jid(&self) -> Jid {
+        self.inner.borrow().jid.clone()
+    }
+
+    /// The collector's log storage (collector scripts' `log`/`logTo`).
+    pub fn logs(&self) -> LogStore {
+        self.inner.borrow().logs.clone()
+    }
+
+    /// Data messages received from devices.
+    pub fn data_received(&self) -> u64 {
+        self.inner.borrow().data_received
+    }
+
+    /// The context for an experiment, if created.
+    pub fn context(&self, exp: &str) -> Option<CollectorContext> {
+        self.inner.borrow().contexts.get(exp).cloned()
+    }
+
+    // ---- experiment management ----------------------------------------------
+
+    /// Creates (or returns) the collector-side context for `exp`.
+    pub fn create_experiment(&self, exp: &str) -> CollectorContext {
+        if let Some(ctx) = self.context(exp) {
+            return ctx;
+        }
+        let me = self.clone();
+        let ctx = CollectorContext::new(exp, move |device, ctl| {
+            let Ok(jid) = Jid::new(device) else { return };
+            me.send_reliable(&jid, &ctl);
+        });
+        self.inner
+            .borrow_mut()
+            .contexts
+            .insert(exp.to_owned(), ctx.clone());
+        ctx
+    }
+
+    /// Installs a collector-side script into an experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the script's load error.
+    pub fn install_collector_script(
+        &self,
+        exp: &str,
+        name: &str,
+        source: &str,
+        customize: impl FnOnce(&ScriptHost),
+    ) -> Result<ScriptHost, ScriptError> {
+        let ctx = self.create_experiment(exp);
+        let (scheduler, logs) = {
+            let inner = self.inner.borrow();
+            (inner.scheduler.clone(), inner.logs.clone())
+        };
+        ctx.install_script(name, source, &scheduler, &logs, customize)
+    }
+
+    /// Convenience for scripts without extension natives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the script's load error.
+    pub fn install_script(
+        &self,
+        exp: &str,
+        name: &str,
+        source: &str,
+    ) -> Result<ScriptHost, ScriptError> {
+        self.install_collector_script(exp, name, source, |_| {})
+    }
+
+    /// Deploys (or re-deploys, with a bumped version) the experiment's
+    /// device scripts to `devices`, adding them as context members. This
+    /// is §3.2's push-based deployment: devices receive and run the
+    /// scripts with no user interaction.
+    pub fn deploy(&self, spec: &ExperimentSpec, devices: &[Jid]) {
+        let ctx = self.create_experiment(&spec.id);
+        let version = {
+            let mut inner = self.inner.borrow_mut();
+            let v = inner.versions.entry(spec.id.clone()).or_insert(0);
+            *v += 1;
+            *v
+        };
+        for device in devices {
+            // Sync existing collector subscriptions FIRST so they are in
+            // place before any deployed script's load-time publishes.
+            ctx.add_device(device.as_str());
+            self.send_reliable(
+                device,
+                &ControlMsg::Deploy {
+                    exp: spec.id.clone(),
+                    version,
+                    scripts: spec.scripts.clone(),
+                },
+            );
+        }
+    }
+
+    /// Pushes an updated script set to every member (quick redeployment,
+    /// the §3.2 motivation).
+    pub fn redeploy(&self, spec: &ExperimentSpec) {
+        let Some(ctx) = self.context(&spec.id) else {
+            return;
+        };
+        let devices: Vec<Jid> = ctx
+            .devices()
+            .iter()
+            .filter_map(|d| Jid::new(d).ok())
+            .collect();
+        let version = {
+            let mut inner = self.inner.borrow_mut();
+            let v = inner.versions.entry(spec.id.clone()).or_insert(0);
+            *v += 1;
+            *v
+        };
+        for device in devices {
+            self.send_reliable(
+                &device,
+                &ControlMsg::Deploy {
+                    exp: spec.id.clone(),
+                    version,
+                    scripts: spec.scripts.clone(),
+                },
+            );
+        }
+    }
+
+    /// Removes the experiment from `devices`.
+    pub fn undeploy(&self, exp: &str, devices: &[Jid]) {
+        for device in devices {
+            self.send_reliable(
+                device,
+                &ControlMsg::Undeploy {
+                    exp: exp.to_owned(),
+                },
+            );
+        }
+    }
+
+    // ---- reliable control channel ---------------------------------------------
+
+    /// Queues a control message for a device, transmitting immediately if
+    /// it is online (the collector is on mains: no batching needed).
+    fn send_reliable(&self, device: &Jid, ctl: &ControlMsg) {
+        let now = self.inner.borrow().sim.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let store = inner.outstores.entry(device.clone()).or_default().clone();
+            store.enqueue(device, ctl.to_json(), now);
+        }
+        self.retransmit_to(device);
+        self.arm_retry();
+    }
+
+    /// (Re)sends everything pending for one device.
+    fn retransmit_to(&self, device: &Jid) {
+        let (session, pending, online) = {
+            let inner = self.inner.borrow();
+            let pending = inner
+                .outstores
+                .get(device)
+                .map(|s| s.pending())
+                .unwrap_or_default();
+            (
+                inner.session.clone(),
+                pending,
+                inner.server.is_online(device),
+            )
+        };
+        if !online {
+            return;
+        }
+        for msg in pending {
+            let _ = session.send(device, msg.seq, Payload::Data(msg.data));
+        }
+    }
+
+    /// Periodic retransmission backstop while anything is pending.
+    fn arm_retry(&self) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.retry_armed {
+                return;
+            }
+            inner.retry_armed = true;
+        }
+        let me = self.clone();
+        let scheduler = self.inner.borrow().scheduler.clone();
+        scheduler.run_later(RETRY_PERIOD, move || {
+            me.inner.borrow_mut().retry_armed = false;
+            let devices: Vec<Jid> = {
+                let inner = me.inner.borrow();
+                inner
+                    .outstores
+                    .iter()
+                    .filter(|(_, s)| !s.is_empty())
+                    .map(|(d, _)| d.clone())
+                    .collect()
+            };
+            for device in &devices {
+                me.retransmit_to(device);
+            }
+            if !devices.is_empty() {
+                me.arm_retry();
+            }
+        });
+    }
+
+    // ---- inbound ----------------------------------------------------------------
+
+    fn on_envelope(&self, envelope: Envelope) {
+        match &envelope.payload {
+            Payload::Ack(seqs) => {
+                let inner = self.inner.borrow();
+                if let Some(store) = inner.outstores.get(&envelope.from) {
+                    store.ack(seqs);
+                }
+            }
+            Payload::Data(json) => {
+                let fresh = self
+                    .inner
+                    .borrow()
+                    .dedup
+                    .first_sighting(&envelope.from, envelope.seq);
+                // Ack immediately (mains-powered, no batching).
+                let session = self.inner.borrow().session.clone();
+                let _ = session.send(&envelope.from, 0, Payload::Ack(vec![envelope.seq]));
+                if !fresh {
+                    return;
+                }
+                match ControlMsg::from_json(json) {
+                    Ok(ControlMsg::Data {
+                        exp,
+                        channel,
+                        msg,
+                        sub_ref,
+                    }) => {
+                        self.inner.borrow_mut().data_received += 1;
+                        if let Some(ctx) = self.context(&exp) {
+                            ctx.handle_data(envelope.from.as_str(), &channel, &msg, sub_ref);
+                        }
+                    }
+                    Ok(other) => {
+                        self.inner.borrow().logs.append(
+                            "pogo-errors",
+                            format!("unexpected control from {}: {other:?}", envelope.from),
+                        );
+                    }
+                    Err(e) => {
+                        self.inner.borrow().logs.append(
+                            "pogo-errors",
+                            format!("malformed message from {}: {e}", envelope.from),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registers a Rust-side data listener on an experiment channel —
+    /// how benches and examples read collected data without going through
+    /// a collector script.
+    pub fn on_data(
+        &self,
+        exp: &str,
+        channel: &str,
+        f: impl Fn(&crate::value::Msg, &str) + 'static,
+    ) {
+        let ctx = self.create_experiment(exp);
+        ctx.broker()
+            .subscribe(channel, crate::value::Msg::Null, move |_, msg, from| {
+                f(msg, from.unwrap_or(""));
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceConfig, DeviceNode};
+    use crate::proto::ScriptSpec;
+    use crate::sensor::SensorSources;
+
+    use pogo_net::FlushPolicy;
+    use pogo_platform::{Phone, PhoneConfig};
+
+    fn testbed() -> (Sim, Switchboard, CollectorNode, DeviceNode, Phone) {
+        let sim = Sim::new();
+        let server = Switchboard::new(&sim);
+        let col_jid = Jid::new("collector@pogo").unwrap();
+        let dev_jid = Jid::new("device-1@pogo").unwrap();
+        server.register(&col_jid);
+        server.register(&dev_jid);
+        server.befriend(&col_jid, &dev_jid).unwrap();
+        let collector = CollectorNode::new(&sim, &server, &col_jid);
+        let phone = Phone::new(&sim, PhoneConfig::default());
+        let mut cfg = DeviceConfig::new(dev_jid);
+        cfg.flush_policy = FlushPolicy::Immediate;
+        let device = DeviceNode::new(&phone, &server, cfg, SensorSources::default());
+        device.boot();
+        (sim, server, collector, device, phone)
+    }
+
+    #[test]
+    fn deploy_runs_scripts_on_device() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector.deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "hello.js".into(),
+                    source: "print('deployed');".into(),
+                }],
+            },
+            &[device.jid()],
+        );
+        sim.run_for(SimDuration::from_mins(1));
+        let ctx = device.context("exp").expect("deployed");
+        assert_eq!(ctx.scripts()[0].prints(), vec!["deployed"]);
+    }
+
+    #[test]
+    fn collector_script_receives_device_data_with_attribution() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
+            .install_script(
+                "exp",
+                "collect.js",
+                "var n = 0;
+                 subscribe('readings', function (msg, from) {
+                     n++;
+                     print(from + ' says ' + msg.value);
+                 });",
+            )
+            .unwrap();
+        collector.deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "send.js".into(),
+                    source: "publish('readings', { value: 42 });".into(),
+                }],
+            },
+            &[device.jid()],
+        );
+        sim.run_for(SimDuration::from_mins(2));
+        let host = &collector.context("exp").unwrap().scripts()[0];
+        assert_eq!(host.prints(), vec!["device-1@pogo says 42"]);
+    }
+
+    #[test]
+    fn collector_subscription_activates_device_sensor() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        let readings = Rc::new(RefCell::new(Vec::new()));
+        let r = readings.clone();
+        collector.on_data("exp", "battery", move |msg, from| {
+            r.borrow_mut().push((from.to_owned(), msg.clone()));
+        });
+        collector.deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![],
+            },
+            &[device.jid()],
+        );
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(
+            device.sensors().is_sampling("battery"),
+            "mirrored subscription woke the battery sensor"
+        );
+        sim.run_for(SimDuration::from_mins(5));
+        let readings = readings.borrow();
+        assert!(
+            readings.len() >= 4,
+            "battery readings arrived: {}",
+            readings.len()
+        );
+        assert_eq!(readings[0].0, "device-1@pogo");
+        assert!(readings[0].1.get("voltage").is_some());
+    }
+
+    #[test]
+    fn pending_deploy_waits_for_offline_device() {
+        let sim = Sim::new();
+        let server = Switchboard::new(&sim);
+        let col_jid = Jid::new("collector@pogo").unwrap();
+        let dev_jid = Jid::new("device-1@pogo").unwrap();
+        server.register(&col_jid);
+        server.register(&dev_jid);
+        server.befriend(&col_jid, &dev_jid).unwrap();
+        let collector = CollectorNode::new(&sim, &server, &col_jid);
+        // Deploy while the device does not exist yet.
+        collector.deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "s.js".into(),
+                    source: "print('late boot');".into(),
+                }],
+            },
+            std::slice::from_ref(&dev_jid),
+        );
+        sim.run_for(SimDuration::from_mins(5));
+        // Device comes online much later; presence triggers retransmit.
+        let phone = Phone::new(&sim, PhoneConfig::default());
+        let device = DeviceNode::new(
+            &phone,
+            &server,
+            DeviceConfig::new(dev_jid),
+            SensorSources::default(),
+        );
+        device.boot();
+        sim.run_for(SimDuration::from_mins(2));
+        let ctx = device.context("exp").expect("deploy arrived on reconnect");
+        assert_eq!(ctx.scripts()[0].prints(), vec!["late boot"]);
+    }
+
+    #[test]
+    fn redeploy_restarts_device_scripts_with_new_version() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector.deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "v.js".into(),
+                    source: "print('v1');".into(),
+                }],
+            },
+            &[device.jid()],
+        );
+        sim.run_for(SimDuration::from_mins(1));
+        collector.redeploy(&ExperimentSpec {
+            id: "exp".into(),
+            scripts: vec![ScriptSpec {
+                name: "v.js".into(),
+                source: "print('v2');".into(),
+            }],
+        });
+        sim.run_for(SimDuration::from_mins(1));
+        let ctx = device.context("exp").unwrap();
+        assert_eq!(ctx.version(), 2);
+        assert_eq!(ctx.scripts()[0].prints(), vec!["v2"]);
+    }
+
+    #[test]
+    fn undeploy_removes_context() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector.deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![],
+            },
+            &[device.jid()],
+        );
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(device.context("exp").is_some());
+        collector.undeploy("exp", &[device.jid()]);
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(device.context("exp").is_none());
+    }
+
+    #[test]
+    fn collector_publish_fans_out_to_device_scripts() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector.deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "listen.js".into(),
+                    source: "subscribe('config', function (m, from) { print('cfg ' + m.rate); });"
+                        .into(),
+                }],
+            },
+            &[device.jid()],
+        );
+        sim.run_for(SimDuration::from_mins(1));
+        // A collector script publishes configuration.
+        collector
+            .install_script("exp", "push.js", "publish('config', { rate: 9 });")
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(1));
+        let ctx = device.context("exp").unwrap();
+        assert_eq!(ctx.scripts()[0].prints(), vec!["cfg 9"]);
+    }
+}

@@ -1,0 +1,800 @@
+//! Contexts: per-experiment sandboxes with remote counterparts (§4.2).
+//!
+//! "Scripts belonging to a certain experiment run inside a so-called
+//! *context*, which acts as a sandbox; scripts can only communicate
+//! within the same experiment. Each context has a counterpart on a remote
+//! node … The brokers on either end synchronize with each other so that
+//! the publish-subscribe mechanism works seamlessly across the network
+//! boundary. Since contexts on collector nodes can have more than one
+//! remote context associated with them, a *multi broker* is used to make
+//! the communication fan out over the different devices."
+//!
+//! Synchronization protocol (see [`crate::proto`]):
+//!
+//! * collector-side subscriptions are **mirrored** onto every member
+//!   device's broker ([`ControlMsg::Subscribe`]); data matching a mirror
+//!   flows back targeted at the originating subscription;
+//! * collector-side publishes **fan out** to every member device
+//!   ([`ControlMsg::Data`] with `sub_ref: None`), where they are
+//!   republished locally.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pogo_script::ScriptError;
+
+use crate::broker::{Broker, SubscriptionId};
+use crate::host::{FrozenSlot, LogStore, ScriptHost};
+use crate::proto::{ControlMsg, ScriptSpec};
+use crate::scheduler::Scheduler;
+use crate::value::Msg;
+
+/// Callback used by contexts to hand protocol messages to the node's
+/// transport (device: into the store-and-forward buffer; collector: into
+/// the per-device reliable queue).
+pub type Outbound = Rc<dyn Fn(ControlMsg)>;
+
+// =============================== device side ===============================
+
+struct DeviceCtxInner {
+    exp: String,
+    version: u64,
+    broker: Broker,
+    scheduler: Scheduler,
+    logs: LogStore,
+    outbound: Outbound,
+    scripts: Vec<ScriptHost>,
+    /// collector sub_ref → mirrored local subscription.
+    mirrors: HashMap<u64, SubscriptionId>,
+}
+
+/// The device-side half of an experiment.
+#[derive(Clone)]
+pub struct DeviceContext {
+    inner: Rc<RefCell<DeviceCtxInner>>,
+}
+
+impl std::fmt::Debug for DeviceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("DeviceContext")
+            .field("exp", &inner.exp)
+            .field("version", &inner.version)
+            .field("scripts", &inner.scripts.len())
+            .field("mirrors", &inner.mirrors.len())
+            .finish()
+    }
+}
+
+impl DeviceContext {
+    /// Creates an empty context for experiment `exp`.
+    pub fn new(
+        exp: &str,
+        version: u64,
+        scheduler: &Scheduler,
+        logs: &LogStore,
+        outbound: Outbound,
+    ) -> Self {
+        DeviceContext {
+            inner: Rc::new(RefCell::new(DeviceCtxInner {
+                exp: exp.to_owned(),
+                version,
+                broker: Broker::new(),
+                scheduler: scheduler.clone(),
+                logs: logs.clone(),
+                outbound,
+                scripts: Vec::new(),
+                mirrors: HashMap::new(),
+            })),
+        }
+    }
+
+    /// The experiment id.
+    pub fn exp(&self) -> String {
+        self.inner.borrow().exp.clone()
+    }
+
+    /// Installed script version.
+    pub fn version(&self) -> u64 {
+        self.inner.borrow().version
+    }
+
+    /// The context's broker (sensors attach to this).
+    pub fn broker(&self) -> Broker {
+        self.inner.borrow().broker.clone()
+    }
+
+    /// The running scripts.
+    pub fn scripts(&self) -> Vec<ScriptHost> {
+        self.inner.borrow().scripts.clone()
+    }
+
+    /// Installs and loads the experiment's scripts. `frozen_for` supplies
+    /// each script's persistent freeze/thaw slot (owned by the device so
+    /// it survives reboots). Load errors are reported per script; healthy
+    /// scripts keep running regardless.
+    pub fn install_scripts(
+        &self,
+        scripts: &[ScriptSpec],
+        frozen_for: impl Fn(&str) -> FrozenSlot,
+    ) -> Vec<(String, ScriptError)> {
+        let (broker, scheduler, logs) = {
+            let inner = self.inner.borrow();
+            (
+                inner.broker.clone(),
+                inner.scheduler.clone(),
+                inner.logs.clone(),
+            )
+        };
+        let mut errors = Vec::new();
+        for spec in scripts {
+            let host = ScriptHost::new(
+                &spec.name,
+                &broker,
+                &scheduler,
+                frozen_for(&spec.name),
+                logs.clone(),
+            );
+            if let Err(e) = host.load(&spec.source) {
+                errors.push((spec.name.clone(), e));
+            }
+            self.inner.borrow_mut().scripts.push(host);
+        }
+        errors
+    }
+
+    /// Handles a control message addressed to this context.
+    pub fn handle_control(&self, ctl: &ControlMsg, from: &str) {
+        match ctl {
+            ControlMsg::Subscribe {
+                channel,
+                params,
+                sub_ref,
+                ..
+            } => self.add_mirror(channel, params.clone(), *sub_ref),
+            ControlMsg::Unsubscribe { sub_ref, .. } => {
+                let inner = self.inner.borrow();
+                if let Some(&id) = inner.mirrors.get(sub_ref) {
+                    let broker = inner.broker.clone();
+                    drop(inner);
+                    broker.unsubscribe(id);
+                    self.inner.borrow_mut().mirrors.remove(sub_ref);
+                }
+            }
+            ControlMsg::SetActive {
+                sub_ref, active, ..
+            } => {
+                let inner = self.inner.borrow();
+                if let Some(&id) = inner.mirrors.get(sub_ref) {
+                    let broker = inner.broker.clone();
+                    drop(inner);
+                    broker.set_active(id, *active);
+                }
+            }
+            ControlMsg::Data { channel, msg, .. } => {
+                // Collector fan-out: republish locally, attributed to the
+                // collector.
+                let broker = self.inner.borrow().broker.clone();
+                broker.publish_from(channel, msg, Some(from));
+            }
+            ControlMsg::Deploy { .. } | ControlMsg::Undeploy { .. } => {
+                // Handled by the device node (context lifecycle).
+            }
+        }
+    }
+
+    /// Mirrors a collector-side subscription into this broker; matching
+    /// data flows back targeted at `sub_ref`.
+    fn add_mirror(&self, channel: &str, params: Msg, sub_ref: u64) {
+        let (broker, outbound, exp) = {
+            let inner = self.inner.borrow();
+            (
+                inner.broker.clone(),
+                inner.outbound.clone(),
+                inner.exp.clone(),
+            )
+        };
+        // Re-subscribing with an existing ref replaces the old mirror
+        // (collector restarted its script).
+        if let Some(&old) = self.inner.borrow().mirrors.get(&sub_ref) {
+            broker.unsubscribe(old);
+        }
+        let id = broker.subscribe(channel, params, move |ch, msg, _from| {
+            outbound(ControlMsg::Data {
+                exp: exp.clone(),
+                channel: ch.to_owned(),
+                msg: msg.clone(),
+                sub_ref: Some(sub_ref),
+            });
+        });
+        self.inner.borrow_mut().mirrors.insert(sub_ref, id);
+    }
+
+    /// Stops all scripts and drops mirrored subscriptions (undeploy or
+    /// reboot). Frozen slots and logs live on in the device.
+    pub fn shutdown(&self) {
+        let (scripts, mirrors, broker) = {
+            let mut inner = self.inner.borrow_mut();
+            (
+                std::mem::take(&mut inner.scripts),
+                std::mem::take(&mut inner.mirrors),
+                inner.broker.clone(),
+            )
+        };
+        for script in scripts {
+            script.stop();
+        }
+        for (_, id) in mirrors {
+            broker.unsubscribe(id);
+        }
+    }
+}
+
+// ============================= collector side ==============================
+
+/// Collector-side outbound: `(device, message)` into the reliable queue.
+type DeviceOutbound = Rc<dyn Fn(&str, ControlMsg)>;
+
+struct CollectorCtxInner {
+    exp: String,
+    broker: Broker,
+    scripts: Vec<ScriptHost>,
+    devices: Vec<String>,
+    outbound: DeviceOutbound,
+    /// Subscription ids already synced to devices, with last-known state.
+    synced: HashMap<u64, (String, bool)>,
+}
+
+/// The collector-side half of an experiment: scripts plus the
+/// multi-broker that fans communication out over member devices.
+#[derive(Clone)]
+pub struct CollectorContext {
+    inner: Rc<RefCell<CollectorCtxInner>>,
+}
+
+impl std::fmt::Debug for CollectorContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("CollectorContext")
+            .field("exp", &inner.exp)
+            .field("devices", &inner.devices.len())
+            .field("scripts", &inner.scripts.len())
+            .finish()
+    }
+}
+
+impl CollectorContext {
+    /// Creates the collector half of experiment `exp`. `outbound` sends a
+    /// control message to one device (reliably).
+    pub fn new(exp: &str, outbound: impl Fn(&str, ControlMsg) + 'static) -> Self {
+        let ctx = CollectorContext {
+            inner: Rc::new(RefCell::new(CollectorCtxInner {
+                exp: exp.to_owned(),
+                broker: Broker::new(),
+                scripts: Vec::new(),
+                devices: Vec::new(),
+                outbound: Rc::new(outbound),
+                synced: HashMap::new(),
+            })),
+        };
+        ctx.wire_multi_broker();
+        ctx
+    }
+
+    /// The experiment id.
+    pub fn exp(&self) -> String {
+        self.inner.borrow().exp.clone()
+    }
+
+    /// The multi-broker.
+    pub fn broker(&self) -> Broker {
+        self.inner.borrow().broker.clone()
+    }
+
+    /// The collector-side scripts.
+    pub fn scripts(&self) -> Vec<ScriptHost> {
+        self.inner.borrow().scripts.clone()
+    }
+
+    /// Member devices.
+    pub fn devices(&self) -> Vec<String> {
+        self.inner.borrow().devices.clone()
+    }
+
+    /// Adds a member device, syncing every existing subscription to it.
+    pub fn add_device(&self, device: &str) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.devices.iter().any(|d| d == device) {
+                return;
+            }
+            inner.devices.push(device.to_owned());
+        }
+        let (outbound, exp, synced, broker) = {
+            let inner = self.inner.borrow();
+            (
+                inner.outbound.clone(),
+                inner.exp.clone(),
+                inner.synced.clone(),
+                inner.broker.clone(),
+            )
+        };
+        for (sub_ref, (channel, active)) in synced {
+            let params = broker
+                .subscriptions_on(&channel)
+                .into_iter()
+                .find(|s| s.id.0 == sub_ref)
+                .map(|s| s.params)
+                .unwrap_or(Msg::Null);
+            outbound(
+                device,
+                ControlMsg::Subscribe {
+                    exp: exp.clone(),
+                    channel,
+                    params,
+                    sub_ref,
+                },
+            );
+            if !active {
+                outbound(
+                    device,
+                    ControlMsg::SetActive {
+                        exp: exp.clone(),
+                        sub_ref,
+                        active: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Installs a collector-side script (e.g. `collect.js`). Extension
+    /// natives (like `geolocate`) can be registered via `customize`
+    /// before the body runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the script's load error.
+    pub fn install_script(
+        &self,
+        name: &str,
+        source: &str,
+        scheduler: &Scheduler,
+        logs: &LogStore,
+        customize: impl FnOnce(&ScriptHost),
+    ) -> Result<ScriptHost, ScriptError> {
+        let broker = self.broker();
+        let host = ScriptHost::new(name, &broker, scheduler, FrozenSlot::new(), logs.clone());
+        customize(&host);
+        host.load(source)?;
+        self.inner.borrow_mut().scripts.push(host.clone());
+        Ok(host)
+    }
+
+    /// Handles a data message arriving from a member device.
+    pub fn handle_data(&self, from: &str, channel: &str, msg: &Msg, sub_ref: Option<u64>) {
+        let broker = self.broker();
+        match sub_ref {
+            Some(r) => {
+                broker.publish_to_from(SubscriptionId(r), msg, Some(from));
+            }
+            None => {
+                broker.publish_from(channel, msg, Some(from));
+            }
+        }
+    }
+
+    /// Wires the multi-broker behaviour: local subscriptions sync to
+    /// devices; local publishes fan out to devices.
+    fn wire_multi_broker(&self) {
+        let weak = Rc::downgrade(&self.inner);
+        let broker = self.broker();
+        // Subscription sync.
+        broker.on_subscriptions_changed("", move |channel, subs| {
+            let Some(inner_rc) = weak.upgrade() else {
+                return;
+            };
+            let (outbound, exp, devices, known) = {
+                let inner = inner_rc.borrow();
+                (
+                    inner.outbound.clone(),
+                    inner.exp.clone(),
+                    inner.devices.clone(),
+                    inner.synced.clone(),
+                )
+            };
+            for sub in subs {
+                match known.get(&sub.id.0) {
+                    None => {
+                        for device in &devices {
+                            outbound(
+                                device,
+                                ControlMsg::Subscribe {
+                                    exp: exp.clone(),
+                                    channel: channel.to_owned(),
+                                    params: sub.params.clone(),
+                                    sub_ref: sub.id.0,
+                                },
+                            );
+                        }
+                        inner_rc
+                            .borrow_mut()
+                            .synced
+                            .insert(sub.id.0, (channel.to_owned(), sub.active));
+                    }
+                    Some(&(_, was_active)) if was_active != sub.active => {
+                        for device in &devices {
+                            outbound(
+                                device,
+                                ControlMsg::SetActive {
+                                    exp: exp.clone(),
+                                    sub_ref: sub.id.0,
+                                    active: sub.active,
+                                },
+                            );
+                        }
+                        inner_rc
+                            .borrow_mut()
+                            .synced
+                            .insert(sub.id.0, (channel.to_owned(), sub.active));
+                    }
+                    _ => {}
+                }
+            }
+            // Removed subscriptions.
+            let present: Vec<u64> = subs.iter().map(|s| s.id.0).collect();
+            let removed: Vec<u64> = known
+                .iter()
+                .filter(|(id, (ch, _))| ch == channel && !present.contains(id))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in removed {
+                for device in &devices {
+                    outbound(
+                        device,
+                        ControlMsg::Unsubscribe {
+                            exp: exp.clone(),
+                            sub_ref: id,
+                        },
+                    );
+                }
+                inner_rc.borrow_mut().synced.remove(&id);
+            }
+        });
+        // Publish fan-out: local publishes go to every device; device-
+        // attributed messages came *from* a device and must not bounce.
+        let weak = Rc::downgrade(&self.inner);
+        broker.on_publish(move |channel, msg, from| {
+            if from.is_some() {
+                return;
+            }
+            let Some(inner_rc) = weak.upgrade() else {
+                return;
+            };
+            let (outbound, exp, devices) = {
+                let inner = inner_rc.borrow();
+                (
+                    inner.outbound.clone(),
+                    inner.exp.clone(),
+                    inner.devices.clone(),
+                )
+            };
+            for device in &devices {
+                outbound(
+                    device,
+                    ControlMsg::Data {
+                        exp: exp.clone(),
+                        channel: channel.to_owned(),
+                        msg: msg.clone(),
+                        sub_ref: None,
+                    },
+                );
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo_platform::{Cpu, CpuConfig, EnergyMeter, Phone, PhoneConfig};
+    use pogo_sim::Sim;
+
+    fn scheduler(sim: &Sim) -> Scheduler {
+        let meter = EnergyMeter::new(sim);
+        let cpu = Cpu::new(sim, &meter, CpuConfig::default());
+        std::mem::forget(cpu.acquire_wake_lock());
+        Scheduler::new(&cpu)
+    }
+
+    fn outbound_log() -> (Rc<RefCell<Vec<ControlMsg>>>, Outbound) {
+        let log: Rc<RefCell<Vec<ControlMsg>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        (log, Rc::new(move |m| l.borrow_mut().push(m)))
+    }
+
+    #[test]
+    fn mirrored_subscription_forwards_data_targeted() {
+        let sim = Sim::new();
+        let sched = scheduler(&sim);
+        let (out, outbound) = outbound_log();
+        let ctx = DeviceContext::new("exp", 1, &sched, &LogStore::new(), outbound);
+        ctx.handle_control(
+            &ControlMsg::Subscribe {
+                exp: "exp".into(),
+                channel: "battery".into(),
+                params: Msg::Null,
+                sub_ref: 7,
+            },
+            "collector@pogo",
+        );
+        ctx.broker().publish("battery", &Msg::Num(3.9));
+        let out = out.borrow();
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            ControlMsg::Data {
+                channel, sub_ref, ..
+            } => {
+                assert_eq!(channel, "battery");
+                assert_eq!(*sub_ref, Some(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirror_setactive_and_unsubscribe() {
+        let sim = Sim::new();
+        let sched = scheduler(&sim);
+        let (out, outbound) = outbound_log();
+        let ctx = DeviceContext::new("exp", 1, &sched, &LogStore::new(), outbound);
+        ctx.handle_control(
+            &ControlMsg::Subscribe {
+                exp: "exp".into(),
+                channel: "ch".into(),
+                params: Msg::Null,
+                sub_ref: 1,
+            },
+            "c@p",
+        );
+        ctx.handle_control(
+            &ControlMsg::SetActive {
+                exp: "exp".into(),
+                sub_ref: 1,
+                active: false,
+            },
+            "c@p",
+        );
+        ctx.broker().publish("ch", &Msg::Null);
+        assert!(out.borrow().is_empty(), "released mirror is silent");
+        ctx.handle_control(
+            &ControlMsg::Unsubscribe {
+                exp: "exp".into(),
+                sub_ref: 1,
+            },
+            "c@p",
+        );
+        assert!(ctx.broker().subscriptions_on("ch").is_empty());
+    }
+
+    #[test]
+    fn collector_fanout_data_republishes_locally() {
+        let sim = Sim::new();
+        let sched = scheduler(&sim);
+        let (_, outbound) = outbound_log();
+        let ctx = DeviceContext::new("exp", 1, &sched, &LogStore::new(), outbound);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        ctx.broker()
+            .subscribe("config", Msg::Null, move |_, m, from| {
+                s.borrow_mut().push((m.clone(), from.map(str::to_owned)));
+            });
+        ctx.handle_control(
+            &ControlMsg::Data {
+                exp: "exp".into(),
+                channel: "config".into(),
+                msg: Msg::Num(5.0),
+                sub_ref: None,
+            },
+            "collector@pogo",
+        );
+        assert_eq!(seen.borrow().len(), 1);
+        assert_eq!(
+            seen.borrow()[0].1.as_deref(),
+            Some("collector@pogo"),
+            "attributed to the collector"
+        );
+    }
+
+    #[test]
+    fn device_scripts_share_context_broker() {
+        let sim = Sim::new();
+        let sched = scheduler(&sim);
+        let (_, outbound) = outbound_log();
+        let ctx = DeviceContext::new("exp", 1, &sched, &LogStore::new(), outbound);
+        let errors = ctx.install_scripts(
+            &[
+                ScriptSpec {
+                    name: "a.js".into(),
+                    source: "subscribe('x', function (m) { print('got ' + m); });".into(),
+                },
+                ScriptSpec {
+                    name: "b.js".into(),
+                    source: "publish('x', 42);".into(),
+                },
+            ],
+            |_| FrozenSlot::new(),
+        );
+        assert!(errors.is_empty());
+        sim.run_until_idle();
+        assert_eq!(ctx.scripts()[0].prints(), vec!["got 42"]);
+    }
+
+    #[test]
+    fn install_reports_bad_script_but_keeps_good_ones() {
+        let sim = Sim::new();
+        let sched = scheduler(&sim);
+        let (_, outbound) = outbound_log();
+        let ctx = DeviceContext::new("exp", 1, &sched, &LogStore::new(), outbound);
+        let errors = ctx.install_scripts(
+            &[
+                ScriptSpec {
+                    name: "bad.js".into(),
+                    source: "var = broken;".into(),
+                },
+                ScriptSpec {
+                    name: "good.js".into(),
+                    source: "print('alive');".into(),
+                },
+            ],
+            |_| FrozenSlot::new(),
+        );
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, "bad.js");
+        assert_eq!(ctx.scripts()[1].prints(), vec!["alive"]);
+    }
+
+    #[test]
+    fn shutdown_stops_scripts_and_mirrors() {
+        let sim = Sim::new();
+        let sched = scheduler(&sim);
+        let (out, outbound) = outbound_log();
+        let ctx = DeviceContext::new("exp", 1, &sched, &LogStore::new(), outbound);
+        ctx.handle_control(
+            &ControlMsg::Subscribe {
+                exp: "exp".into(),
+                channel: "ch".into(),
+                params: Msg::Null,
+                sub_ref: 1,
+            },
+            "c@p",
+        );
+        ctx.install_scripts(
+            &[ScriptSpec {
+                name: "s.js".into(),
+                source: "subscribe('ch', function (m) {});".into(),
+            }],
+            |_| FrozenSlot::new(),
+        );
+        ctx.shutdown();
+        ctx.broker().publish("ch", &Msg::Null);
+        assert!(out.borrow().is_empty());
+        assert!(!ctx.broker().has_active_subscribers("ch"));
+    }
+
+    // ---- collector context -------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn collector_outbound() -> (
+        Rc<RefCell<Vec<(String, ControlMsg)>>>,
+        impl Fn(&str, ControlMsg) + 'static,
+    ) {
+        let log: Rc<RefCell<Vec<(String, ControlMsg)>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        (log, move |dev: &str, m: ControlMsg| {
+            l.borrow_mut().push((dev.to_owned(), m))
+        })
+    }
+
+    #[test]
+    fn collector_subscription_syncs_to_all_devices() {
+        let (out, outbound) = collector_outbound();
+        let ctx = CollectorContext::new("exp", outbound);
+        ctx.add_device("d1@pogo");
+        ctx.add_device("d2@pogo");
+        ctx.broker().subscribe(
+            "battery",
+            Msg::obj([("interval", Msg::Num(60_000.0))]),
+            |_, _, _| {},
+        );
+        let out = out.borrow();
+        let subs: Vec<&(String, ControlMsg)> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, ControlMsg::Subscribe { .. }))
+            .collect();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].0, "d1@pogo");
+        assert_eq!(subs[1].0, "d2@pogo");
+    }
+
+    #[test]
+    fn late_joining_device_receives_existing_subscriptions() {
+        let (out, outbound) = collector_outbound();
+        let ctx = CollectorContext::new("exp", outbound);
+        let id = ctx.broker().subscribe("battery", Msg::Null, |_, _, _| {});
+        ctx.broker().set_active(id, false);
+        ctx.add_device("late@pogo");
+        let out = out.borrow();
+        assert!(matches!(out[0].1, ControlMsg::Subscribe { .. }));
+        assert!(
+            matches!(out[1].1, ControlMsg::SetActive { active: false, .. }),
+            "released state also synced"
+        );
+    }
+
+    #[test]
+    fn device_data_reaches_targeted_subscription_with_attribution() {
+        let (_, outbound) = collector_outbound();
+        let ctx = CollectorContext::new("exp", outbound);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        let id = ctx
+            .broker()
+            .subscribe("battery", Msg::Null, move |_, m, from| {
+                s.borrow_mut().push((m.clone(), from.map(str::to_owned)));
+            });
+        ctx.handle_data("d1@pogo", "battery", &Msg::Num(4.1), Some(id.0));
+        assert_eq!(seen.borrow().len(), 1);
+        assert_eq!(seen.borrow()[0].1.as_deref(), Some("d1@pogo"));
+    }
+
+    #[test]
+    fn collector_publish_fans_out_but_device_data_does_not_bounce() {
+        let (out, outbound) = collector_outbound();
+        let ctx = CollectorContext::new("exp", outbound);
+        ctx.add_device("d1@pogo");
+        ctx.broker().publish("config", &Msg::Num(1.0));
+        assert_eq!(
+            out.borrow()
+                .iter()
+                .filter(|(_, m)| matches!(m, ControlMsg::Data { .. }))
+                .count(),
+            1
+        );
+        // Device-attributed republish must not fan back out.
+        ctx.handle_data("d1@pogo", "config", &Msg::Num(2.0), None);
+        assert_eq!(
+            out.borrow()
+                .iter()
+                .filter(|(_, m)| matches!(m, ControlMsg::Data { .. }))
+                .count(),
+            1,
+            "no echo loop"
+        );
+    }
+
+    #[test]
+    fn collector_script_install_with_extension_native() {
+        let sim = Sim::new();
+        let sched = {
+            let phone = Phone::new(&sim, PhoneConfig::default());
+            std::mem::forget(phone.cpu().acquire_wake_lock());
+            Scheduler::new(phone.cpu())
+        };
+        let (_, outbound) = collector_outbound();
+        let ctx = CollectorContext::new("exp", outbound);
+        let host = ctx
+            .install_script(
+                "collect.js",
+                "print(magic());",
+                &sched,
+                &LogStore::new(),
+                |h| {
+                    h.register_native("magic", |_, _| Ok(pogo_script::Value::from(99.0)));
+                },
+            )
+            .unwrap();
+        assert_eq!(host.prints(), vec!["99"]);
+    }
+}

@@ -1,0 +1,1233 @@
+//! The device node: the Pogo middleware as it runs on a phone.
+//!
+//! Owns the per-experiment [`DeviceContext`]s, the [`SensorManager`], the
+//! persistent store-and-forward buffer, the end-to-end reliability layer,
+//! connectivity/reconnect handling (§4.6), and §4.7's tail-synchronized
+//! transmission. Reboots tear down everything *except* what lives on
+//! flash — installed experiments, the message store, logs, and frozen
+//! script state — exactly the §5.3 failure model.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pogo_net::{
+    DedupFilter, Envelope, FlushPolicy, Jid, MessageStore, Payload, Session, Switchboard,
+};
+use pogo_platform::{Bearer, Phone};
+use pogo_sim::{SimDuration, SimTime};
+
+use crate::context::DeviceContext;
+use crate::host::{FrozenSlot, LogStore};
+use crate::privacy::PrivacyPolicy;
+use crate::proto::{ControlMsg, ScriptSpec};
+use crate::scheduler::Scheduler;
+use crate::sensor::{SensorManager, SensorSources};
+use crate::tail::TailDetector;
+use crate::value::Msg;
+
+/// Device-node configuration.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// This device's address.
+    pub jid: Jid,
+    /// When buffered messages go out (§4.7; Pogo default: tail-sync).
+    pub flush_policy: FlushPolicy,
+    /// Buffered messages older than this are purged — §5.3's 24 hours.
+    pub max_msg_age: SimDuration,
+    /// One-way latency on the cellular bearer.
+    pub cellular_latency: SimDuration,
+    /// One-way latency on Wi-Fi.
+    pub wifi_latency: SimDuration,
+    /// Tail-detector poll period (§4.7 uses 1 second).
+    pub tail_poll: SimDuration,
+    /// Delay before reconnecting after an interface change.
+    pub reconnect_delay: SimDuration,
+    /// Minimum delay before retransmitting already-sent, unacked data.
+    pub retransmit_timeout: SimDuration,
+    /// Time from reboot to the middleware running again.
+    pub boot_delay: SimDuration,
+    /// The owner's sharing preferences (§3.3). Shared handle: toggling a
+    /// channel in the "settings UI" applies immediately.
+    pub privacy: PrivacyPolicy,
+}
+
+impl DeviceConfig {
+    /// Default configuration for a device JID.
+    pub fn new(jid: Jid) -> Self {
+        DeviceConfig {
+            jid,
+            flush_policy: FlushPolicy::pogo_default(),
+            max_msg_age: SimDuration::from_hours(24),
+            cellular_latency: SimDuration::from_millis(120),
+            wifi_latency: SimDuration::from_millis(30),
+            tail_poll: SimDuration::from_secs(1),
+            reconnect_delay: SimDuration::from_secs(5),
+            retransmit_timeout: SimDuration::from_secs(60),
+            boot_delay: SimDuration::from_secs(45),
+            privacy: PrivacyPolicy::allow_all(),
+        }
+    }
+}
+
+/// An installed experiment as persisted to "flash".
+#[derive(Debug, Clone)]
+struct Installed {
+    version: u64,
+    scripts: Vec<ScriptSpec>,
+    collector: Jid,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Stats {
+    flushes: u64,
+    reboots: u64,
+    messages_sent: u64,
+    messages_received: u64,
+    acks_sent: u64,
+}
+
+struct Inner {
+    cfg: DeviceConfig,
+    phone: Phone,
+    server: Switchboard,
+    scheduler: Scheduler,
+    session: Option<Session>,
+    // -- flash-persistent state (survives reboot) --
+    store: MessageStore,
+    dedup: DedupFilter,
+    logs: LogStore,
+    frozen: HashMap<(String, String), FrozenSlot>,
+    installed: HashMap<String, Installed>,
+    /// Mirrored collector subscriptions, persisted so they are re-applied
+    /// when a context is re-instantiated (reboot, script update, or a
+    /// Subscribe that arrived before its Deploy).
+    mirror_specs: HashMap<String, HashMap<u64, (String, Msg, bool)>>,
+    // -- volatile state --
+    contexts: HashMap<String, DeviceContext>,
+    sensors: SensorManager,
+    tail: Option<TailDetector>,
+    booted: bool,
+    flushing: bool,
+    deadline_armed: bool,
+    /// New data was enqueued since the last flush.
+    dirty: bool,
+    last_flush: Option<SimTime>,
+    flush_listeners: Vec<Rc<dyn Fn(SimTime, usize)>>,
+    stats: Stats,
+}
+
+/// A Pogo device node. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct DeviceNode {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for DeviceNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("DeviceNode")
+            .field("jid", &inner.cfg.jid.as_str())
+            .field("booted", &inner.booted)
+            .field("contexts", &inner.contexts.len())
+            .field("buffered", &inner.store.len())
+            .finish()
+    }
+}
+
+impl DeviceNode {
+    /// Creates a device node on `phone`, talking to `server`. The JID
+    /// must already be registered. Call [`DeviceNode::boot`] to start.
+    pub fn new(
+        phone: &Phone,
+        server: &Switchboard,
+        cfg: DeviceConfig,
+        sources: SensorSources,
+    ) -> Self {
+        let scheduler = Scheduler::new(phone.cpu());
+        let sensors = SensorManager::new(phone, &scheduler, sources);
+        let node = DeviceNode {
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                phone: phone.clone(),
+                server: server.clone(),
+                scheduler,
+                session: None,
+                store: MessageStore::new(),
+                dedup: DedupFilter::new(),
+                logs: LogStore::new(),
+                frozen: HashMap::new(),
+                installed: HashMap::new(),
+                mirror_specs: HashMap::new(),
+                contexts: HashMap::new(),
+                sensors,
+                tail: None,
+                booted: false,
+                flushing: false,
+                deadline_armed: false,
+                dirty: false,
+                last_flush: None,
+                flush_listeners: Vec::new(),
+                stats: Stats::default(),
+            })),
+        };
+        node.wire_connectivity();
+        node.wire_privacy();
+        node
+    }
+
+    /// This device's JID.
+    pub fn jid(&self) -> Jid {
+        self.inner.borrow().cfg.jid.clone()
+    }
+
+    /// The phone this node runs on.
+    pub fn phone(&self) -> Phone {
+        self.inner.borrow().phone.clone()
+    }
+
+    /// The device's persistent log storage (`log`/`logTo` output; the
+    /// experiment's "raw traces … collected after the experiment as
+    /// ground truth" live here).
+    pub fn logs(&self) -> LogStore {
+        self.inner.borrow().logs.clone()
+    }
+
+    /// The context for an experiment, if deployed.
+    pub fn context(&self, exp: &str) -> Option<DeviceContext> {
+        self.inner.borrow().contexts.get(exp).cloned()
+    }
+
+    /// The sensor manager.
+    pub fn sensors(&self) -> SensorManager {
+        self.inner.borrow().sensors.clone()
+    }
+
+    /// Unacknowledged buffered messages.
+    pub fn buffered(&self) -> usize {
+        self.inner.borrow().store.len()
+    }
+
+    /// Messages purged by the age limit so far.
+    pub fn purged(&self) -> u64 {
+        self.inner.borrow().store.purged_total()
+    }
+
+    /// Data messages handed to the network so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.borrow().stats.messages_sent
+    }
+
+    /// Number of buffer flushes performed.
+    pub fn flushes(&self) -> u64 {
+        self.inner.borrow().stats.flushes
+    }
+
+    /// Number of reboots so far.
+    pub fn reboots(&self) -> u64 {
+        self.inner.borrow().stats.reboots
+    }
+
+    /// True while the middleware is running (between boot and reboot).
+    pub fn is_booted(&self) -> bool {
+        self.inner.borrow().booted
+    }
+
+    /// Registers a listener invoked with `(instant, batch_size)` whenever
+    /// the device pushes its buffer out (used by the Figure 4 timeline).
+    pub fn on_flush(&self, f: impl Fn(SimTime, usize) + 'static) {
+        self.inner.borrow_mut().flush_listeners.push(Rc::new(f));
+    }
+
+    // ---- lifecycle ---------------------------------------------------------
+
+    /// Starts the middleware: connects (if a bearer is up), starts the
+    /// tail detector, and re-installs experiments persisted from before a
+    /// reboot.
+    pub fn boot(&self) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.booted {
+                return;
+            }
+            inner.booted = true;
+        }
+        self.connect();
+        self.start_tail_detector();
+        // Reinstall persisted experiments (empty on first boot).
+        let installed: Vec<(String, Installed)> = {
+            let inner = self.inner.borrow();
+            inner
+                .installed
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        for (exp, spec) in installed {
+            self.instantiate_context(&exp, spec.version, &spec.scripts, &spec.collector);
+        }
+        self.maybe_flush();
+    }
+
+    /// Reboots the phone's middleware: everything volatile is lost —
+    /// running scripts (unfrozen state included), mirrored subscriptions,
+    /// the session — then the node boots again after
+    /// [`DeviceConfig::boot_delay`].
+    pub fn reboot(&self) {
+        let (contexts, session, tail) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.booted = false;
+            inner.stats.reboots += 1;
+            inner.flushing = false;
+            inner.deadline_armed = false;
+            (
+                std::mem::take(&mut inner.contexts),
+                inner.session.take(),
+                inner.tail.take(),
+            )
+        };
+        for (_, ctx) in contexts {
+            ctx.shutdown();
+        }
+        if let Some(tail) = tail {
+            tail.stop();
+        }
+        if let Some(session) = session {
+            session.disconnect();
+        }
+        self.inner.borrow().sensors.shutdown();
+        let me = self.clone();
+        let delay = self.inner.borrow().cfg.boot_delay;
+        let sim = self.inner.borrow().phone.sim().clone();
+        // A reboot is not CPU sleep/wake bookkeeping; schedule directly.
+        sim.schedule_in(delay, move || me.boot());
+    }
+
+    /// Restarts one experiment's scripts in place (a researcher pushed a
+    /// new version, or §5.3's clean restart). Frozen state survives.
+    fn instantiate_context(
+        &self,
+        exp: &str,
+        version: u64,
+        scripts: &[ScriptSpec],
+        collector: &Jid,
+    ) {
+        // Tear down any previous incarnation.
+        let old = self.inner.borrow_mut().contexts.remove(exp);
+        if let Some(old) = old {
+            old.shutdown();
+            let sensors = self.inner.borrow().sensors.clone();
+            sensors.detach_context(exp);
+        }
+        let (scheduler, logs) = {
+            let inner = self.inner.borrow();
+            (inner.scheduler.clone(), inner.logs.clone())
+        };
+        let me = self.clone();
+        let collector = collector.clone();
+        let exp_owned = exp.to_owned();
+        let outbound = {
+            let collector = collector.clone();
+            Rc::new(move |ctl: ControlMsg| {
+                me.enqueue(&collector, &ctl);
+            })
+        };
+        let ctx = DeviceContext::new(exp, version, &scheduler, &logs, outbound);
+        // Re-apply persisted collector-side subscriptions before any
+        // script body runs, so load-time publishes are not lost.
+        let mirrors: Vec<(u64, (String, Msg, bool))> = self
+            .inner
+            .borrow()
+            .mirror_specs
+            .get(exp)
+            .map(|m| m.iter().map(|(k, v)| (*k, v.clone())).collect())
+            .unwrap_or_default();
+        for (sub_ref, (channel, params, active)) in mirrors {
+            if !self.inner.borrow().cfg.privacy.is_allowed(&channel) {
+                continue; // the owner vetoed this sensor channel (§3.3)
+            }
+            ctx.handle_control(
+                &ControlMsg::Subscribe {
+                    exp: exp.to_owned(),
+                    channel,
+                    params,
+                    sub_ref,
+                },
+                collector.as_str(),
+            );
+            if !active {
+                ctx.handle_control(
+                    &ControlMsg::SetActive {
+                        exp: exp.to_owned(),
+                        sub_ref,
+                        active: false,
+                    },
+                    collector.as_str(),
+                );
+            }
+        }
+        let me = self.clone();
+        let errors = ctx.install_scripts(scripts, |script_name| {
+            me.frozen_slot(&exp_owned, script_name)
+        });
+        for (script, error) in errors {
+            self.inner
+                .borrow()
+                .logs
+                .append("pogo-errors", format!("{exp}/{script}: {error}"));
+        }
+        self.inner
+            .borrow_mut()
+            .contexts
+            .insert(exp.to_owned(), ctx.clone());
+        self.inner
+            .borrow()
+            .sensors
+            .attach_context(exp, &ctx.broker());
+    }
+
+    fn frozen_slot(&self, exp: &str, script: &str) -> FrozenSlot {
+        self.inner
+            .borrow_mut()
+            .frozen
+            .entry((exp.to_owned(), script.to_owned()))
+            .or_default()
+            .clone()
+    }
+
+    /// Applies live privacy toggles (§3.3: "changed at any time") to
+    /// every context's mirrored subscriptions.
+    fn wire_privacy(&self) {
+        let me = self.clone();
+        let policy = self.inner.borrow().cfg.privacy.clone();
+        policy.on_change(move |channel, allowed| {
+            let contexts: Vec<(String, DeviceContext)> = me
+                .inner
+                .borrow()
+                .contexts
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            for (exp, ctx) in contexts {
+                let specs: Vec<(u64, (String, Msg, bool))> = me
+                    .inner
+                    .borrow()
+                    .mirror_specs
+                    .get(&exp)
+                    .map(|m| {
+                        m.iter()
+                            .filter(|(_, (ch, _, _))| ch == channel)
+                            .map(|(k, v)| (*k, v.clone()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for (sub_ref, (ch, params, active)) in specs {
+                    if allowed {
+                        ctx.handle_control(
+                            &ControlMsg::Subscribe {
+                                exp: exp.clone(),
+                                channel: ch,
+                                params,
+                                sub_ref,
+                            },
+                            "privacy-restore",
+                        );
+                        if !active {
+                            ctx.handle_control(
+                                &ControlMsg::SetActive {
+                                    exp: exp.clone(),
+                                    sub_ref,
+                                    active: false,
+                                },
+                                "privacy-restore",
+                            );
+                        }
+                    } else {
+                        ctx.handle_control(
+                            &ControlMsg::Unsubscribe {
+                                exp: exp.clone(),
+                                sub_ref,
+                            },
+                            "privacy-revoke",
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    // ---- connectivity ------------------------------------------------------
+
+    fn wire_connectivity(&self) {
+        let me = self.clone();
+        let connectivity = self.inner.borrow().phone.connectivity().clone();
+        connectivity.on_change(move |bearer| {
+            // §4.6: detect the interface change, drop the stale session,
+            // reconnect on the new interface.
+            let session = me.inner.borrow_mut().session.take();
+            if let Some(session) = session {
+                session.disconnect();
+            }
+            if bearer.is_some() && me.inner.borrow().booted {
+                let delay = me.inner.borrow().cfg.reconnect_delay;
+                let sim = me.inner.borrow().phone.sim().clone();
+                let me2 = me.clone();
+                sim.schedule_in(delay, move || {
+                    me2.connect();
+                    me2.maybe_flush();
+                });
+            }
+        });
+    }
+
+    fn connect(&self) {
+        let (server, jid, latency, online, already) = {
+            let inner = self.inner.borrow();
+            let latency = match inner.phone.connectivity().active() {
+                Some(Bearer::Cellular) => inner.cfg.cellular_latency,
+                Some(Bearer::Wifi) => inner.cfg.wifi_latency,
+                None => return,
+            };
+            (
+                inner.server.clone(),
+                inner.cfg.jid.clone(),
+                latency,
+                inner.phone.connectivity().is_online(),
+                inner.session.as_ref().is_some_and(Session::is_connected),
+            )
+        };
+        if !online || already {
+            return;
+        }
+        let Ok(session) = server.connect(&jid, latency) else {
+            return;
+        };
+        let me = self.clone();
+        session.on_receive(move |envelope| me.on_envelope(envelope));
+        self.inner.borrow_mut().session = Some(session);
+    }
+
+    // ---- inbound -----------------------------------------------------------
+
+    fn on_envelope(&self, envelope: Envelope) {
+        match &envelope.payload {
+            Payload::Ack(seqs) => {
+                self.inner.borrow().store.ack(seqs);
+            }
+            Payload::Data(json) => {
+                let fresh = self
+                    .inner
+                    .borrow()
+                    .dedup
+                    .first_sighting(&envelope.from, envelope.seq);
+                // Always ack — the previous ack may have been lost.
+                self.send_ack(&envelope.from, envelope.seq);
+                if !fresh {
+                    return;
+                }
+                self.inner.borrow_mut().stats.messages_received += 1;
+                match ControlMsg::from_json(json) {
+                    Ok(ctl) => self.handle_control(ctl, &envelope.from),
+                    Err(e) => self.inner.borrow().logs.append(
+                        "pogo-errors",
+                        format!("malformed message from {}: {e}", envelope.from),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Acks ride immediately: the modem is already in DCH from receiving
+    /// the data, so this costs almost nothing extra.
+    fn send_ack(&self, to: &Jid, seq: u64) {
+        let (session, phone) = {
+            let inner = self.inner.borrow();
+            (inner.session.clone(), inner.phone.clone())
+        };
+        let Some(session) = session else { return };
+        if !session.is_connected() {
+            return;
+        }
+        self.inner.borrow_mut().stats.acks_sent += 1;
+        let to = to.clone();
+        let ack = Envelope {
+            from: session.jid(),
+            to: to.clone(),
+            seq: 0,
+            payload: Payload::Ack(vec![seq]),
+            sent_at_ms: 0,
+        };
+        let bytes = ack.wire_size();
+        let me = self.clone();
+        let _ = phone.transmit(bytes, 0, move || {
+            let _ = session.send(&to, 0, Payload::Ack(vec![seq]));
+            let tail = me.inner.borrow().tail.clone();
+            if let Some(tail) = tail {
+                tail.resync();
+            }
+        });
+    }
+
+    fn handle_control(&self, ctl: ControlMsg, from: &Jid) {
+        match &ctl {
+            ControlMsg::Deploy {
+                exp,
+                version,
+                scripts,
+            } => {
+                let current = self
+                    .inner
+                    .borrow()
+                    .installed
+                    .get(exp)
+                    .map(|i| i.version)
+                    .unwrap_or(0);
+                if *version < current {
+                    return; // stale redelivery
+                }
+                self.inner.borrow_mut().installed.insert(
+                    exp.clone(),
+                    Installed {
+                        version: *version,
+                        scripts: scripts.clone(),
+                        collector: from.clone(),
+                    },
+                );
+                self.instantiate_context(exp, *version, scripts, from);
+            }
+            ControlMsg::Undeploy { exp } => {
+                self.inner.borrow_mut().installed.remove(exp);
+                let ctx = self.inner.borrow_mut().contexts.remove(exp);
+                if let Some(ctx) = ctx {
+                    ctx.shutdown();
+                }
+                let sensors = self.inner.borrow().sensors.clone();
+                sensors.detach_context(exp);
+                // Frozen state and logs for the experiment are kept: the
+                // user may re-join later; a real device would garbage-
+                // collect eventually.
+            }
+            ControlMsg::Subscribe {
+                exp,
+                channel,
+                params,
+                sub_ref,
+            } => {
+                self.inner
+                    .borrow_mut()
+                    .mirror_specs
+                    .entry(exp.clone())
+                    .or_default()
+                    .insert(*sub_ref, (channel.clone(), params.clone(), true));
+                self.route_to_context(&ctl, from);
+            }
+            ControlMsg::Unsubscribe { exp, sub_ref } => {
+                if let Some(specs) = self.inner.borrow_mut().mirror_specs.get_mut(exp) {
+                    specs.remove(sub_ref);
+                }
+                self.route_to_context(&ctl, from);
+            }
+            ControlMsg::SetActive {
+                exp,
+                sub_ref,
+                active,
+            } => {
+                if let Some(spec) = self
+                    .inner
+                    .borrow_mut()
+                    .mirror_specs
+                    .get_mut(exp)
+                    .and_then(|m| m.get_mut(sub_ref))
+                {
+                    spec.2 = *active;
+                }
+                self.route_to_context(&ctl, from);
+            }
+            ControlMsg::Data { exp, .. } => {
+                let _ = exp;
+                self.route_to_context(&ctl, from);
+            }
+        }
+    }
+
+    fn route_to_context(&self, ctl: &ControlMsg, from: &Jid) {
+        let exp = match ctl {
+            ControlMsg::Subscribe { exp, .. }
+            | ControlMsg::Unsubscribe { exp, .. }
+            | ControlMsg::SetActive { exp, .. }
+            | ControlMsg::Data { exp, .. } => exp.clone(),
+            _ => return,
+        };
+        // The owner's privacy policy gates sensor-channel mirrors: the
+        // spec is remembered (the setting may be re-enabled later), but
+        // no mirror is created, so the sensor never turns on.
+        if let ControlMsg::Subscribe { channel, .. } = ctl {
+            if !self.inner.borrow().cfg.privacy.is_allowed(channel) {
+                self.inner.borrow().cfg.privacy.record_denied();
+                // Still ensure the context shell exists for the Deploy.
+                if !self.inner.borrow().contexts.contains_key(&exp) {
+                    self.instantiate_context(&exp, 0, &[], from);
+                }
+                return;
+            }
+        }
+        // Subscriptions may arrive before the Deploy (reordering across
+        // the reliable layer): create the context shell so nothing is
+        // lost.
+        if !self.inner.borrow().contexts.contains_key(&exp) {
+            self.instantiate_context(&exp, 0, &[], from);
+            // instantiate_context already applied persisted mirrors,
+            // including this one if it was a Subscribe.
+            if matches!(ctl, ControlMsg::Subscribe { .. }) {
+                return;
+            }
+        }
+        let ctx = self
+            .inner
+            .borrow()
+            .contexts
+            .get(&exp)
+            .cloned()
+            .expect("just created");
+        ctx.handle_control(ctl, from.as_str());
+    }
+
+    // ---- outbound ----------------------------------------------------------
+
+    /// Queues a protocol message for `to` in the persistent buffer and
+    /// applies the flush policy.
+    pub fn enqueue(&self, to: &Jid, ctl: &ControlMsg) {
+        let now = self.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.store.enqueue(to, ctl.to_json(), now);
+            inner.dirty = true;
+        }
+        self.arm_deadline();
+        self.maybe_flush();
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.borrow().phone.sim().now()
+    }
+
+    /// Arms the max-delay deadline alarm for the TailSync policy.
+    fn arm_deadline(&self) {
+        let (need, delay) = {
+            let inner = self.inner.borrow();
+            match inner.cfg.flush_policy {
+                FlushPolicy::TailSync { max_delay } if !inner.deadline_armed => (true, max_delay),
+                FlushPolicy::Interval(period) if !inner.deadline_armed => (true, period),
+                _ => (false, SimDuration::ZERO),
+            }
+        };
+        if !need {
+            return;
+        }
+        self.inner.borrow_mut().deadline_armed = true;
+        let me = self.clone();
+        let scheduler = self.inner.borrow().scheduler.clone();
+        scheduler.run_later(delay, move || {
+            me.inner.borrow_mut().deadline_armed = false;
+            me.maybe_flush();
+            // Re-arm if data is still waiting (e.g. offline).
+            if !me.inner.borrow().store.is_empty() {
+                me.arm_deadline();
+            }
+        });
+    }
+
+    /// §4.7 entry point: the tail detector saw foreign traffic.
+    fn start_tail_detector(&self) {
+        let phone = self.inner.borrow().phone.clone();
+        let poll = self.inner.borrow().cfg.tail_poll;
+        let me = self.clone();
+        let detector = TailDetector::new(&phone, poll, move |_delta| {
+            me.maybe_flush_on_tail();
+        });
+        detector.start();
+        self.inner.borrow_mut().tail = Some(detector);
+    }
+
+    /// Evaluates the flush policy and pushes the buffer out if it says
+    /// so. This is the generic trigger (enqueue, deadline, reconnect,
+    /// charger): for the tail-sync policy it only honours the max-delay
+    /// deadline — credit for an open radio tail is given exclusively by
+    /// the traffic detector via [`DeviceNode::maybe_flush_on_tail`],
+    /// because an open tail at enqueue time may be one the device itself
+    /// paid for (flushing then would keep the modem alive forever).
+    pub fn maybe_flush(&self) {
+        self.maybe_flush_inner(false);
+    }
+
+    /// §4.7 trigger: the tail detector saw *traffic* — some app just used
+    /// the modem, so data pushed now rides that app's tail.
+    pub fn maybe_flush_on_tail(&self) {
+        self.maybe_flush_inner(true);
+    }
+
+    fn maybe_flush_inner(&self, traffic_detected: bool) {
+        let now = self.now();
+        let do_flush = {
+            let inner = self.inner.borrow();
+            if !inner.booted || inner.flushing {
+                false
+            } else if !inner.dirty
+                && inner.last_flush.is_some_and(|t| {
+                    now.saturating_duration_since(t) < inner.cfg.retransmit_timeout
+                })
+            {
+                // Everything pending was already sent recently; wait for
+                // acks (or the retransmit timeout) instead of re-sending
+                // on every tail we detect — including our own.
+                false
+            } else {
+                // The fateful expiry purge (§5.3).
+                inner.store.purge_older_than(now, inner.cfg.max_msg_age);
+                let tail_open = traffic_detected
+                    && inner.phone.modem().is_tail_open()
+                    && inner.phone.connectivity().active() == Some(Bearer::Cellular);
+                let on_wifi = inner.phone.connectivity().active() == Some(Bearer::Wifi);
+                let charging = inner.phone.battery().is_charging();
+                inner.phone.connectivity().is_online()
+                    && inner.cfg.flush_policy.should_flush(
+                        tail_open,
+                        inner.store.oldest_age(now),
+                        charging,
+                        on_wifi,
+                    )
+            }
+        };
+        if do_flush {
+            self.flush();
+        }
+    }
+
+    /// Pushes every pending message out over the active bearer.
+    fn flush(&self) {
+        self.connect(); // ensure a session exists
+        let (phone, session, pending) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(session) = inner.session.clone() else {
+                return;
+            };
+            if !session.is_connected() {
+                return;
+            }
+            let pending = inner.store.pending();
+            if pending.is_empty() {
+                return;
+            }
+            inner.flushing = true;
+            inner.dirty = false;
+            inner.last_flush = Some(inner.phone.sim().now());
+            inner.stats.flushes += 1;
+            inner.stats.messages_sent += pending.len() as u64;
+            (inner.phone.clone(), session, pending)
+        };
+        {
+            let (listeners, now) = {
+                let inner = self.inner.borrow();
+                (inner.flush_listeners.clone(), inner.phone.sim().now())
+            };
+            for l in listeners {
+                l(now, pending.len());
+            }
+        }
+        // One radio burst carries the whole batch; envelopes enter the
+        // network when the last byte leaves the air interface.
+        let bytes: u64 = pending
+            .iter()
+            .map(|m| m.data.len() as u64 + pogo_net::wire::ENVELOPE_OVERHEAD_BYTES)
+            .sum();
+        let me = self.clone();
+        let result = phone.transmit(bytes, 64, move || {
+            for msg in &pending {
+                let _ = session.send(&msg.to, msg.seq, Payload::Data(msg.data.clone()));
+            }
+            let tail = {
+                let mut inner = me.inner.borrow_mut();
+                inner.flushing = false;
+                inner.tail.clone()
+            };
+            // Our own bytes just moved the interface counters; tell the
+            // detector so it does not fire on them next wake-up.
+            if let Some(tail) = tail {
+                tail.resync();
+            }
+            // Messages stay in the store until acked end-to-end. Anything
+            // enqueued while this flush was in flight gets its own policy
+            // evaluation now.
+            me.maybe_flush();
+        });
+        if result.is_err() {
+            self.inner.borrow_mut().flushing = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Msg;
+    use pogo_platform::PhoneConfig;
+    use pogo_sim::Sim;
+
+    fn setup(policy: FlushPolicy) -> (Sim, Switchboard, Phone, DeviceNode, Jid) {
+        let sim = Sim::new();
+        let server = Switchboard::new(&sim);
+        let phone = Phone::new(&sim, PhoneConfig::default());
+        let dev_jid = Jid::new("device@pogo").unwrap();
+        let col_jid = Jid::new("collector@pogo").unwrap();
+        server.register(&dev_jid);
+        server.register(&col_jid);
+        server.befriend(&dev_jid, &col_jid).unwrap();
+        let mut cfg = DeviceConfig::new(dev_jid);
+        cfg.flush_policy = policy;
+        let node = DeviceNode::new(&phone, &server, cfg, SensorSources::default());
+        (sim, server, phone, node, col_jid)
+    }
+
+    fn data_msg(n: f64) -> ControlMsg {
+        ControlMsg::Data {
+            exp: "e".into(),
+            channel: "ch".into(),
+            msg: Msg::Num(n),
+            sub_ref: None,
+        }
+    }
+
+    #[test]
+    fn boot_connects_when_online() {
+        let (sim, server, _phone, node, _col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        assert!(server.is_online(&node.jid()));
+        let _ = sim;
+    }
+
+    #[test]
+    fn immediate_policy_sends_right_away() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let got = Rc::new(RefCell::new(0));
+        let g = got.clone();
+        cs.on_receive(move |e| {
+            if matches!(e.payload, Payload::Data(_)) {
+                *g.borrow_mut() += 1;
+            }
+        });
+        node.enqueue(&col, &data_msg(1.0));
+        sim.run_for(SimDuration::from_mins(2));
+        assert_eq!(*got.borrow(), 1);
+        assert_eq!(node.flushes(), 1);
+    }
+
+    #[test]
+    fn tail_sync_waits_for_foreign_traffic() {
+        let (sim, server, phone, node, col) = setup(FlushPolicy::pogo_default());
+        node.boot();
+        let _cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        node.enqueue(&col, &data_msg(1.0));
+        sim.run_for(SimDuration::from_mins(5));
+        assert_eq!(node.flushes(), 0, "no foreign traffic yet");
+        assert_eq!(node.buffered(), 1);
+        // An e-mail check opens a tail...
+        pogo_platform::PeriodicNetApp::install(
+            &phone,
+            pogo_platform::NetAppConfig {
+                start_offset: SimDuration::from_mins(1),
+                ..pogo_platform::NetAppConfig::email()
+            },
+        );
+        sim.run_for(SimDuration::from_mins(2));
+        assert_eq!(node.flushes(), 1, "flushed inside the tail");
+        // Exactly one cold ramp-up: the e-mail's own.
+        assert_eq!(phone.modem().ramp_ups(), 1);
+    }
+
+    #[test]
+    fn tail_sync_deadline_forces_flush() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::TailSync {
+            max_delay: SimDuration::from_mins(30),
+        });
+        node.boot();
+        let _cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        node.enqueue(&col, &data_msg(1.0));
+        sim.run_for(SimDuration::from_mins(29));
+        assert_eq!(node.flushes(), 0);
+        sim.run_for(SimDuration::from_mins(2));
+        assert_eq!(node.flushes(), 1, "max_delay cap fired");
+    }
+
+    #[test]
+    fn acked_messages_leave_the_store_unacked_retransmit() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        // A collector that acks everything it receives.
+        let server2 = server.clone();
+        let col2 = col.clone();
+        let cs2 = cs.clone();
+        cs.on_receive(move |e| {
+            if matches!(e.payload, Payload::Data(_)) {
+                let _ = cs2.send(&e.from, 0, Payload::Ack(vec![e.seq]));
+            }
+            let _ = (&server2, &col2);
+        });
+        node.enqueue(&col, &data_msg(1.0));
+        sim.run_for(SimDuration::from_mins(1));
+        assert_eq!(node.buffered(), 0, "acked and removed");
+    }
+
+    #[test]
+    fn messages_survive_offline_and_flush_on_reconnect() {
+        let (sim, server, phone, node, col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let got = Rc::new(RefCell::new(0));
+        let g = got.clone();
+        cs.on_receive(move |e| {
+            if matches!(e.payload, Payload::Data(_)) {
+                *g.borrow_mut() += 1;
+            }
+        });
+        // Go offline, enqueue, stay offline a while.
+        phone.connectivity().set_active(None);
+        sim.run_for(SimDuration::from_secs(10));
+        node.enqueue(&col, &data_msg(1.0));
+        sim.run_for(SimDuration::from_hours(2));
+        assert_eq!(*got.borrow(), 0);
+        assert_eq!(node.buffered(), 1);
+        // Back online: reconnect then deliver.
+        phone.connectivity().set_active(Some(Bearer::Cellular));
+        sim.run_for(SimDuration::from_mins(1));
+        assert_eq!(*got.borrow(), 1);
+    }
+
+    #[test]
+    fn expiry_purges_old_messages_like_user_2a() {
+        let (sim, _server, phone, node, col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        phone.connectivity().set_active(None); // roaming, data off
+        node.enqueue(&col, &data_msg(1.0));
+        sim.run_for(SimDuration::from_hours(30));
+        node.enqueue(&col, &data_msg(2.0)); // triggers a purge check
+        assert_eq!(node.purged(), 1);
+        assert_eq!(node.buffered(), 1, "only the fresh message remains");
+    }
+
+    #[test]
+    fn deploy_creates_context_and_runs_scripts() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let deploy = ControlMsg::Deploy {
+            exp: "hello".into(),
+            version: 1,
+            scripts: vec![ScriptSpec {
+                name: "hi.js".into(),
+                source: "print('hello from device');".into(),
+            }],
+        };
+        cs.send(&node.jid(), 1, Payload::Data(deploy.to_json()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        let ctx = node.context("hello").expect("context created");
+        assert_eq!(ctx.scripts()[0].prints(), vec!["hello from device"]);
+    }
+
+    #[test]
+    fn duplicate_deploy_is_ignored_by_dedup() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let deploy = ControlMsg::Deploy {
+            exp: "once".into(),
+            version: 1,
+            scripts: vec![ScriptSpec {
+                name: "s.js".into(),
+                source: "print('ran');".into(),
+            }],
+        };
+        cs.send(&node.jid(), 9, Payload::Data(deploy.to_json()))
+            .unwrap();
+        cs.send(&node.jid(), 9, Payload::Data(deploy.to_json()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        let ctx = node.context("once").unwrap();
+        assert_eq!(ctx.scripts().len(), 1, "retransmission deduplicated");
+    }
+
+    #[test]
+    fn device_acks_incoming_data() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::Immediate);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let acked: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let a = acked.clone();
+        cs.on_receive(move |e| {
+            if let Payload::Ack(seqs) = &e.payload {
+                a.borrow_mut().extend(seqs);
+            }
+        });
+        let deploy = ControlMsg::Deploy {
+            exp: "e".into(),
+            version: 1,
+            scripts: vec![],
+        };
+        cs.send(&node.jid(), 33, Payload::Data(deploy.to_json()))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(1));
+        assert_eq!(*acked.borrow(), vec![33]);
+    }
+
+    #[test]
+    fn reboot_restarts_scripts_and_preserves_store() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::OnCharge);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let deploy = ControlMsg::Deploy {
+            exp: "e".into(),
+            version: 1,
+            scripts: vec![ScriptSpec {
+                name: "s.js".into(),
+                source: "print('booted');".into(),
+            }],
+        };
+        cs.send(&node.jid(), 1, Payload::Data(deploy.to_json()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        node.enqueue(&col, &data_msg(1.0)); // OnCharge: stays buffered
+        node.reboot();
+        assert!(!node.is_booted());
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(node.is_booted());
+        assert_eq!(node.reboots(), 1);
+        assert_eq!(node.buffered(), 1, "store survived");
+        let ctx = node
+            .context("e")
+            .expect("experiment reinstalled from flash");
+        assert_eq!(
+            ctx.scripts()[0].prints(),
+            vec!["booted"],
+            "script restarted"
+        );
+    }
+
+    #[test]
+    fn frozen_state_survives_reboot() {
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::OnCharge);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let deploy = ControlMsg::Deploy {
+            exp: "e".into(),
+            version: 1,
+            scripts: vec![ScriptSpec {
+                name: "s.js".into(),
+                source: "var st = thaw(); if (st == null) { freeze({ n: 7 }); print('init'); } else { print('thawed ' + st.n); }".into(),
+            }],
+        };
+        cs.send(&node.jid(), 1, Payload::Data(deploy.to_json()))
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            node.context("e").unwrap().scripts()[0].prints(),
+            vec!["init"]
+        );
+        node.reboot();
+        sim.run_for(SimDuration::from_mins(1));
+        assert_eq!(
+            node.context("e").unwrap().scripts()[0].prints(),
+            vec!["thawed 7"]
+        );
+    }
+
+    #[test]
+    fn privacy_veto_keeps_sensor_off_and_toggles_live() {
+        use crate::broker::SubscriptionId;
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::Immediate);
+        // The owner vetoes battery sharing before anything is deployed.
+        let policy = {
+            let inner = node.inner.borrow();
+            inner.cfg.privacy.clone()
+        };
+        policy.set_allowed("battery", false);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let deploy = ControlMsg::Deploy {
+            exp: "e".into(),
+            version: 1,
+            scripts: vec![],
+        };
+        let sub = ControlMsg::Subscribe {
+            exp: "e".into(),
+            channel: "battery".into(),
+            params: Msg::obj([("interval", Msg::Num(60_000.0))]),
+            sub_ref: SubscriptionId(7).0,
+        };
+        cs.send(&node.jid(), 1, Payload::Data(sub.to_json()))
+            .unwrap();
+        cs.send(&node.jid(), 2, Payload::Data(deploy.to_json()))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(10));
+        assert!(
+            !node.sensors().is_sampling("battery"),
+            "vetoed channel keeps the sensor off"
+        );
+        assert_eq!(node.messages_sent(), 0, "no battery data leaves the phone");
+        assert_eq!(policy.denied_deliveries(), 1);
+
+        // The owner changes their mind in the settings UI.
+        policy.set_allowed("battery", true);
+        sim.run_for(SimDuration::from_mins(5));
+        assert!(node.sensors().is_sampling("battery"), "re-enabled live");
+        assert!(node.messages_sent() > 0, "data flows after consent");
+
+        // And vetoes again: sampling stops immediately.
+        policy.set_allowed("battery", false);
+        let sent = node.messages_sent();
+        sim.run_for(SimDuration::from_mins(10));
+        assert!(!node.sensors().is_sampling("battery"));
+        assert_eq!(node.messages_sent(), sent, "veto stops the flow");
+    }
+
+    #[test]
+    fn privacy_veto_survives_reboot() {
+        use crate::broker::SubscriptionId;
+        let (sim, server, _phone, node, col) = setup(FlushPolicy::Immediate);
+        let policy = node.inner.borrow().cfg.privacy.clone();
+        policy.set_allowed("wifi-scan", false);
+        node.boot();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let sub = ControlMsg::Subscribe {
+            exp: "e".into(),
+            channel: "wifi-scan".into(),
+            params: Msg::Null,
+            sub_ref: SubscriptionId(1).0,
+        };
+        cs.send(&node.jid(), 1, Payload::Data(sub.to_json()))
+            .unwrap();
+        sim.run_for(SimDuration::from_mins(2));
+        node.reboot();
+        sim.run_for(SimDuration::from_mins(2));
+        assert!(
+            !node.sensors().is_sampling("wifi-scan"),
+            "the veto is not forgotten across restarts"
+        );
+    }
+
+    #[test]
+    fn on_charge_policy_flushes_when_plugged_in() {
+        let (sim, server, phone, node, col) = setup(FlushPolicy::OnCharge);
+        node.boot();
+        let _cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        node.enqueue(&col, &data_msg(1.0));
+        sim.run_for(SimDuration::from_hours(1));
+        assert_eq!(node.flushes(), 0);
+        phone.battery().set_charging(true);
+        node.maybe_flush(); // charger-plug event
+        sim.run_for(SimDuration::from_mins(1));
+        assert_eq!(node.flushes(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # pogo-core — the Pogo middleware
+//!
+//! The paper's primary contribution (§3–§4): a scriptable
+//! publish/subscribe middleware that turns a pool of phones into a shared
+//! mobile-sensing testbed. This crate implements the middleware itself;
+//! it runs on the simulated platform of `pogo-platform`, talks over the
+//! switchboard of `pogo-net`, and executes experiment scripts with
+//! `pogo-script`.
+//!
+//! ## Architecture (Figure 2 of the paper)
+//!
+//! * [`value::Msg`] — messages are "a tree of key/value pairs, which map
+//!   directly onto JavaScript objects", serialized to JSON on the wire;
+//! * [`broker::Broker`] — topic-based publish/subscribe with
+//!   parameterized subscriptions and subscription-change notifications
+//!   (so sensors can power down when nobody listens, §4.3);
+//! * [`sensor`] — the sensor manager and the wifi-scan / battery /
+//!   location sensors;
+//! * [`scheduler::Scheduler`] — power-aware task execution on top of
+//!   alarms and wake locks (§4.5);
+//! * [`host::ScriptHost`] — the 11-method JavaScript API of Table 1,
+//!   including `freeze`/`thaw` persistence and the 100 ms callback
+//!   watchdog;
+//! * [`context`] — per-experiment sandboxes whose brokers sync with a
+//!   remote counterpart across the network (§4.2);
+//! * [`tail::TailDetector`] — §4.7's frozen-`Thread.sleep` traffic
+//!   detector driving transmission synchronization;
+//! * [`device::DeviceNode`] / [`collector::CollectorNode`] — the two node
+//!   roles, and [`testbed::Testbed`] wiring a whole deployment together.
+
+pub mod accounting;
+pub mod assignment;
+pub mod broker;
+pub mod collector;
+pub mod context;
+pub mod device;
+pub mod host;
+pub mod privacy;
+pub mod proto;
+pub mod scheduler;
+pub mod sensor;
+pub mod tail;
+pub mod testbed;
+pub mod value;
+
+pub use assignment::{Admin, DeviceProfile, DeviceRequest};
+pub use broker::{Broker, SubscriptionId};
+pub use collector::CollectorNode;
+pub use device::{DeviceConfig, DeviceNode};
+pub use host::{ScriptHost, WATCHDOG_BUDGET};
+pub use privacy::PrivacyPolicy;
+pub use proto::ExperimentSpec;
+pub use scheduler::Scheduler;
+pub use tail::TailDetector;
+pub use testbed::Testbed;
+pub use value::Msg;

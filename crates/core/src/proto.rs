@@ -1,0 +1,335 @@
+//! The device↔collector application protocol.
+//!
+//! Everything the two node roles exchange — script deployment,
+//! subscription synchronization between broker counterparts (§4.2), and
+//! experiment data — is a [`ControlMsg`] serialized as JSON into a
+//! [`pogo_net::Payload::Data`] envelope. End-to-end acks ride the
+//! envelope layer ([`pogo_net::Payload::Ack`]), not this one.
+
+use std::fmt;
+
+use crate::value::Msg;
+
+/// One script of an experiment, as pushed to devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptSpec {
+    /// File-style name, e.g. `scan.js`.
+    pub name: String,
+    /// PogoScript source text.
+    pub source: String,
+}
+
+/// An experiment: id plus the scripts that run on each member device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentSpec {
+    /// Unique experiment id (context name).
+    pub id: String,
+    /// Device-side scripts.
+    pub scripts: Vec<ScriptSpec>,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// Install (or update to) `version` of the experiment's scripts.
+    Deploy {
+        exp: String,
+        version: u64,
+        scripts: Vec<ScriptSpec>,
+    },
+    /// Remove the experiment and its context entirely.
+    Undeploy { exp: String },
+    /// The collector-side context subscribed to `channel`; mirror the
+    /// subscription on the device broker. `sub_ref` names it in later
+    /// SetActive/Unsubscribe calls and in targeted Data replies.
+    Subscribe {
+        exp: String,
+        channel: String,
+        params: Msg,
+        sub_ref: u64,
+    },
+    /// Remove a mirrored subscription.
+    Unsubscribe { exp: String, sub_ref: u64 },
+    /// Release/renew a mirrored subscription.
+    SetActive {
+        exp: String,
+        sub_ref: u64,
+        active: bool,
+    },
+    /// Experiment data on `channel`. `sub_ref` is set when the message
+    /// targets one mirrored subscription (sensor honouring parameters),
+    /// `None` for ordinary channel publishes.
+    Data {
+        exp: String,
+        channel: String,
+        msg: Msg,
+        sub_ref: Option<u64>,
+    },
+}
+
+/// Error decoding a [`ControlMsg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed protocol message: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn need_str(msg: &Msg, key: &str) -> Result<String, ProtoError> {
+    msg.get(key)
+        .and_then(Msg::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ProtoError(format!("missing string field `{key}`")))
+}
+
+fn need_num(msg: &Msg, key: &str) -> Result<f64, ProtoError> {
+    msg.get(key)
+        .and_then(Msg::as_num)
+        .ok_or_else(|| ProtoError(format!("missing numeric field `{key}`")))
+}
+
+impl ControlMsg {
+    /// Encodes to the wire message tree.
+    pub fn to_msg(&self) -> Msg {
+        match self {
+            ControlMsg::Deploy {
+                exp,
+                version,
+                scripts,
+            } => Msg::obj([
+                ("t", Msg::str("deploy")),
+                ("exp", Msg::str(exp)),
+                ("version", Msg::Num(*version as f64)),
+                (
+                    "scripts",
+                    Msg::Arr(
+                        scripts
+                            .iter()
+                            .map(|s| {
+                                Msg::obj([
+                                    ("name", Msg::str(&s.name)),
+                                    ("src", Msg::str(&s.source)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            ControlMsg::Undeploy { exp } => {
+                Msg::obj([("t", Msg::str("undeploy")), ("exp", Msg::str(exp))])
+            }
+            ControlMsg::Subscribe {
+                exp,
+                channel,
+                params,
+                sub_ref,
+            } => Msg::obj([
+                ("t", Msg::str("sub")),
+                ("exp", Msg::str(exp)),
+                ("ch", Msg::str(channel)),
+                ("params", params.clone()),
+                ("ref", Msg::Num(*sub_ref as f64)),
+            ]),
+            ControlMsg::Unsubscribe { exp, sub_ref } => Msg::obj([
+                ("t", Msg::str("unsub")),
+                ("exp", Msg::str(exp)),
+                ("ref", Msg::Num(*sub_ref as f64)),
+            ]),
+            ControlMsg::SetActive {
+                exp,
+                sub_ref,
+                active,
+            } => Msg::obj([
+                ("t", Msg::str("setactive")),
+                ("exp", Msg::str(exp)),
+                ("ref", Msg::Num(*sub_ref as f64)),
+                ("active", Msg::Bool(*active)),
+            ]),
+            ControlMsg::Data {
+                exp,
+                channel,
+                msg,
+                sub_ref,
+            } => {
+                let mut pairs = vec![
+                    ("t".to_owned(), Msg::str("data")),
+                    ("exp".to_owned(), Msg::str(exp)),
+                    ("ch".to_owned(), Msg::str(channel)),
+                    ("msg".to_owned(), msg.clone()),
+                ];
+                if let Some(r) = sub_ref {
+                    pairs.push(("ref".to_owned(), Msg::Num(*r as f64)));
+                }
+                Msg::Obj(pairs)
+            }
+        }
+    }
+
+    /// Encodes straight to JSON.
+    pub fn to_json(&self) -> String {
+        self.to_msg().to_json()
+    }
+
+    /// Decodes from a wire message tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on unknown tags or missing fields.
+    pub fn from_msg(msg: &Msg) -> Result<ControlMsg, ProtoError> {
+        let tag = need_str(msg, "t")?;
+        let exp = need_str(msg, "exp")?;
+        match tag.as_str() {
+            "deploy" => {
+                let version = need_num(msg, "version")? as u64;
+                let scripts = msg
+                    .get("scripts")
+                    .and_then(Msg::as_arr)
+                    .ok_or_else(|| ProtoError("missing scripts".into()))?
+                    .iter()
+                    .map(|s| {
+                        Ok(ScriptSpec {
+                            name: need_str(s, "name")?,
+                            source: need_str(s, "src")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                Ok(ControlMsg::Deploy {
+                    exp,
+                    version,
+                    scripts,
+                })
+            }
+            "undeploy" => Ok(ControlMsg::Undeploy { exp }),
+            "sub" => Ok(ControlMsg::Subscribe {
+                exp,
+                channel: need_str(msg, "ch")?,
+                params: msg.get("params").cloned().unwrap_or(Msg::Null),
+                sub_ref: need_num(msg, "ref")? as u64,
+            }),
+            "unsub" => Ok(ControlMsg::Unsubscribe {
+                exp,
+                sub_ref: need_num(msg, "ref")? as u64,
+            }),
+            "setactive" => Ok(ControlMsg::SetActive {
+                exp,
+                sub_ref: need_num(msg, "ref")? as u64,
+                active: msg
+                    .get("active")
+                    .and_then(|m| match m {
+                        Msg::Bool(b) => Some(*b),
+                        _ => None,
+                    })
+                    .ok_or_else(|| ProtoError("missing active flag".into()))?,
+            }),
+            "data" => Ok(ControlMsg::Data {
+                exp,
+                channel: need_str(msg, "ch")?,
+                msg: msg.get("msg").cloned().unwrap_or(Msg::Null),
+                sub_ref: msg.get("ref").and_then(Msg::as_num).map(|n| n as u64),
+            }),
+            other => Err(ProtoError(format!("unknown tag {other:?}"))),
+        }
+    }
+
+    /// Decodes from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on malformed JSON or protocol shape.
+    pub fn from_json(text: &str) -> Result<ControlMsg, ProtoError> {
+        let msg = Msg::from_json(text).map_err(|e| ProtoError(e.to_string()))?;
+        Self::from_msg(&msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: ControlMsg) {
+        let json = m.to_json();
+        let back = ControlMsg::from_json(&json).unwrap();
+        assert_eq!(back, m, "roundtrip failed for {json}");
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(ControlMsg::Deploy {
+            exp: "localization".into(),
+            version: 2,
+            scripts: vec![
+                ScriptSpec {
+                    name: "scan.js".into(),
+                    source: "subscribe('wifi-scan', function (m) {});".into(),
+                },
+                ScriptSpec {
+                    name: "clustering.js".into(),
+                    source: "// big".into(),
+                },
+            ],
+        });
+        roundtrip(ControlMsg::Undeploy {
+            exp: "localization".into(),
+        });
+        roundtrip(ControlMsg::Subscribe {
+            exp: "e".into(),
+            channel: "battery".into(),
+            params: Msg::obj([("interval", Msg::Num(60_000.0))]),
+            sub_ref: 5,
+        });
+        roundtrip(ControlMsg::Unsubscribe {
+            exp: "e".into(),
+            sub_ref: 5,
+        });
+        roundtrip(ControlMsg::SetActive {
+            exp: "e".into(),
+            sub_ref: 5,
+            active: false,
+        });
+        roundtrip(ControlMsg::Data {
+            exp: "e".into(),
+            channel: "locations".into(),
+            msg: Msg::obj([("lat", Msg::Num(52.0))]),
+            sub_ref: None,
+        });
+        roundtrip(ControlMsg::Data {
+            exp: "e".into(),
+            channel: "locations".into(),
+            msg: Msg::Null,
+            sub_ref: Some(9),
+        });
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        assert!(ControlMsg::from_json("not json").is_err());
+        assert!(ControlMsg::from_json(r#"{"t":"data"}"#).is_err(), "no exp");
+        assert!(
+            ControlMsg::from_json(r#"{"t":"warp","exp":"e"}"#).is_err(),
+            "unknown tag"
+        );
+        assert!(
+            ControlMsg::from_json(r#"{"t":"sub","exp":"e","ch":"c"}"#).is_err(),
+            "missing ref"
+        );
+    }
+
+    #[test]
+    fn script_source_survives_json_escaping() {
+        let source = "var s = 'quote \\' and\nnewline';\nif (a > 1) { b(\"x\"); }";
+        let m = ControlMsg::Deploy {
+            exp: "e".into(),
+            version: 1,
+            scripts: vec![ScriptSpec {
+                name: "s.js".into(),
+                source: source.into(),
+            }],
+        };
+        let back = ControlMsg::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,715 @@
+//! Sensors and the sensor manager (§4.2, §4.3).
+//!
+//! "Sensors live inside a *sensor manager*. They are able to publish data
+//! to, or query subscriptions from, all contexts." Each sensor duty-
+//! cycles itself from the subscription set: no active subscriber on its
+//! channel anywhere ⇒ it stops sampling entirely ("If not, the sensor can
+//! be turned off to save energy"), and the sampling interval is the
+//! minimum `interval` parameter any subscriber requested.
+//!
+//! Three sensors are built in, covering everything the paper's
+//! experiments use: `wifi-scan` (drives the real Wi-Fi radio model and
+//! holds a wake lock for the scan duration, §4.5), `battery`
+//! (voltage/level/charging, the Table 3 workload), and `location`
+//! (honouring the `provider` parameter filter of §4.3).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pogo_platform::{AlarmId, Phone};
+use pogo_sim::SimDuration;
+
+use crate::broker::Broker;
+use crate::scheduler::Scheduler;
+use crate::value::Msg;
+
+/// A Wi-Fi scan reading handed to the sensor by the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WifiReading {
+    /// BSSID in `xx:xx:xx:xx:xx:xx` form.
+    pub bssid: String,
+    /// RSSI in dBm (raw; scripts normalize).
+    pub rssi_dbm: f64,
+}
+
+/// A location fix handed to the sensor by the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationFix {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Fix source, e.g. `GPS` or `NETWORK`.
+    pub provider: String,
+}
+
+/// One accelerometer sample in m/s² (gravity included, like Android's
+/// `TYPE_ACCELEROMETER`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelSample {
+    /// X axis.
+    pub x: f64,
+    /// Y axis.
+    pub y: f64,
+    /// Z axis.
+    pub z: f64,
+}
+
+impl AccelSample {
+    /// Vector magnitude (≈ 9.81 at rest).
+    pub fn magnitude(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+}
+
+/// A sampling callback: simulated milliseconds in, a reading out
+/// (`None` = nothing to report right now).
+pub type Source<T> = Box<dyn FnMut(u64) -> Option<T>>;
+
+/// Environment callbacks the sensors sample from. The mobility crate (or
+/// a test) supplies these; `None` fields disable the sensor.
+#[derive(Default)]
+pub struct SensorSources {
+    /// Returns the current scan contents, or `None` if scanning is
+    /// impossible right now (phone off is modelled by the device being
+    /// rebooted, so `None` here means an empty ether).
+    pub wifi_scan: Option<Source<Vec<WifiReading>>>,
+    /// Returns the current location fix.
+    pub location: Option<Source<LocationFix>>,
+    /// Returns the current accelerometer reading.
+    pub accelerometer: Option<Source<AccelSample>>,
+    /// Returns the serving cell tower id.
+    pub cell_id: Option<Source<u64>>,
+}
+
+impl std::fmt::Debug for SensorSources {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SensorSources")
+            .field("wifi_scan", &self.wifi_scan.is_some())
+            .field("location", &self.location.is_some())
+            .field("accelerometer", &self.accelerometer.is_some())
+            .field("cell_id", &self.cell_id.is_some())
+            .finish()
+    }
+}
+
+/// Sensor channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    WifiScan,
+    Battery,
+    Location,
+    Accelerometer,
+    CellId,
+}
+
+impl Kind {
+    fn channel(self) -> &'static str {
+        match self {
+            Kind::WifiScan => "wifi-scan",
+            Kind::Battery => "battery",
+            Kind::Location => "location",
+            Kind::Accelerometer => "accelerometer",
+            Kind::CellId => "cell-id",
+        }
+    }
+
+    fn default_interval(self) -> SimDuration {
+        match self {
+            // Motion sampling is only useful at higher rates.
+            Kind::Accelerometer => SimDuration::from_secs(5),
+            _ => SimDuration::from_mins(1),
+        }
+    }
+
+    const ALL: [Kind; 5] = [
+        Kind::WifiScan,
+        Kind::Battery,
+        Kind::Location,
+        Kind::Accelerometer,
+        Kind::CellId,
+    ];
+}
+
+struct SensorState {
+    running: bool,
+    interval: SimDuration,
+    alarm: Option<AlarmId>,
+    samples: u64,
+}
+
+struct Inner {
+    phone: Phone,
+    scheduler: Scheduler,
+    sources: SensorSources,
+    brokers: Vec<(String, Broker)>,
+    wifi: SensorState,
+    battery: SensorState,
+    location: SensorState,
+    accelerometer: SensorState,
+    cell_id: SensorState,
+    epoch: u64,
+}
+
+impl Inner {
+    fn state_mut(&mut self, kind: Kind) -> &mut SensorState {
+        match kind {
+            Kind::WifiScan => &mut self.wifi,
+            Kind::Battery => &mut self.battery,
+            Kind::Location => &mut self.location,
+            Kind::Accelerometer => &mut self.accelerometer,
+            Kind::CellId => &mut self.cell_id,
+        }
+    }
+
+    fn state(&self, kind: Kind) -> &SensorState {
+        match kind {
+            Kind::WifiScan => &self.wifi,
+            Kind::Battery => &self.battery,
+            Kind::Location => &self.location,
+            Kind::Accelerometer => &self.accelerometer,
+            Kind::CellId => &self.cell_id,
+        }
+    }
+
+    /// Minimum requested interval over all active subscriptions on the
+    /// sensor's channel, or `None` if nobody listens.
+    fn demanded_interval(&self, kind: Kind) -> Option<SimDuration> {
+        let mut best: Option<SimDuration> = None;
+        for (_, broker) in &self.brokers {
+            for sub in broker.subscriptions_on(kind.channel()) {
+                if !sub.active {
+                    continue;
+                }
+                let interval = sub
+                    .params
+                    .get("interval")
+                    .and_then(Msg::as_num)
+                    .map(|ms| SimDuration::from_millis(ms.max(1_000.0) as u64))
+                    .unwrap_or_else(|| kind.default_interval());
+                best = Some(match best {
+                    Some(b) => b.min(interval),
+                    None => interval,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// The sensor manager. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct SensorManager {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for SensorManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("SensorManager")
+            .field("contexts", &inner.brokers.len())
+            .field("wifi_running", &inner.wifi.running)
+            .field("battery_running", &inner.battery.running)
+            .field("location_running", &inner.location.running)
+            .finish()
+    }
+}
+
+fn new_state() -> SensorState {
+    SensorState {
+        running: false,
+        interval: SimDuration::from_mins(1),
+        alarm: None,
+        samples: 0,
+    }
+}
+
+impl SensorManager {
+    /// Creates a manager for `phone`, sampling from `sources`.
+    pub fn new(phone: &Phone, scheduler: &Scheduler, sources: SensorSources) -> Self {
+        SensorManager {
+            inner: Rc::new(RefCell::new(Inner {
+                phone: phone.clone(),
+                scheduler: scheduler.clone(),
+                sources,
+                brokers: Vec::new(),
+                wifi: new_state(),
+                battery: new_state(),
+                location: new_state(),
+                accelerometer: new_state(),
+                cell_id: new_state(),
+                epoch: 0,
+            })),
+        }
+    }
+
+    /// Attaches a context's broker; sensors start watching its
+    /// subscriptions.
+    pub fn attach_context(&self, exp: &str, broker: &Broker) {
+        self.inner
+            .borrow_mut()
+            .brokers
+            .push((exp.to_owned(), broker.clone()));
+        // Re-evaluate on any subscription change in this context.
+        for kind in Kind::ALL {
+            let me = self.clone();
+            broker.on_subscriptions_changed(kind.channel(), move |_, _| {
+                me.reconfigure(kind);
+            });
+        }
+        for kind in Kind::ALL {
+            self.reconfigure(kind);
+        }
+    }
+
+    /// Detaches a context (experiment undeployed / device rebooting).
+    pub fn detach_context(&self, exp: &str) {
+        self.inner.borrow_mut().brokers.retain(|(e, _)| e != exp);
+        for kind in Kind::ALL {
+            self.reconfigure(kind);
+        }
+    }
+
+    /// Stops everything (reboot). Bumps the epoch so in-flight ticks die.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.brokers.clear();
+        inner.epoch += 1;
+        for kind in Kind::ALL {
+            let scheduler = inner.scheduler.clone();
+            let st = inner.state_mut(kind);
+            st.running = false;
+            if let Some(alarm) = st.alarm.take() {
+                scheduler.cancel(alarm);
+            }
+        }
+    }
+
+    /// True while the given sensor channel is actively sampling — test
+    /// hook for the "sensors off when nobody subscribes" invariant.
+    pub fn is_sampling(&self, channel: &str) -> bool {
+        let inner = self.inner.borrow();
+        Kind::ALL
+            .iter()
+            .find(|k| k.channel() == channel)
+            .is_some_and(|&k| inner.state(k).running)
+    }
+
+    /// Samples taken on a channel so far.
+    pub fn sample_count(&self, channel: &str) -> u64 {
+        let inner = self.inner.borrow();
+        Kind::ALL
+            .iter()
+            .find(|k| k.channel() == channel)
+            .map(|&k| inner.state(k).samples)
+            .unwrap_or(0)
+    }
+
+    fn reconfigure(&self, kind: Kind) {
+        let start = {
+            let mut inner = self.inner.borrow_mut();
+            let demanded = inner.demanded_interval(kind);
+            // The sensor only exists if its source does (battery always).
+            let available = match kind {
+                Kind::WifiScan => inner.sources.wifi_scan.is_some(),
+                Kind::Location => inner.sources.location.is_some(),
+                Kind::Accelerometer => inner.sources.accelerometer.is_some(),
+                Kind::CellId => inner.sources.cell_id.is_some(),
+                Kind::Battery => true,
+            };
+            match demanded {
+                Some(interval) if available => {
+                    let st_running = inner.state(kind).running;
+                    let st = inner.state_mut(kind);
+                    st.interval = interval;
+                    if st_running {
+                        false // running loop picks the new interval up next tick
+                    } else {
+                        st.running = true;
+                        true
+                    }
+                }
+                _ => {
+                    let scheduler = inner.scheduler.clone();
+                    let st = inner.state_mut(kind);
+                    st.running = false;
+                    if let Some(alarm) = st.alarm.take() {
+                        scheduler.cancel(alarm);
+                    }
+                    false
+                }
+            }
+        };
+        if start {
+            // First sample after one interval (subscribing at t gets data
+            // at t+interval, like a real periodic sensor).
+            self.schedule_tick(kind);
+        }
+    }
+
+    fn schedule_tick(&self, kind: Kind) {
+        let (scheduler, interval, epoch) = {
+            let inner = self.inner.borrow();
+            let st = inner.state(kind);
+            (inner.scheduler.clone(), st.interval, inner.epoch)
+        };
+        let me = self.clone();
+        let alarm = scheduler.run_later(interval, move || me.tick(kind, epoch));
+        self.inner.borrow_mut().state_mut(kind).alarm = Some(alarm);
+    }
+
+    fn tick(&self, kind: Kind, epoch: u64) {
+        {
+            let inner = self.inner.borrow();
+            if inner.epoch != epoch || !inner.state(kind).running {
+                return;
+            }
+        }
+        match kind {
+            Kind::Battery => self.sample_battery(),
+            Kind::Location => self.sample_location(),
+            Kind::Accelerometer => self.sample_accelerometer(),
+            Kind::CellId => self.sample_cell_id(),
+            Kind::WifiScan => {
+                self.sample_wifi(epoch);
+                return; // wifi re-schedules from its completion callback
+            }
+        }
+        self.schedule_tick(kind);
+    }
+
+    fn deliver(&self, kind: Kind, build: impl Fn(&Msg) -> Option<Msg>, msg: &Msg) {
+        // Deliver per subscription so parameter filters apply.
+        let brokers: Vec<Broker> = self
+            .inner
+            .borrow()
+            .brokers
+            .iter()
+            .map(|(_, b)| b.clone())
+            .collect();
+        for broker in brokers {
+            for sub in broker.subscriptions_on(kind.channel()) {
+                if !sub.active {
+                    continue;
+                }
+                if let Some(filtered) = build(&sub.params) {
+                    broker.publish_to(sub.id, &filtered);
+                } else {
+                    let _ = msg; // filtered out for this subscription
+                }
+            }
+        }
+    }
+
+    fn sample_battery(&self) {
+        let (battery, now_ms) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.battery.samples += 1;
+            (
+                inner.phone.battery().clone(),
+                inner.phone.sim().now().as_millis(),
+            )
+        };
+        let msg = Msg::obj([
+            ("voltage", Msg::Num(battery.voltage())),
+            ("level", Msg::Num(battery.level())),
+            ("charging", Msg::Bool(battery.is_charging())),
+            ("timestamp", Msg::Num(now_ms as f64)),
+        ]);
+        self.deliver(Kind::Battery, |_params| Some(msg.clone()), &msg);
+    }
+
+    fn sample_location(&self) {
+        let fix = {
+            let mut inner = self.inner.borrow_mut();
+            let now_ms = inner.phone.sim().now().as_millis();
+            inner.location.samples += 1;
+            match inner.sources.location.as_mut() {
+                Some(source) => source(now_ms),
+                None => None,
+            }
+        };
+        let Some(fix) = fix else { return };
+        let msg = Msg::obj([
+            ("lat", Msg::Num(fix.lat)),
+            ("lon", Msg::Num(fix.lon)),
+            ("provider", Msg::str(&fix.provider)),
+        ]);
+        let provider = fix.provider.clone();
+        self.deliver(
+            Kind::Location,
+            move |params| {
+                // §4.3: a subscription may restrict the provider.
+                match params.get("provider").and_then(Msg::as_str) {
+                    Some(wanted) if wanted != provider => None,
+                    _ => Some(msg.clone()),
+                }
+            },
+            &Msg::Null,
+        );
+    }
+
+    fn sample_accelerometer(&self) {
+        let sample = {
+            let mut inner = self.inner.borrow_mut();
+            let now_ms = inner.phone.sim().now().as_millis();
+            inner.accelerometer.samples += 1;
+            match inner.sources.accelerometer.as_mut() {
+                Some(source) => source(now_ms),
+                None => None,
+            }
+        };
+        let Some(sample) = sample else { return };
+        let msg = Msg::obj([
+            ("x", Msg::Num(sample.x)),
+            ("y", Msg::Num(sample.y)),
+            ("z", Msg::Num(sample.z)),
+            ("magnitude", Msg::Num(sample.magnitude())),
+        ]);
+        self.deliver(Kind::Accelerometer, |_params| Some(msg.clone()), &msg);
+    }
+
+    fn sample_cell_id(&self) {
+        let cell = {
+            let mut inner = self.inner.borrow_mut();
+            let now_ms = inner.phone.sim().now().as_millis();
+            inner.cell_id.samples += 1;
+            match inner.sources.cell_id.as_mut() {
+                Some(source) => source(now_ms),
+                None => None,
+            }
+        };
+        let Some(cell) = cell else { return };
+        let msg = Msg::obj([("cell", Msg::Num(cell as f64))]);
+        self.deliver(Kind::CellId, |_params| Some(msg.clone()), &msg);
+    }
+
+    fn sample_wifi(&self, epoch: u64) {
+        // §4.5: "If the CPU is not kept awake during the 1-2 seconds the
+        // process generally requires, the application will not be
+        // notified upon scan completion." Hold a wake lock across the
+        // hardware scan.
+        let (phone, lock) = {
+            let inner = self.inner.borrow();
+            let lock = inner.phone.cpu().acquire_wake_lock();
+            (inner.phone.clone(), lock)
+        };
+        let me = self.clone();
+        let lock = RefCell::new(Some(lock));
+        phone.wifi().scan(move || {
+            drop(lock.borrow_mut().take());
+            me.wifi_scan_complete(epoch);
+        });
+    }
+
+    fn wifi_scan_complete(&self, epoch: u64) {
+        let readings = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.epoch != epoch || !inner.wifi.running {
+                return;
+            }
+            inner.wifi.samples += 1;
+            let now_ms = inner.phone.sim().now().as_millis();
+            match inner.sources.wifi_scan.as_mut() {
+                Some(source) => source(now_ms),
+                None => None,
+            }
+        };
+        if let Some(readings) = readings {
+            let aps: Vec<Msg> = readings
+                .iter()
+                .map(|r| {
+                    Msg::obj([
+                        ("bssid", Msg::str(&r.bssid)),
+                        ("rssi", Msg::Num(r.rssi_dbm)),
+                    ])
+                })
+                .collect();
+            let now_ms = self.inner.borrow().phone.sim().now().as_millis();
+            let msg = Msg::obj([
+                ("timestamp", Msg::Num(now_ms as f64)),
+                ("aps", Msg::Arr(aps)),
+            ]);
+            self.deliver(Kind::WifiScan, |_params| Some(msg.clone()), &msg);
+        }
+        self.schedule_tick(Kind::WifiScan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo_platform::PhoneConfig;
+    use pogo_sim::Sim;
+
+    fn setup(sources: SensorSources) -> (Sim, Phone, Broker, SensorManager) {
+        let sim = Sim::new();
+        let phone = Phone::new(&sim, PhoneConfig::default());
+        let scheduler = Scheduler::new(phone.cpu());
+        let broker = Broker::new();
+        let manager = SensorManager::new(&phone, &scheduler, sources);
+        manager.attach_context("exp", &broker);
+        (sim, phone, broker, manager)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn counting_sink() -> (Rc<RefCell<Vec<Msg>>>, impl Fn(&str, &Msg, Option<&str>)) {
+        let log: Rc<RefCell<Vec<Msg>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        (log, move |_: &str, m: &Msg, _: Option<&str>| {
+            l.borrow_mut().push(m.clone())
+        })
+    }
+
+    #[test]
+    fn battery_sensor_samples_at_requested_interval() {
+        let (sim, _phone, broker, manager) = setup(SensorSources::default());
+        let (log, sink) = counting_sink();
+        broker.subscribe(
+            "battery",
+            Msg::obj([("interval", Msg::Num(60_000.0))]),
+            sink,
+        );
+        sim.run_for(SimDuration::from_mins(10));
+        assert_eq!(log.borrow().len(), 10);
+        let first = &log.borrow()[0];
+        assert!(first.get("voltage").and_then(Msg::as_num).unwrap() > 3.4);
+        assert_eq!(manager.sample_count("battery"), 10);
+    }
+
+    #[test]
+    fn sensor_off_without_subscribers_and_wakes_cpu_only_when_on() {
+        let (sim, phone, broker, manager) = setup(SensorSources::default());
+        assert!(!manager.is_sampling("battery"));
+        sim.run_for(SimDuration::from_hours(1));
+        assert_eq!(phone.cpu().wakeups(), 0, "no subscribers, no sampling");
+        let (_log, sink) = counting_sink();
+        let id = broker.subscribe("battery", Msg::Null, sink);
+        assert!(manager.is_sampling("battery"));
+        sim.run_for(SimDuration::from_mins(10));
+        assert!(phone.cpu().wakeups() >= 9, "alarm per sample");
+        broker.unsubscribe(id);
+        assert!(!manager.is_sampling("battery"));
+        let wakeups = phone.cpu().wakeups();
+        sim.run_for(SimDuration::from_hours(1));
+        assert_eq!(phone.cpu().wakeups(), wakeups, "sensor powered down");
+    }
+
+    #[test]
+    fn released_subscription_also_stops_sensor() {
+        let (sim, _phone, broker, manager) = setup(SensorSources::default());
+        let (log, sink) = counting_sink();
+        let id = broker.subscribe("battery", Msg::Null, sink);
+        sim.run_for(SimDuration::from_mins(3));
+        assert_eq!(log.borrow().len(), 3);
+        broker.set_active(id, false);
+        assert!(!manager.is_sampling("battery"));
+        sim.run_for(SimDuration::from_mins(5));
+        assert_eq!(log.borrow().len(), 3);
+        broker.set_active(id, true);
+        sim.run_for(SimDuration::from_mins(2));
+        assert_eq!(log.borrow().len(), 5);
+    }
+
+    #[test]
+    fn min_interval_across_subscriptions_wins() {
+        let (sim, _phone, broker, _manager) = setup(SensorSources::default());
+        let (fast_log, fast) = counting_sink();
+        let (slow_log, slow) = counting_sink();
+        broker.subscribe(
+            "battery",
+            Msg::obj([("interval", Msg::Num(30_000.0))]),
+            fast,
+        );
+        broker.subscribe(
+            "battery",
+            Msg::obj([("interval", Msg::Num(300_000.0))]),
+            slow,
+        );
+        sim.run_for(SimDuration::from_mins(5));
+        // Sampling runs at 30 s; both subscriptions receive every sample
+        // (serving the lower rate from the higher one, §3.5's motivating
+        // coordination example).
+        assert_eq!(fast_log.borrow().len(), 10);
+        assert_eq!(slow_log.borrow().len(), 10);
+    }
+
+    #[test]
+    fn wifi_sensor_drives_radio_and_holds_wake_lock() {
+        let sources = SensorSources {
+            wifi_scan: Some(Box::new(|_t| {
+                Some(vec![WifiReading {
+                    bssid: "00:11:22:33:44:55".into(),
+                    rssi_dbm: -60.0,
+                }])
+            })),
+            ..SensorSources::default()
+        };
+        let (sim, phone, broker, _manager) = setup(sources);
+        let (log, sink) = counting_sink();
+        broker.subscribe(
+            "wifi-scan",
+            Msg::obj([("interval", Msg::Num(60_000.0))]),
+            sink,
+        );
+        sim.run_for(SimDuration::from_mins(5));
+        // Each sample: 1 min wait + 1.5 s hardware scan.
+        let n = log.borrow().len();
+        assert!((4..=5).contains(&n), "scan count {n}");
+        assert_eq!(phone.wifi().scan_count() as usize, n);
+        let aps = log.borrow()[0].get("aps").unwrap().as_arr().unwrap().len();
+        assert_eq!(aps, 1);
+    }
+
+    #[test]
+    fn location_provider_filter() {
+        let sources = SensorSources {
+            location: Some(Box::new(|_t| {
+                Some(LocationFix {
+                    lat: 52.0,
+                    lon: 4.4,
+                    provider: "NETWORK".into(),
+                })
+            })),
+            ..SensorSources::default()
+        };
+        let (sim, _phone, broker, _manager) = setup(sources);
+        let (gps_log, gps_sink) = counting_sink();
+        let (any_log, any_sink) = counting_sink();
+        broker.subscribe(
+            "location",
+            Msg::obj([("provider", Msg::str("GPS"))]),
+            gps_sink,
+        );
+        broker.subscribe("location", Msg::Null, any_sink);
+        sim.run_for(SimDuration::from_mins(3));
+        assert_eq!(
+            gps_log.borrow().len(),
+            0,
+            "GPS-only filter blocks NETWORK fixes"
+        );
+        assert_eq!(any_log.borrow().len(), 3);
+    }
+
+    #[test]
+    fn shutdown_stops_everything() {
+        let (sim, phone, broker, manager) = setup(SensorSources::default());
+        let (log, sink) = counting_sink();
+        broker.subscribe("battery", Msg::Null, sink);
+        sim.run_for(SimDuration::from_mins(2));
+        assert_eq!(log.borrow().len(), 2);
+        manager.shutdown();
+        sim.run_for(SimDuration::from_mins(10));
+        assert_eq!(log.borrow().len(), 2);
+        assert!(!phone.cpu().is_awake());
+    }
+
+    #[test]
+    fn interval_param_floor_is_one_second() {
+        let (sim, _phone, broker, _manager) = setup(SensorSources::default());
+        let (log, sink) = counting_sink();
+        broker.subscribe("battery", Msg::obj([("interval", Msg::Num(1.0))]), sink);
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(log.borrow().len(), 10, "clamped to 1 Hz, not 1 kHz");
+    }
+}

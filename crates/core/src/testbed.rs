@@ -1,0 +1,158 @@
+//! Testbed assembly: server + collector + devices, with the
+//! administrator's roster management (§3.1) folded in.
+//!
+//! A convenience layer used by the examples, integration tests, and
+//! experiment harness; production users can wire
+//! [`crate::device::DeviceNode`] and [`crate::collector::CollectorNode`]
+//! directly.
+
+use pogo_net::{Jid, Switchboard};
+use pogo_platform::{Phone, PhoneConfig};
+use pogo_sim::Sim;
+
+use crate::collector::CollectorNode;
+use crate::device::{DeviceConfig, DeviceNode};
+use crate::sensor::SensorSources;
+
+/// A complete Pogo deployment on one simulation.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    sim: Sim,
+    server: Switchboard,
+    collector: CollectorNode,
+    devices: Vec<DeviceNode>,
+}
+
+impl Testbed {
+    /// Creates a testbed with a switchboard and one collector
+    /// (`collector@pogo`).
+    pub fn new(sim: &Sim) -> Self {
+        let server = Switchboard::new(sim);
+        let jid = Jid::new("collector@pogo").expect("static JID is valid");
+        server.register(&jid);
+        let collector = CollectorNode::new(sim, &server, &jid);
+        Testbed {
+            sim: sim.clone(),
+            server,
+            collector,
+            devices: Vec::new(),
+        }
+    }
+
+    /// The simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The switchboard server.
+    pub fn server(&self) -> &Switchboard {
+        &self.server
+    }
+
+    /// The collector node.
+    pub fn collector(&self) -> &CollectorNode {
+        &self.collector
+    }
+
+    /// The device nodes, in creation order.
+    pub fn devices(&self) -> &[DeviceNode] {
+        &self.devices
+    }
+
+    /// Adds a volunteer device named `node` (JID `node@pogo`): creates
+    /// the phone, registers the account, performs the administrator's
+    /// roster assignment to the collector, and boots the middleware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not form a valid JID.
+    pub fn add_device(
+        &mut self,
+        node: &str,
+        phone_config: PhoneConfig,
+        device_config: impl FnOnce(DeviceConfig) -> DeviceConfig,
+        sources: SensorSources,
+    ) -> (DeviceNode, Phone) {
+        let jid = Jid::new(&format!("{node}@pogo")).expect("valid device JID");
+        self.server.register(&jid);
+        self.server
+            .befriend(&jid, &self.collector.jid())
+            .expect("both registered");
+        let phone = Phone::new(&self.sim, phone_config);
+        let cfg = device_config(DeviceConfig::new(jid));
+        let device = DeviceNode::new(&phone, &self.server, cfg, sources);
+        device.boot();
+        self.devices.push(device.clone());
+        (device, phone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{ExperimentSpec, ScriptSpec};
+    use pogo_net::FlushPolicy;
+    use pogo_sim::SimDuration;
+
+    #[test]
+    fn testbed_wires_roster_and_boots_devices() {
+        let sim = Sim::new();
+        let mut tb = Testbed::new(&sim);
+        let (device, _phone) = tb.add_device(
+            "device-1",
+            PhoneConfig::default(),
+            |mut c| {
+                c.flush_policy = FlushPolicy::Immediate;
+                c
+            },
+            SensorSources::default(),
+        );
+        assert!(tb.server().is_online(&device.jid()));
+        assert_eq!(
+            tb.server().roster(&device.jid()),
+            vec![tb.collector().jid()]
+        );
+    }
+
+    #[test]
+    fn end_to_end_smoke_deploy_and_collect() {
+        let sim = Sim::new();
+        let mut tb = Testbed::new(&sim);
+        for i in 0..3 {
+            tb.add_device(
+                &format!("device-{i}"),
+                PhoneConfig::default(),
+                |mut c| {
+                    c.flush_policy = FlushPolicy::Immediate;
+                    c
+                },
+                SensorSources::default(),
+            );
+        }
+        let received = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let r = received.clone();
+        tb.collector().on_data("smoke", "pings", move |msg, from| {
+            r.borrow_mut().push((from.to_owned(), msg.clone()));
+        });
+        let device_jids: Vec<Jid> = tb.devices().iter().map(DeviceNode::jid).collect();
+        tb.collector().deploy(
+            &ExperimentSpec {
+                id: "smoke".into(),
+                scripts: vec![ScriptSpec {
+                    name: "ping.js".into(),
+                    source: "publish('pings', { hello: true });".into(),
+                }],
+            },
+            &device_jids,
+        );
+        sim.run_for(SimDuration::from_mins(3));
+        let received = received.borrow();
+        assert_eq!(received.len(), 3, "one ping per device");
+        let mut froms: Vec<&str> = received.iter().map(|(f, _)| f.as_str()).collect();
+        froms.sort_unstable();
+        assert_eq!(
+            froms,
+            vec!["device-0@pogo", "device-1@pogo", "device-2@pogo"]
+        );
+    }
+}

@@ -1,0 +1,571 @@
+//! The message model: trees of key/value pairs with JSON serialization.
+//!
+//! §4.3: "Messages are represented as a tree of key/value pairs, which
+//! map directly onto JavaScript objects so that they can be passed
+//! between Java and JavaScript code seamlessly. Messages are serialized
+//! to JSON notation when they are to be delivered to a remote node."
+//!
+//! `serde_json` is not in the offline dependency set — and the codec is
+//! part of the system under reproduction anyway (message sizes feed the
+//! radio energy model and the Table 4 data-reduction figure), so it is
+//! implemented here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pogo_script::{ObjMap, Value};
+
+/// A message value: the middleware-side mirror of a JavaScript object
+/// tree. Unlike [`pogo_script::Value`] it has value semantics, cannot
+/// contain functions, and is ordered deterministically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Msg {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (finite f64; NaN/∞ serialize as `null` like browsers).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Msg>),
+    /// JSON object, insertion-ordered.
+    Obj(Vec<(String, Msg)>),
+}
+
+impl Msg {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Msg {
+        Msg::Str(s.into())
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Msg)>) -> Msg {
+        Msg::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Looks up a key if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Msg> {
+        match self {
+            Msg::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Msg::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Msg::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Msg]> {
+        match self {
+            Msg::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_json(self, &mut out);
+        out
+    }
+
+    /// Size in bytes of the JSON serialization (what travels the wire;
+    /// computed without allocating for hot paths).
+    pub fn json_size(&self) -> u64 {
+        self.to_json().len() as u64
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first malformed construct.
+    pub fn from_json(text: &str) -> Result<Msg, JsonError> {
+        let mut parser = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Converts a script value into a message. Functions become `null`
+    /// (they cannot cross the network); shared containers are deep-copied.
+    pub fn from_script(value: &Value) -> Msg {
+        match value {
+            Value::Null => Msg::Null,
+            Value::Bool(b) => Msg::Bool(*b),
+            Value::Num(n) => Msg::Num(*n),
+            Value::Str(s) => Msg::Str(s.to_string()),
+            Value::Array(items) => Msg::Arr(items.borrow().iter().map(Msg::from_script).collect()),
+            Value::Object(map) => Msg::Obj(
+                map.borrow()
+                    .iter()
+                    .map(|(k, v)| (k.to_owned(), Msg::from_script(v)))
+                    .collect(),
+            ),
+            Value::Func(_) | Value::Native(_) => Msg::Null,
+        }
+    }
+
+    /// Converts a message into a (fresh) script value.
+    pub fn to_script(&self) -> Value {
+        match self {
+            Msg::Null => Value::Null,
+            Msg::Bool(b) => Value::Bool(*b),
+            Msg::Num(n) => Value::Num(*n),
+            Msg::Str(s) => Value::str(s),
+            Msg::Arr(items) => Value::array(items.iter().map(Msg::to_script).collect()),
+            Msg::Obj(pairs) => {
+                let map: ObjMap = pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_script()))
+                    .collect();
+                Value::object(map)
+            }
+        }
+    }
+
+    /// Canonical form: object keys sorted recursively. Used by tests that
+    /// compare messages that crossed the script boundary (which may
+    /// reorder keys).
+    pub fn canonicalize(&self) -> Msg {
+        match self {
+            Msg::Arr(items) => Msg::Arr(items.iter().map(Msg::canonicalize).collect()),
+            Msg::Obj(pairs) => {
+                let sorted: BTreeMap<String, Msg> = pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.canonicalize()))
+                    .collect();
+                Msg::Obj(sorted.into_iter().collect())
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<f64> for Msg {
+    fn from(n: f64) -> Msg {
+        Msg::Num(n)
+    }
+}
+
+impl From<bool> for Msg {
+    fn from(b: bool) -> Msg {
+        Msg::Bool(b)
+    }
+}
+
+impl From<&str> for Msg {
+    fn from(s: &str) -> Msg {
+        Msg::Str(s.to_owned())
+    }
+}
+
+// ---- serialization -----------------------------------------------------------
+
+fn write_json(msg: &Msg, out: &mut String) {
+    match msg {
+        Msg::Null => out.push_str("null"),
+        Msg::Bool(true) => out.push_str("true"),
+        Msg::Bool(false) => out.push_str("false"),
+        Msg::Num(n) => {
+            if !n.is_finite() {
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Msg::Str(s) => write_json_string(s, out),
+        Msg::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Msg::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Error produced by [`Msg::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    /// Byte offset of the error.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            message: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Msg) -> Result<Msg, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Msg, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Msg::Null),
+            Some(b't') => self.literal("true", Msg::Bool(true)),
+            Some(b'f') => self.literal("false", Msg::Bool(false)),
+            Some(b'"') => Ok(Msg::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Msg, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Msg::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Msg::Arr(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Msg, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Msg::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Msg::Obj(pairs));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Msg, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Msg::Num)
+            .map_err(|_| self.err(format!("malformed number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_scalars() {
+        assert_eq!(Msg::Null.to_json(), "null");
+        assert_eq!(Msg::Bool(true).to_json(), "true");
+        assert_eq!(Msg::Num(42.0).to_json(), "42");
+        assert_eq!(Msg::Num(2.5).to_json(), "2.5");
+        assert_eq!(Msg::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Msg::str("hi").to_json(), "\"hi\"");
+    }
+
+    #[test]
+    fn serializes_structures_in_order() {
+        let m = Msg::obj([
+            ("b", Msg::Num(1.0)),
+            ("a", Msg::Arr(vec![Msg::Null, Msg::Bool(false)])),
+        ]);
+        assert_eq!(m.to_json(), r#"{"b":1,"a":[null,false]}"#);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let m = Msg::str("a\"b\\c\nd\u{1}");
+        assert_eq!(m.to_json(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let back = Msg::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parses_nested_json() {
+        let m =
+            Msg::from_json(r#"{"aps": [{"bssid": "00:11", "level": 0.5}], "n": -2.5e1}"#).unwrap();
+        assert_eq!(
+            m.get("aps").unwrap().as_arr().unwrap()[0]
+                .get("level")
+                .unwrap()
+                .as_num(),
+            Some(0.5)
+        );
+        assert_eq!(m.get("n").unwrap().as_num(), Some(-25.0));
+    }
+
+    #[test]
+    fn roundtrip_preserves_value() {
+        let m = Msg::obj([
+            ("interval", Msg::Num(60_000.0)),
+            ("provider", Msg::str("GPS")),
+            (
+                "nested",
+                Msg::obj([("deep", Msg::Arr(vec![Msg::Num(1.5)]))]),
+            ),
+        ]);
+        assert_eq!(Msg::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = Msg::from_json("[1, 2,]").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(Msg::from_json("").is_err());
+        assert!(Msg::from_json("{\"a\" 1}").is_err());
+        assert!(Msg::from_json("tru").is_err());
+        assert!(Msg::from_json("1 2").is_err());
+        assert!(Msg::from_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(Msg::from_json(r#""éA""#).unwrap(), Msg::str("éA"));
+        assert!(Msg::from_json(r#""\ud800""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn script_conversion_roundtrip() {
+        let m = Msg::obj([
+            ("x", Msg::Num(1.0)),
+            ("s", Msg::str("y")),
+            ("l", Msg::Arr(vec![Msg::Bool(true), Msg::Null])),
+        ]);
+        let script = m.to_script();
+        let back = Msg::from_script(&script);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn script_functions_become_null() {
+        let mut interp = pogo_script::Interpreter::new();
+        let v = interp.eval("var o = { f: function () {} }; o;").unwrap();
+        let m = Msg::from_script(&v);
+        assert_eq!(m.get("f"), Some(&Msg::Null));
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_recursively() {
+        let a = Msg::obj([
+            ("b", Msg::Num(1.0)),
+            ("a", Msg::obj([("z", Msg::Null), ("y", Msg::Null)])),
+        ]);
+        let b = Msg::obj([
+            ("a", Msg::obj([("y", Msg::Null), ("z", Msg::Null)])),
+            ("b", Msg::Num(1.0)),
+        ]);
+        assert_eq!(a.canonicalize(), b.canonicalize());
+    }
+
+    #[test]
+    fn json_size_matches_serialization() {
+        let m = Msg::obj([("k", Msg::str("value"))]);
+        assert_eq!(m.json_size(), m.to_json().len() as u64);
+    }
+}

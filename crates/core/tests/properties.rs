@@ -1,0 +1,101 @@
+//! Property-based tests for the middleware's message model and broker.
+
+use proptest::prelude::*;
+
+use pogo_core::{Broker, Msg};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Strategy: arbitrary message trees (depth-bounded).
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    let leaf = prop_oneof![
+        Just(Msg::Null),
+        any::<bool>().prop_map(Msg::Bool),
+        // Finite numbers only: NaN/∞ deliberately serialize as null.
+        (-1e12f64..1e12).prop_map(Msg::Num),
+        "[ -~]{0,24}".prop_map(Msg::Str),
+        // Strings with escapes and unicode.
+        proptest::collection::vec(any::<char>(), 0..8)
+            .prop_map(|cs| Msg::Str(cs.into_iter().collect())),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Msg::Arr),
+            proptest::collection::vec(("[a-z_]{1,8}", inner), 0..6).prop_map(|pairs| {
+                // JSON objects with duplicate keys are ambiguous; keep the
+                // first occurrence like our parser would.
+                let mut seen = std::collections::HashSet::new();
+                Msg::Obj(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrips(msg in msg_strategy()) {
+        let json = msg.to_json();
+        let back = Msg::from_json(&json)
+            .unwrap_or_else(|e| panic!("parse failure on {json}: {e}"));
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn json_size_is_serialization_length(msg in msg_strategy()) {
+        prop_assert_eq!(msg.json_size(), msg.to_json().len() as u64);
+    }
+
+    #[test]
+    fn script_conversion_roundtrips(msg in msg_strategy()) {
+        // Msg -> script Value -> Msg is the identity (no functions can
+        // appear on this path).
+        let back = Msg::from_script(&msg.to_script());
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_order_insensitive(msg in msg_strategy()) {
+        let canon = msg.canonicalize();
+        prop_assert_eq!(canon.canonicalize(), canon.clone());
+        // Shuffling top-level object keys does not change the canon form.
+        if let Msg::Obj(mut pairs) = msg.clone() {
+            pairs.reverse();
+            prop_assert_eq!(Msg::Obj(pairs).canonicalize(), canon);
+        }
+    }
+
+    #[test]
+    fn broker_delivers_to_every_active_subscriber_exactly_once(
+        n_subs in 1usize..10,
+        released in proptest::collection::vec(any::<bool>(), 10),
+        msg in msg_strategy(),
+    ) {
+        let broker = Broker::new();
+        let counters: Vec<Rc<RefCell<u32>>> =
+            (0..n_subs).map(|_| Rc::new(RefCell::new(0))).collect();
+        let mut ids = Vec::new();
+        for counter in &counters {
+            let c = counter.clone();
+            ids.push(broker.subscribe("ch", Msg::Null, move |_, _, _| {
+                *c.borrow_mut() += 1;
+            }));
+        }
+        for (i, id) in ids.iter().enumerate() {
+            if released[i] {
+                broker.set_active(*id, false);
+            }
+        }
+        let delivered = broker.publish("ch", &msg);
+        let expected_active = (0..n_subs).filter(|&i| !released[i]).count();
+        prop_assert_eq!(delivered, expected_active);
+        for (i, counter) in counters.iter().enumerate() {
+            let expected = u32::from(!released[i]);
+            prop_assert_eq!(*counter.borrow(), expected, "subscriber {}", i);
+        }
+    }
+}

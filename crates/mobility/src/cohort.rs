@@ -1,0 +1,582 @@
+//! The Table 4 cohort: nine sessions (eight users, user 2's phone swap
+//! splitting into 2a/2b) with per-user behaviour and disruptions.
+//!
+//! The goal is not to clone eight specific humans but to reproduce the
+//! *shape* of Table 4: most users yield a few hundred dwelling sessions,
+//! user 3 — highly mobile — yields far more, user 6 far fewer; user 2a's
+//! roaming trip and user 3's 3G outage punch holes in the collected data
+//! (message expiry), and everyone's reboots and the researchers' script
+//! updates truncate occasional clusters.
+
+use pogo_sim::SimRng;
+
+use crate::trace::{DisruptionSchedule, MovementTrace, Whereabouts};
+use crate::world::{PlaceId, World};
+
+const MIN: u64 = 60_000;
+const HOUR: u64 = 3_600_000;
+const DAY: u64 = 86_400_000;
+
+/// Behavioural archetype driving schedule generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    /// Commuter: home, office, occasional lunch/evening/weekend outings.
+    Regular,
+    /// Rarely leaves home; few dwelling sessions (user 6).
+    Homebody,
+    /// Field worker visiting dozens of short sites per day (user 3).
+    Courier,
+    /// Busy social schedule: many short stops on top of work (user 7).
+    Social,
+}
+
+/// One Table 4 row to be simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSpec {
+    /// Row label ("User 1", "User 2a", …).
+    pub name: String,
+    /// Behaviour archetype.
+    pub archetype: Archetype,
+    /// First day of the session (inclusive), 0-based.
+    pub start_day: u64,
+    /// Last day of the session (exclusive).
+    pub end_day: u64,
+    /// Probability a given night the phone is switched off 00:00–07:00.
+    pub nightly_off_prob: f64,
+    /// Probability an individual Wi-Fi scan returns nothing (flaky
+    /// chipset — user 1's phone produced markedly fewer scans).
+    pub scan_failure_prob: f64,
+    /// Trip abroad with data roaming off: `(first_day, last_day_excl)`.
+    pub roaming_days: Option<(u64, u64)>,
+    /// Broken 3G subscription: `(first_day, last_day_excl)`.
+    pub outage_days: Option<(u64, u64)>,
+    /// User 7: Wi-Fi-only connectivity (no mobile data at all).
+    pub wifi_only: bool,
+    /// Mean days between reboots (exponential arrivals).
+    pub reboot_mean_days: f64,
+    /// Per-user RNG salt.
+    pub seed_salt: u64,
+}
+
+impl UserSpec {
+    /// A default 24-day session with the given archetype and RNG salt.
+    pub fn new(name: &str, archetype: Archetype, salt: u64) -> Self {
+        UserSpec {
+            name: name.to_owned(),
+            archetype,
+            start_day: 0,
+            end_day: 24,
+            nightly_off_prob: 0.0,
+            scan_failure_prob: 0.0,
+            roaming_days: None,
+            outage_days: None,
+            wifi_only: false,
+            reboot_mean_days: 6.0,
+            seed_salt: salt,
+        }
+    }
+}
+
+/// The nine sessions of the paper's deployment (24 days, §5.3).
+pub fn paper_cohort() -> Vec<UserSpec> {
+    vec![
+        UserSpec {
+            // Fewer scans than the others: occasionally off at night and
+            // a chipset that misses scans.
+            nightly_off_prob: 0.12,
+            scan_failure_prob: 0.20,
+            ..UserSpec::new("User 1", Archetype::Regular, 1)
+        },
+        UserSpec {
+            // First phone, until it gave trouble; took a trip abroad with
+            // data roaming off — messages older than 24 h were purged.
+            end_day: 8,
+            roaming_days: Some((5, 7)),
+            reboot_mean_days: 3.0, // the troublesome Xperia
+            ..UserSpec::new("User 2a", Archetype::Regular, 2)
+        },
+        UserSpec {
+            // Replacement Galaxy Nexus, in use only for the last stretch
+            // of the window (the paper's 2b session has ~6.7k scans).
+            start_day: 19,
+            ..UserSpec::new("User 2b", Archetype::Regular, 3)
+        },
+        UserSpec {
+            // Highly mobile; 3G access broke for two days.
+            outage_days: Some((13, 16)),
+            ..UserSpec::new("User 3", Archetype::Courier, 4)
+        },
+        UserSpec::new("User 4", Archetype::Regular, 5),
+        UserSpec::new("User 5", Archetype::Regular, 6),
+        UserSpec {
+            // Rarely leaves home and rarely reboots; a long-dwell phone.
+            reboot_mean_days: 12.0,
+            ..UserSpec::new("User 6", Archetype::Homebody, 7)
+        },
+        UserSpec {
+            // No mobile Internet: offloads over Wi-Fi at known places.
+            wifi_only: true,
+            ..UserSpec::new("User 7", Archetype::Social, 8)
+        },
+        UserSpec::new("User 8", Archetype::Regular, 9),
+    ]
+}
+
+/// A fully-generated per-session scenario.
+#[derive(Debug, Clone)]
+pub struct UserScenario {
+    /// The spec this was generated from.
+    pub spec: UserSpec,
+    /// The user's places; `places[0]` is home, `places[1]` (if present)
+    /// the office/primary site.
+    pub places: Vec<PlaceId>,
+    /// Places with Wi-Fi the user may offload over when `wifi_only`
+    /// (home and office).
+    pub wifi_places: Vec<PlaceId>,
+    /// Minute-by-minute movement.
+    pub trace: MovementTrace,
+    /// Reboots, script updates, data gaps.
+    pub disruptions: DisruptionSchedule,
+}
+
+impl UserSpec {
+    /// Generates this user's places, movement trace, and disruption
+    /// schedule into `world`. Deterministic in (`rng` seed, spec).
+    pub fn build(&self, world: &mut World, rng: &mut SimRng) -> UserScenario {
+        let mut rng = rng.fork(self.seed_salt);
+        let places = self.make_places(world, &mut rng);
+        let trace = self.make_trace(&places, &mut rng);
+        let disruptions = self.make_disruptions(&mut rng);
+        let wifi_places = places.iter().take(2).copied().collect();
+        UserScenario {
+            spec: self.clone(),
+            places,
+            wifi_places,
+            trace,
+            disruptions,
+        }
+    }
+
+    fn make_places(&self, world: &mut World, rng: &mut SimRng) -> Vec<PlaceId> {
+        let user = &self.name;
+        let add = |tag: &str, n_aps: (u64, u64), world: &mut World, rng: &mut SimRng| {
+            let n = rng.range_u64(n_aps.0, n_aps.1) as usize;
+            world.add_place(&format!("{user}-{tag}"), n, rng)
+        };
+        let mut places = vec![add("home", (5, 10), world, rng)];
+        match self.archetype {
+            Archetype::Regular => {
+                places.push(add("office", (8, 16), world, rng));
+                for tag in ["lunch", "gym", "friend", "shop"] {
+                    places.push(add(tag, (3, 8), world, rng));
+                }
+            }
+            Archetype::Homebody => {
+                places.push(add("club", (4, 8), world, rng));
+                places.push(add("shop", (3, 6), world, rng));
+            }
+            Archetype::Courier => {
+                places.push(add("depot", (6, 10), world, rng));
+                for i in 0..15 {
+                    places.push(add(&format!("site-{i}"), (3, 7), world, rng));
+                }
+            }
+            Archetype::Social => {
+                places.push(add("office", (8, 16), world, rng));
+                for i in 0..8 {
+                    places.push(add(&format!("venue-{i}"), (3, 8), world, rng));
+                }
+            }
+        }
+        if self.roaming_days.is_some() {
+            for tag in ["hotel", "conference", "cafe"] {
+                places.push(add(&format!("abroad-{tag}"), (4, 9), world, rng));
+            }
+        }
+        places
+    }
+
+    fn make_trace(&self, places: &[PlaceId], rng: &mut SimRng) -> MovementTrace {
+        let end_ms = self.end_day * DAY;
+        let mut t = MovementTrace::new(end_ms);
+        let home = places[0];
+        for day in self.start_day..self.end_day {
+            let day_start = day * DAY;
+            let roaming = self.roaming_days.is_some_and(|(a, b)| day >= a && day < b);
+            // Night: possibly phone off until 07:00.
+            if rng.chance(self.nightly_off_prob) {
+                t.push(day_start, Whereabouts::PhoneOff);
+                t.push(day_start + 7 * HOUR, Whereabouts::At(home));
+            } else {
+                t.push(day_start, Whereabouts::At(home));
+            }
+            if roaming {
+                self.roaming_day(&mut t, places, day_start, rng);
+                continue;
+            }
+            let weekday = day % 7 < 5;
+            match self.archetype {
+                Archetype::Regular if weekday => {
+                    self.regular_workday(&mut t, places, day_start, rng)
+                }
+                Archetype::Regular => self.weekend(&mut t, places, day_start, rng),
+                Archetype::Homebody => self.homebody_day(&mut t, places, day_start, rng),
+                Archetype::Courier if weekday => self.courier_day(&mut t, places, day_start, rng),
+                Archetype::Courier => self.weekend(&mut t, places, day_start, rng),
+                Archetype::Social if weekday => {
+                    self.regular_workday(&mut t, places, day_start, rng);
+                    self.social_errands(&mut t, places, day_start, rng);
+                }
+                Archetype::Social => {
+                    self.weekend(&mut t, places, day_start, rng);
+                    self.social_errands(&mut t, places, day_start, rng);
+                }
+            }
+        }
+        t
+    }
+
+    fn regular_workday(
+        &self,
+        t: &mut MovementTrace,
+        places: &[PlaceId],
+        day_start: u64,
+        rng: &mut SimRng,
+    ) {
+        let office = places[1];
+        let leave = day_start + 7 * HOUR + 45 * MIN + rng.range_u64(0, 30) * MIN;
+        let commute = 20 * MIN + rng.range_u64(0, 15) * MIN;
+        t.push(leave, Whereabouts::Transit);
+        t.push(leave + commute, Whereabouts::At(office));
+        let mut cursor = leave + commute;
+        // Lunch outing.
+        if places.len() > 2 && rng.chance(0.5) {
+            let lunch = places[2];
+            let out = day_start + 12 * HOUR + rng.range_u64(0, 45) * MIN;
+            if out > cursor {
+                t.push(out, Whereabouts::Transit);
+                t.push(out + 5 * MIN, Whereabouts::At(lunch));
+                t.push(out + 45 * MIN, Whereabouts::Transit);
+                t.push(out + 50 * MIN, Whereabouts::At(office));
+                cursor = out + 50 * MIN;
+            }
+        }
+        let leave_work =
+            (day_start + 17 * HOUR + rng.range_u64(0, 60) * MIN).max(cursor + 30 * MIN);
+        t.push(leave_work, Whereabouts::Transit);
+        let home_at = leave_work + 20 * MIN + rng.range_u64(0, 15) * MIN;
+        t.push(home_at, Whereabouts::At(places[0]));
+        // Evening outing.
+        if places.len() > 3 && rng.chance(0.35) {
+            let venue = places[3 + rng.index(places.len().saturating_sub(3).min(3))];
+            let out = (day_start + 19 * HOUR + 30 * MIN).max(home_at + 30 * MIN);
+            let dur = HOUR + rng.range_u64(0, 60) * MIN;
+            t.push(out, Whereabouts::Transit);
+            t.push(out + 10 * MIN, Whereabouts::At(venue));
+            t.push(out + 10 * MIN + dur, Whereabouts::Transit);
+            t.push(out + 20 * MIN + dur, Whereabouts::At(places[0]));
+        }
+    }
+
+    fn weekend(&self, t: &mut MovementTrace, places: &[PlaceId], day_start: u64, rng: &mut SimRng) {
+        let outings = rng.range_u64(1, 3);
+        let mut cursor = day_start + 10 * HOUR;
+        for _ in 0..outings {
+            if places.len() < 2 {
+                break;
+            }
+            let venue = places[1 + rng.index(places.len() - 1)];
+            let dur = 45 * MIN + rng.range_u64(0, 120) * MIN;
+            // Never run past 23:00: the next day's schedule starts at
+            // midnight and segments must stay ordered.
+            if cursor + 30 * MIN + dur >= day_start + 23 * HOUR {
+                break;
+            }
+            t.push(cursor, Whereabouts::Transit);
+            t.push(cursor + 15 * MIN, Whereabouts::At(venue));
+            t.push(cursor + 15 * MIN + dur, Whereabouts::Transit);
+            t.push(cursor + 30 * MIN + dur, Whereabouts::At(places[0]));
+            cursor += 30 * MIN + dur + HOUR + rng.range_u64(0, 2 * 60) * MIN;
+            if cursor >= day_start + 21 * HOUR {
+                break;
+            }
+        }
+    }
+
+    fn homebody_day(
+        &self,
+        t: &mut MovementTrace,
+        places: &[PlaceId],
+        day_start: u64,
+        rng: &mut SimRng,
+    ) {
+        // Leaves the house at most once, some days not at all.
+        if rng.chance(0.45) && places.len() >= 2 {
+            let venue = places[1 + rng.index(places.len() - 1)];
+            let out = day_start + 10 * HOUR + rng.range_u64(0, 6 * 60) * MIN;
+            let dur = 40 * MIN + rng.range_u64(0, 90) * MIN;
+            t.push(out, Whereabouts::Transit);
+            t.push(out + 12 * MIN, Whereabouts::At(venue));
+            t.push(out + 12 * MIN + dur, Whereabouts::Transit);
+            t.push(out + 24 * MIN + dur, Whereabouts::At(places[0]));
+        }
+    }
+
+    fn courier_day(
+        &self,
+        t: &mut MovementTrace,
+        places: &[PlaceId],
+        day_start: u64,
+        rng: &mut SimRng,
+    ) {
+        let depot = places[1];
+        let sites = &places[2..];
+        let mut cursor = day_start + 7 * HOUR + 30 * MIN;
+        t.push(cursor, Whereabouts::Transit);
+        cursor += 15 * MIN;
+        t.push(cursor, Whereabouts::At(depot));
+        cursor += 30 * MIN;
+        // Site visits until ~18:00: short dwell, short hop.
+        while cursor < day_start + 18 * HOUR {
+            let site = sites[rng.index(sites.len())];
+            let hop = 2 * MIN + rng.range_u64(0, 3) * MIN;
+            let dwell = 5 * MIN + rng.range_u64(0, 5) * MIN;
+            t.push(cursor, Whereabouts::Transit);
+            cursor += hop;
+            t.push(cursor, Whereabouts::At(site));
+            cursor += dwell;
+        }
+        t.push(cursor, Whereabouts::Transit);
+        cursor += 20 * MIN;
+        t.push(cursor, Whereabouts::At(places[0]));
+    }
+
+    fn social_errands(
+        &self,
+        t: &mut MovementTrace,
+        places: &[PlaceId],
+        day_start: u64,
+        rng: &mut SimRng,
+    ) {
+        // Late-evening quick stops stacked after the day's main schedule.
+        let n = rng.range_u64(2, 5);
+        // Start after whatever the day schedule already produced.
+        let last_start = t.segments().last().map(|&(s, _)| s).unwrap_or(day_start);
+        let mut cursor = (day_start + 20 * HOUR + 30 * MIN).max(last_start + 10 * MIN);
+        let venues = &places[2..];
+        if venues.is_empty() {
+            return;
+        }
+        let curfew = day_start + 23 * HOUR + 30 * MIN;
+        for _ in 0..n {
+            if cursor + 25 * MIN >= curfew {
+                break;
+            }
+            let venue = venues[rng.index(venues.len())];
+            let dwell = 8 * MIN + rng.range_u64(0, 12) * MIN;
+            t.push(cursor, Whereabouts::Transit);
+            cursor += 5 * MIN;
+            t.push(cursor, Whereabouts::At(venue));
+            cursor += dwell;
+        }
+        if cursor + 8 * MIN < day_start + DAY {
+            t.push(cursor, Whereabouts::Transit);
+            t.push(cursor + 8 * MIN, Whereabouts::At(places[0]));
+        }
+    }
+
+    fn roaming_day(
+        &self,
+        t: &mut MovementTrace,
+        places: &[PlaceId],
+        day_start: u64,
+        rng: &mut SimRng,
+    ) {
+        // Abroad: hotel nights, conference days, café evenings.
+        let n = places.len();
+        let (hotel, conference, cafe) = (places[n - 3], places[n - 2], places[n - 1]);
+        t.push(day_start + 7 * HOUR, Whereabouts::At(hotel));
+        t.push(day_start + 8 * HOUR + 30 * MIN, Whereabouts::Transit);
+        t.push(day_start + 9 * HOUR, Whereabouts::At(conference));
+        t.push(day_start + 17 * HOUR, Whereabouts::Transit);
+        let evening = day_start + 17 * HOUR + 20 * MIN;
+        if rng.chance(0.7) {
+            t.push(evening, Whereabouts::At(cafe));
+            t.push(evening + 2 * HOUR, Whereabouts::Transit);
+            t.push(evening + 2 * HOUR + 20 * MIN, Whereabouts::At(hotel));
+        } else {
+            t.push(evening, Whereabouts::At(hotel));
+        }
+    }
+
+    fn make_disruptions(&self, rng: &mut SimRng) -> DisruptionSchedule {
+        let start_ms = self.start_day * DAY;
+        let end_ms = self.end_day * DAY;
+        // Reboots: exponential inter-arrivals.
+        let mut reboots = Vec::new();
+        let mut cursor = start_ms as f64;
+        loop {
+            cursor += rng.exponential(self.reboot_mean_days) * DAY as f64;
+            if cursor >= end_ms as f64 {
+                break;
+            }
+            reboots.push(cursor as u64);
+        }
+        // Researchers redeployed the clustering script on days 3 and 10
+        // at 10:00 (affects every session alive at that moment).
+        let script_updates = [3u64, 10]
+            .iter()
+            .map(|d| d * DAY + 10 * HOUR)
+            .filter(|&ts| ts >= start_ms && ts < end_ms)
+            .collect();
+        let mut data_gaps = Vec::new();
+        if let Some((a, b)) = self.roaming_days {
+            data_gaps.push((a * DAY, b * DAY));
+        }
+        if let Some((a, b)) = self.outage_days {
+            data_gaps.push((a * DAY, b * DAY));
+        }
+        DisruptionSchedule {
+            reboots,
+            script_updates,
+            data_gaps,
+            wifi_only: self.wifi_only,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(spec: &UserSpec) -> (World, UserScenario) {
+        let mut rng = SimRng::seed_from_u64(77);
+        let mut world = World::new(80, &mut rng);
+        let scenario = spec.build(&mut world, &mut rng);
+        (world, scenario)
+    }
+
+    #[test]
+    fn cohort_has_nine_sessions_matching_table4_rows() {
+        let cohort = paper_cohort();
+        assert_eq!(cohort.len(), 9);
+        let names: Vec<&str> = cohort.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "User 1", "User 2a", "User 2b", "User 3", "User 4", "User 5", "User 6", "User 7",
+                "User 8"
+            ]
+        );
+        // Sessions 2a and 2b do not overlap (the phone swap had downtime).
+        assert!(cohort[1].end_day <= cohort[2].start_day);
+        assert!(cohort[1].roaming_days.is_some());
+        assert!(cohort[3].outage_days.is_some());
+        assert!(cohort[7].wifi_only);
+    }
+
+    #[test]
+    fn regular_user_dwells_mostly_at_home_and_office() {
+        let spec = UserSpec::new("User T", Archetype::Regular, 1);
+        let (_, s) = build(&spec);
+        let mut home_min = 0u64;
+        let mut office_min = 0u64;
+        for m in 0..(24 * 24 * 60) {
+            match s.trace.whereabouts(m * MIN) {
+                Whereabouts::At(p) if p == s.places[0] => home_min += 1,
+                Whereabouts::At(p) if p == s.places[1] => office_min += 1,
+                _ => {}
+            }
+        }
+        assert!(home_min > office_min, "more time at home than office");
+        assert!(
+            office_min > 24 * 4 * 60 / 2,
+            "several hours of office on workdays"
+        );
+    }
+
+    #[test]
+    fn courier_has_many_more_sessions_than_homebody() {
+        let courier = UserSpec::new("c", Archetype::Courier, 2);
+        let homebody = UserSpec::new("h", Archetype::Homebody, 3);
+        let (_, sc) = build(&courier);
+        let (_, sh) = build(&homebody);
+        let c_sessions = sc.trace.dwell_sessions(4 * MIN);
+        let h_sessions = sh.trace.dwell_sessions(4 * MIN);
+        assert!(
+            c_sessions > 5 * h_sessions,
+            "courier {c_sessions} vs homebody {h_sessions}"
+        );
+        assert!(
+            c_sessions > 500,
+            "courier should rack up hundreds: {c_sessions}"
+        );
+        assert!(h_sessions < 80, "homebody stays in: {h_sessions}");
+    }
+
+    #[test]
+    fn nightly_off_reduces_powered_time() {
+        let mut on = UserSpec::new("on", Archetype::Regular, 4);
+        on.nightly_off_prob = 0.0;
+        let mut off = UserSpec::new("off", Archetype::Regular, 4);
+        off.nightly_off_prob = 1.0;
+        let (_, so) = build(&on);
+        let (_, sf) = build(&off);
+        let full = so.trace.powered_on_ms();
+        let reduced = sf.trace.powered_on_ms();
+        assert!(reduced < full);
+        // 7 of 24 hours off -> roughly 29% reduction.
+        let ratio = reduced as f64 / full as f64;
+        assert!((0.65..0.78).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn roaming_days_are_data_gaps_at_foreign_places() {
+        let mut spec = UserSpec::new("2a", Archetype::Regular, 5);
+        spec.end_day = 8;
+        spec.roaming_days = Some((4, 8));
+        let (world, s) = build(&spec);
+        assert!(s.disruptions.in_data_gap(5 * DAY));
+        assert!(!s.disruptions.in_data_gap(3 * DAY));
+        // During the trip the user dwells at "abroad-*" places.
+        match s.trace.whereabouts(5 * DAY + 12 * HOUR) {
+            Whereabouts::At(p) => {
+                assert!(world.place(p).name.contains("abroad"));
+            }
+            other => panic!("expected dwell abroad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_window_is_respected() {
+        let mut spec = UserSpec::new("2b", Archetype::Regular, 6);
+        spec.start_day = 8;
+        let (_, s) = build(&spec);
+        assert!(s.trace.segments().first().map(|&(t, _)| t).unwrap_or(0) >= 8 * DAY);
+        assert_eq!(s.trace.end_ms(), 24 * DAY);
+    }
+
+    #[test]
+    fn script_updates_only_within_session_window() {
+        let cohort = paper_cohort();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut world = World::new(10, &mut rng);
+        let s2a = cohort[1].build(&mut world, &mut rng);
+        let s2b = cohort[2].build(&mut world, &mut rng);
+        assert_eq!(s2a.disruptions.script_updates.len(), 1); // day 3 only
+        assert_eq!(
+            s2b.disruptions.script_updates.len(),
+            0,
+            "2b's late phone missed both redeployments"
+        );
+    }
+
+    #[test]
+    fn scenario_generation_is_deterministic() {
+        let spec = UserSpec::new("d", Archetype::Social, 11);
+        let (_, a) = build(&spec);
+        let (_, b) = build(&spec);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.disruptions, b.disruptions);
+    }
+}

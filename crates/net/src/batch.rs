@@ -1,0 +1,127 @@
+//! Flush policies: when buffered messages go out.
+//!
+//! §4.7 contrasts three strategies: "it is possible to either flush the
+//! transmit buffer at long intervals (i.e. once per hour), or simply
+//! delay transfer until the phone is plugged into the charger" — or
+//! Pogo's way, piggybacking on tails other apps already paid for. The
+//! `Immediate` baseline (a tail per message) completes the ablation.
+
+use pogo_sim::SimDuration;
+
+/// When the device node pushes its buffered messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Pogo's mechanism: flush when foreign traffic opens a radio tail
+    /// (§4.7). `max_delay` bounds the wait — if no foreign tail appears
+    /// for that long, flush anyway rather than risk the age purge.
+    TailSync {
+        /// Upper bound on buffering latency.
+        max_delay: SimDuration,
+    },
+    /// Flush on a fixed timer regardless of radio state.
+    Interval(SimDuration),
+    /// Flush only while the phone charges (SystemSens / LiveLab style,
+    /// per the related-work discussion in §2).
+    OnCharge,
+    /// Send every message as soon as it is enqueued (worst case).
+    Immediate,
+}
+
+impl FlushPolicy {
+    /// Pogo's default configuration: tail-sync with a 1-hour cap.
+    pub fn pogo_default() -> Self {
+        FlushPolicy::TailSync {
+            max_delay: SimDuration::from_hours(1),
+        }
+    }
+
+    /// Decides whether to flush right now.
+    ///
+    /// * `tail_open` — foreign traffic has the radio in DCH/FACH;
+    /// * `oldest_age` — age of the oldest buffered message, if any;
+    /// * `charging` — on the charger;
+    /// * `on_wifi` — the active bearer is Wi-Fi (no tail cost, so
+    ///   buffering buys nothing: every policy flushes opportunistically).
+    pub fn should_flush(
+        &self,
+        tail_open: bool,
+        oldest_age: Option<SimDuration>,
+        charging: bool,
+        on_wifi: bool,
+    ) -> bool {
+        let has_data = oldest_age.is_some();
+        if !has_data {
+            return false;
+        }
+        if on_wifi {
+            return true;
+        }
+        match *self {
+            FlushPolicy::TailSync { max_delay } => {
+                tail_open || oldest_age.is_some_and(|age| age >= max_delay)
+            }
+            FlushPolicy::Interval(period) => oldest_age.is_some_and(|age| age >= period),
+            FlushPolicy::OnCharge => charging,
+            FlushPolicy::Immediate => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN: SimDuration = SimDuration::from_mins(1);
+
+    #[test]
+    fn nothing_to_send_never_flushes() {
+        for policy in [
+            FlushPolicy::pogo_default(),
+            FlushPolicy::Interval(MIN),
+            FlushPolicy::OnCharge,
+            FlushPolicy::Immediate,
+        ] {
+            assert!(!policy.should_flush(true, None, true, true));
+        }
+    }
+
+    #[test]
+    fn tail_sync_flushes_on_tail_or_deadline() {
+        let policy = FlushPolicy::TailSync {
+            max_delay: SimDuration::from_hours(1),
+        };
+        assert!(policy.should_flush(true, Some(MIN), false, false));
+        assert!(!policy.should_flush(false, Some(MIN), false, false));
+        assert!(policy.should_flush(false, Some(SimDuration::from_hours(2)), false, false));
+    }
+
+    #[test]
+    fn interval_waits_for_period() {
+        let policy = FlushPolicy::Interval(SimDuration::from_mins(30));
+        assert!(!policy.should_flush(true, Some(MIN), false, false));
+        assert!(policy.should_flush(false, Some(SimDuration::from_mins(30)), false, false));
+    }
+
+    #[test]
+    fn on_charge_only_when_charging() {
+        let policy = FlushPolicy::OnCharge;
+        assert!(!policy.should_flush(true, Some(SimDuration::from_hours(9)), false, false));
+        assert!(policy.should_flush(false, Some(MIN), true, false));
+    }
+
+    #[test]
+    fn immediate_always_flushes_data() {
+        assert!(FlushPolicy::Immediate.should_flush(false, Some(SimDuration::ZERO), false, false));
+    }
+
+    #[test]
+    fn wifi_short_circuits_every_policy() {
+        for policy in [
+            FlushPolicy::pogo_default(),
+            FlushPolicy::Interval(SimDuration::from_hours(5)),
+            FlushPolicy::OnCharge,
+        ] {
+            assert!(policy.should_flush(false, Some(MIN), false, true));
+        }
+    }
+}

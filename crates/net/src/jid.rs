@@ -1,0 +1,114 @@
+//! Node addresses, in XMPP parlance *JIDs* (`node@domain`).
+
+use std::fmt;
+use std::rc::Rc;
+use std::str::FromStr;
+
+/// A node address like `device-3@pogo` or `researcher@tudelft`.
+///
+/// Cheap to clone (shared string).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Jid(Rc<str>);
+
+/// Error parsing a [`Jid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJidError(String);
+
+impl fmt::Display for ParseJidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JID (want node@domain): {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseJidError {}
+
+impl Jid {
+    /// Creates a JID, validating the `node@domain` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseJidError`] if there is not exactly one `@` with
+    /// non-empty node and domain parts.
+    pub fn new(s: &str) -> Result<Self, ParseJidError> {
+        let mut parts = s.split('@');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(node), Some(domain), None) if !node.is_empty() && !domain.is_empty() => {
+                Ok(Jid(Rc::from(s)))
+            }
+            _ => Err(ParseJidError(s.to_owned())),
+        }
+    }
+
+    /// The node part (before the `@`).
+    pub fn node(&self) -> &str {
+        self.0.split('@').next().expect("validated at construction")
+    }
+
+    /// The domain part (after the `@`).
+    pub fn domain(&self) -> &str {
+        self.0.split('@').nth(1).expect("validated at construction")
+    }
+
+    /// The full `node@domain` string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Jid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for Jid {
+    type Err = ParseJidError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Jid::new(s)
+    }
+}
+
+impl AsRef<str> for Jid {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_jids_parse() {
+        let j = Jid::new("device-1@pogo").unwrap();
+        assert_eq!(j.node(), "device-1");
+        assert_eq!(j.domain(), "pogo");
+        assert_eq!(j.to_string(), "device-1@pogo");
+    }
+
+    #[test]
+    fn invalid_jids_rejected() {
+        assert!(Jid::new("nodomain").is_err());
+        assert!(Jid::new("@pogo").is_err());
+        assert!(Jid::new("node@").is_err());
+        assert!(Jid::new("a@b@c").is_err());
+        assert!(Jid::new("").is_err());
+    }
+
+    #[test]
+    fn from_str_works() {
+        let j: Jid = "a@b".parse().unwrap();
+        assert_eq!(j.as_str(), "a@b");
+    }
+
+    #[test]
+    fn equality_and_hash_by_value() {
+        use std::collections::HashSet;
+        let a = Jid::new("x@y").unwrap();
+        let b = Jid::new("x@y").unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

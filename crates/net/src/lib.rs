@@ -1,0 +1,38 @@
+//! # pogo-net — the messaging substrate (the XMPP/Openfire substitute)
+//!
+//! Pogo "relies on the XMPP protocol … `[and]` an off-the-shelf open source
+//! instant messaging server to manage communication between device- and
+//! collector nodes" (§4.2, §4.6). This crate rebuilds the pieces of that
+//! stack the middleware's behaviour depends on:
+//!
+//! * [`server::Switchboard`] — the Openfire equivalent: accounts,
+//!   admin-managed rosters (the device↔researcher associations), and
+//!   routing between connected sessions only;
+//! * [`server::Session`] — a client connection. Like a real TCP/XMPP
+//!   session over a mobile bearer, **in-flight messages are lost when the
+//!   session drops** (interface handover), which is exactly why Pogo
+//!   implements its own end-to-end acknowledgements;
+//! * [`store::MessageStore`] — the embedded-SQL-database substitute:
+//!   a persistent outgoing buffer that survives reboots and purges
+//!   messages older than a configurable age (the fateful 24-hour expiry
+//!   of §5.3);
+//! * [`reliable`] — sender-side ack tracking and receiver-side
+//!   de-duplication, Pogo's "own end-to-end acknowledgements on top of
+//!   XMPP";
+//! * [`batch::FlushPolicy`] — when to push buffered data: on a detected
+//!   3G tail (Pogo's mechanism), at fixed intervals, when charging, or
+//!   immediately (the ablation baselines).
+
+pub mod batch;
+pub mod jid;
+pub mod reliable;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use batch::FlushPolicy;
+pub use jid::Jid;
+pub use reliable::{AckTracker, DedupFilter};
+pub use server::{Session, Switchboard};
+pub use store::{MessageStore, StoredMessage};
+pub use wire::{Envelope, Payload};

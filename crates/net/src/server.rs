@@ -1,0 +1,586 @@
+//! The switchboard server and client sessions.
+//!
+//! §3.1: "a central server acting only as a communications switchboard";
+//! §4.6: associations between devices and researchers "can be captured as
+//! buddy lists, or rosters in XMPP parlance … stored at the central
+//! server and … easily managed by the testbed administrator".
+//!
+//! Loss model: a session over a mobile bearer dies on interface handover.
+//! Envelopes still in flight when either endpoint's session generation
+//! changes are silently dropped — the §4.6 failure mode Pogo's end-to-end
+//! acks exist to repair.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+use pogo_sim::{Sim, SimDuration};
+
+use crate::jid::Jid;
+use crate::wire::{Envelope, Payload};
+
+/// Errors from [`Switchboard`] and [`Session`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The JID has no account on the server.
+    UnknownAccount(Jid),
+    /// The sender and recipient are not roster buddies.
+    NotAuthorized { from: Jid, to: Jid },
+    /// The session has been disconnected.
+    NotConnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownAccount(jid) => write!(f, "unknown account {jid}"),
+            NetError::NotAuthorized { from, to } => {
+                write!(f, "{from} is not authorized to message {to}")
+            }
+            NetError::NotConnected => f.write_str("session is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct ServerInner {
+    sim: Sim,
+    accounts: HashSet<Jid>,
+    roster: HashMap<Jid, BTreeSet<Jid>>,
+    sessions: HashMap<Jid, Session>,
+    routed: u64,
+    dropped: u64,
+}
+
+/// The central server: accounts, rosters, and routing.
+///
+/// Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Switchboard {
+    inner: Rc<RefCell<ServerInner>>,
+}
+
+impl fmt::Debug for Switchboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Switchboard")
+            .field("accounts", &inner.accounts.len())
+            .field("online", &inner.sessions.len())
+            .field("routed", &inner.routed)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl Switchboard {
+    /// Creates an empty server.
+    pub fn new(sim: &Sim) -> Self {
+        Switchboard {
+            inner: Rc::new(RefCell::new(ServerInner {
+                sim: sim.clone(),
+                accounts: HashSet::new(),
+                roster: HashMap::new(),
+                sessions: HashMap::new(),
+                routed: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Creates an account (idempotent).
+    pub fn register(&self, jid: &Jid) {
+        self.inner.borrow_mut().accounts.insert(jid.clone());
+    }
+
+    /// Adds a bidirectional roster association — the administrator
+    /// assigning a device to a researcher (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownAccount`] if either JID is unregistered.
+    pub fn befriend(&self, a: &Jid, b: &Jid) -> Result<(), NetError> {
+        let mut inner = self.inner.borrow_mut();
+        for jid in [a, b] {
+            if !inner.accounts.contains(jid) {
+                return Err(NetError::UnknownAccount(jid.clone()));
+            }
+        }
+        inner.roster.entry(a.clone()).or_default().insert(b.clone());
+        inner.roster.entry(b.clone()).or_default().insert(a.clone());
+        Ok(())
+    }
+
+    /// Removes a roster association (end of an experiment assignment).
+    pub fn unfriend(&self, a: &Jid, b: &Jid) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(set) = inner.roster.get_mut(a) {
+            set.remove(b);
+        }
+        if let Some(set) = inner.roster.get_mut(b) {
+            set.remove(a);
+        }
+    }
+
+    /// The roster of `jid`, sorted.
+    pub fn roster(&self, jid: &Jid) -> Vec<Jid> {
+        self.inner
+            .borrow()
+            .roster
+            .get(jid)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Opens a session for `jid` with the given one-way network latency.
+    /// An existing session for the same JID is disconnected first (a
+    /// reconnect after handover).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownAccount`] for unregistered JIDs.
+    pub fn connect(&self, jid: &Jid, latency: SimDuration) -> Result<Session, NetError> {
+        {
+            let inner = self.inner.borrow();
+            if !inner.accounts.contains(jid) {
+                return Err(NetError::UnknownAccount(jid.clone()));
+            }
+        }
+        if let Some(old) = self.inner.borrow_mut().sessions.remove(jid) {
+            old.mark_disconnected();
+        }
+        let session = Session {
+            inner: Rc::new(RefCell::new(SessionInner {
+                server: self.clone(),
+                jid: jid.clone(),
+                latency,
+                generation: 0,
+                connected: true,
+                on_receive: None,
+                on_presence: None,
+                sent: 0,
+                received: 0,
+            })),
+        };
+        self.inner
+            .borrow_mut()
+            .sessions
+            .insert(jid.clone(), session.clone());
+        self.broadcast_presence(jid, true);
+        Ok(session)
+    }
+
+    /// Notifies `jid`'s roster buddies (with live sessions) that `jid`
+    /// went on- or offline — XMPP presence, which the collector uses to
+    /// retransmit pending messages on device reconnect.
+    fn broadcast_presence(&self, jid: &Jid, online: bool) {
+        let watchers: Vec<Session> = {
+            let inner = self.inner.borrow();
+            inner
+                .roster
+                .get(jid)
+                .map(|buddies| {
+                    buddies
+                        .iter()
+                        .filter_map(|b| inner.sessions.get(b).cloned())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        for watcher in watchers {
+            let handler = watcher.inner.borrow().on_presence.clone();
+            if let Some(handler) = handler {
+                handler(jid, online);
+            }
+        }
+    }
+
+    /// True if `jid` has a live session.
+    pub fn is_online(&self, jid: &Jid) -> bool {
+        self.inner.borrow().sessions.contains_key(jid)
+    }
+
+    /// Envelopes delivered end-to-end.
+    pub fn routed(&self) -> u64 {
+        self.inner.borrow().routed
+    }
+
+    /// Envelopes dropped (recipient offline or session died in flight).
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Second routing hop: the envelope reached the server; forward it to
+    /// the recipient's current session if any.
+    fn route(&self, envelope: Envelope) {
+        let (recipient, sim) = {
+            let inner = self.inner.borrow();
+            (inner.sessions.get(&envelope.to).cloned(), inner.sim.clone())
+        };
+        let Some(recipient) = recipient else {
+            self.inner.borrow_mut().dropped += 1;
+            return;
+        };
+        let expected_gen = recipient.generation();
+        let latency = recipient.latency();
+        let server = self.clone();
+        sim.schedule_in(latency, move || {
+            if recipient.is_connected() && recipient.generation() == expected_gen {
+                server.inner.borrow_mut().routed += 1;
+                recipient.deliver(envelope);
+            } else {
+                server.inner.borrow_mut().dropped += 1;
+            }
+        });
+    }
+}
+
+type PresenceListener = Rc<dyn Fn(&Jid, bool)>;
+
+struct SessionInner {
+    server: Switchboard,
+    jid: Jid,
+    latency: SimDuration,
+    generation: u64,
+    connected: bool,
+    on_receive: Option<Rc<dyn Fn(Envelope)>>,
+    on_presence: Option<PresenceListener>,
+    sent: u64,
+    received: u64,
+}
+
+/// A client connection to the switchboard. Cheap to clone.
+#[derive(Clone)]
+pub struct Session {
+    inner: Rc<RefCell<SessionInner>>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Session")
+            .field("jid", &inner.jid)
+            .field("connected", &inner.connected)
+            .field("sent", &inner.sent)
+            .field("received", &inner.received)
+            .finish()
+    }
+}
+
+impl Session {
+    /// The JID this session authenticates as.
+    pub fn jid(&self) -> Jid {
+        self.inner.borrow().jid.clone()
+    }
+
+    /// True until [`Session::disconnect`] (or a replacing reconnect).
+    pub fn is_connected(&self) -> bool {
+        self.inner.borrow().connected
+    }
+
+    /// One-way latency of this session's link.
+    pub fn latency(&self) -> SimDuration {
+        self.inner.borrow().latency
+    }
+
+    /// Envelopes handed to [`Session::send`].
+    pub fn sent_count(&self) -> u64 {
+        self.inner.borrow().sent
+    }
+
+    /// Envelopes delivered to this session.
+    pub fn received_count(&self) -> u64 {
+        self.inner.borrow().received
+    }
+
+    /// Installs the receive callback (replacing any previous one).
+    pub fn on_receive(&self, f: impl Fn(Envelope) + 'static) {
+        self.inner.borrow_mut().on_receive = Some(Rc::new(f));
+    }
+
+    /// Installs the presence callback: invoked with `(buddy, online)`
+    /// when a roster buddy's session opens or closes.
+    pub fn on_presence(&self, f: impl Fn(&Jid, bool) + 'static) {
+        self.inner.borrow_mut().on_presence = Some(Rc::new(f));
+    }
+
+    /// Sends a payload to `to`, subject to roster authorization. Delivery
+    /// is asynchronous and may silently fail if either session dies while
+    /// the envelope is in flight, or if the recipient is offline — use the
+    /// [`crate::reliable`] layer on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotConnected`] or [`NetError::NotAuthorized`].
+    pub fn send(&self, to: &Jid, seq: u64, payload: Payload) -> Result<(), NetError> {
+        let (server, from, latency, my_gen) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.connected {
+                return Err(NetError::NotConnected);
+            }
+            inner.sent += 1;
+            (
+                inner.server.clone(),
+                inner.jid.clone(),
+                inner.latency,
+                inner.generation,
+            )
+        };
+        // Roster check at the server.
+        let authorized = {
+            let inner = server.inner.borrow();
+            inner
+                .roster
+                .get(&from)
+                .is_some_and(|buddies| buddies.contains(to))
+        };
+        if !authorized {
+            return Err(NetError::NotAuthorized {
+                from,
+                to: to.clone(),
+            });
+        }
+        let envelope = Envelope {
+            from,
+            to: to.clone(),
+            seq,
+            payload,
+            sent_at_ms: server.inner.borrow().sim.now().as_millis(),
+        };
+        let sim = server.inner.borrow().sim.clone();
+        let me = self.clone();
+        sim.schedule_in(latency, move || {
+            // Uplink leg: lost if our session died while in flight.
+            if me.is_connected() && me.generation() == my_gen {
+                let server = me.inner.borrow().server.clone();
+                server.route(envelope);
+            } else {
+                let server = me.inner.borrow().server.clone();
+                server.inner.borrow_mut().dropped += 1;
+            }
+        });
+        Ok(())
+    }
+
+    /// Tears the session down (handover, airplane mode, reboot). In-flight
+    /// envelopes in either direction are lost.
+    pub fn disconnect(&self) {
+        let (server, jid, was_connected) = {
+            let inner = self.inner.borrow();
+            (inner.server.clone(), inner.jid.clone(), inner.connected)
+        };
+        if !was_connected {
+            return;
+        }
+        self.mark_disconnected();
+        let removed = {
+            let mut server_inner = server.inner.borrow_mut();
+            // Only remove the registry entry if it is still this session.
+            match server_inner.sessions.get(&jid) {
+                Some(current) if Rc::ptr_eq(&current.inner, &self.inner) => {
+                    server_inner.sessions.remove(&jid);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if removed {
+            server.broadcast_presence(&jid, false);
+        }
+    }
+
+    fn mark_disconnected(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.connected = false;
+        inner.generation += 1;
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.borrow().generation
+    }
+
+    fn deliver(&self, envelope: Envelope) {
+        let handler = {
+            let mut inner = self.inner.borrow_mut();
+            inner.received += 1;
+            inner.on_receive.clone()
+        };
+        if let Some(handler) = handler {
+            handler(envelope);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo_sim::SimTime;
+
+    fn setup() -> (Sim, Switchboard, Jid, Jid) {
+        let sim = Sim::new();
+        let server = Switchboard::new(&sim);
+        let dev = Jid::new("device@pogo").unwrap();
+        let col = Jid::new("collector@pogo").unwrap();
+        server.register(&dev);
+        server.register(&col);
+        server.befriend(&dev, &col).unwrap();
+        (sim, server, dev, col)
+    }
+
+    fn received_log(session: &Session) -> Rc<RefCell<Vec<Envelope>>> {
+        let log: Rc<RefCell<Vec<Envelope>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        session.on_receive(move |e| l.borrow_mut().push(e));
+        log
+    }
+
+    #[test]
+    fn end_to_end_delivery_with_latency() {
+        let (sim, server, dev, col) = setup();
+        let ds = server.connect(&dev, SimDuration::from_millis(80)).unwrap();
+        let cs = server.connect(&col, SimDuration::from_millis(20)).unwrap();
+        let log = received_log(&cs);
+        ds.send(&col, 1, Payload::Data("hi".into())).unwrap();
+        sim.run_until(SimTime::from_millis(99));
+        assert!(log.borrow().is_empty(), "not before 100 ms total latency");
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.borrow()[0].data(), Some("hi"));
+        assert_eq!(server.routed(), 1);
+    }
+
+    #[test]
+    fn offline_recipient_drops() {
+        let (sim, server, dev, col) = setup();
+        let ds = server.connect(&dev, SimDuration::from_millis(10)).unwrap();
+        ds.send(&col, 1, Payload::Data("x".into())).unwrap();
+        sim.run_until_idle();
+        assert_eq!(server.routed(), 0);
+        assert_eq!(server.dropped(), 1);
+    }
+
+    #[test]
+    fn unauthorized_send_rejected() {
+        let (_sim, server, dev, _col) = setup();
+        let stranger = Jid::new("stranger@pogo").unwrap();
+        server.register(&stranger);
+        let ss = server
+            .connect(&stranger, SimDuration::from_millis(10))
+            .unwrap();
+        let err = ss.send(&dev, 1, Payload::Data("x".into())).unwrap_err();
+        assert!(matches!(err, NetError::NotAuthorized { .. }));
+    }
+
+    #[test]
+    fn unknown_account_cannot_connect() {
+        let (_sim, server, _dev, _col) = setup();
+        let ghost = Jid::new("ghost@pogo").unwrap();
+        assert_eq!(
+            server.connect(&ghost, SimDuration::ZERO).unwrap_err(),
+            NetError::UnknownAccount(ghost)
+        );
+    }
+
+    #[test]
+    fn handover_loses_in_flight_uplink() {
+        let (sim, server, dev, col) = setup();
+        let ds = server.connect(&dev, SimDuration::from_millis(100)).unwrap();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let log = received_log(&cs);
+        ds.send(&col, 1, Payload::Data("doomed".into())).unwrap();
+        // The interface changes 50 ms in — mid-flight.
+        let ds2 = ds.clone();
+        sim.schedule_in(SimDuration::from_millis(50), move || ds2.disconnect());
+        sim.run_until_idle();
+        assert!(log.borrow().is_empty());
+        assert_eq!(server.dropped(), 1);
+    }
+
+    #[test]
+    fn handover_loses_in_flight_downlink() {
+        let (sim, server, dev, col) = setup();
+        let ds = server.connect(&dev, SimDuration::from_millis(10)).unwrap();
+        let cs = server.connect(&col, SimDuration::from_millis(100)).unwrap();
+        let log = received_log(&cs);
+        ds.send(&col, 1, Payload::Data("doomed".into())).unwrap();
+        // Collector's link drops while the server→collector leg is in
+        // flight (10 ms uplink + 100 ms downlink; cut at 60 ms).
+        let cs2 = cs.clone();
+        sim.schedule_in(SimDuration::from_millis(60), move || cs2.disconnect());
+        sim.run_until_idle();
+        assert!(log.borrow().is_empty());
+        assert_eq!(server.dropped(), 1);
+    }
+
+    #[test]
+    fn reconnect_replaces_session_and_old_one_is_dead() {
+        let (sim, server, dev, col) = setup();
+        let old = server.connect(&dev, SimDuration::from_millis(10)).unwrap();
+        let new = server.connect(&dev, SimDuration::from_millis(10)).unwrap();
+        assert!(!old.is_connected(), "old session died on reconnect");
+        assert!(new.is_connected());
+        assert!(server.is_online(&dev));
+        assert_eq!(
+            old.send(&col, 1, Payload::Data("x".into())).unwrap_err(),
+            NetError::NotConnected
+        );
+        let _ = sim;
+    }
+
+    #[test]
+    fn messages_after_reconnect_flow_again() {
+        let (sim, server, dev, col) = setup();
+        let cs = server.connect(&col, SimDuration::from_millis(5)).unwrap();
+        let log = received_log(&cs);
+        let ds = server.connect(&dev, SimDuration::from_millis(5)).unwrap();
+        ds.disconnect();
+        assert!(!server.is_online(&dev));
+        let ds = server.connect(&dev, SimDuration::from_millis(5)).unwrap();
+        ds.send(&col, 7, Payload::Data("back".into())).unwrap();
+        sim.run_until_idle();
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.borrow()[0].seq, 7);
+    }
+
+    #[test]
+    fn unfriend_revokes_authorization() {
+        let (_sim, server, dev, col) = setup();
+        let ds = server.connect(&dev, SimDuration::ZERO).unwrap();
+        server.unfriend(&dev, &col);
+        assert!(ds.send(&col, 1, Payload::Data("x".into())).is_err());
+        assert!(server.roster(&dev).is_empty());
+    }
+
+    #[test]
+    fn presence_notifies_roster_buddies() {
+        let (_sim, server, dev, col) = setup();
+        let cs = server.connect(&col, SimDuration::from_millis(5)).unwrap();
+        let events: Rc<RefCell<Vec<(String, bool)>>> = Rc::new(RefCell::new(Vec::new()));
+        let e = events.clone();
+        cs.on_presence(move |jid, online| e.borrow_mut().push((jid.to_string(), online)));
+        let ds = server.connect(&dev, SimDuration::from_millis(5)).unwrap();
+        ds.disconnect();
+        // Strangers generate no presence.
+        let stranger = Jid::new("stranger@pogo").unwrap();
+        server.register(&stranger);
+        let _ss = server.connect(&stranger, SimDuration::ZERO).unwrap();
+        assert_eq!(
+            *events.borrow(),
+            vec![
+                ("device@pogo".to_owned(), true),
+                ("device@pogo".to_owned(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn roster_lists_buddies_sorted() {
+        let (_sim, server, dev, col) = setup();
+        let r2 = Jid::new("another@pogo").unwrap();
+        server.register(&r2);
+        server.befriend(&dev, &r2).unwrap();
+        let roster = server.roster(&dev);
+        assert_eq!(roster, vec![r2, col]);
+    }
+}

@@ -1,0 +1,212 @@
+//! The persistent outgoing message buffer.
+//!
+//! §4.6: "Messages are … buffered at the device and sent out in batches.
+//! Buffered messages are stored in an embedded SQL database to ensure
+//! that no messages are lost should a device reboot or run out of
+//! battery." And §5.3's hard-earned lesson: "we had configured *Pogo* to
+//! drop messages older than 24 hours if there was no Internet
+//! connectivity" — which silently purged user 2a's roaming trip and user
+//! 3's outage window. Both behaviours live here.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use pogo_sim::{SimDuration, SimTime};
+
+use crate::jid::Jid;
+
+/// One buffered message awaiting delivery and acknowledgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredMessage {
+    /// Sender-assigned sequence number.
+    pub seq: u64,
+    /// Recipient.
+    pub to: Jid,
+    /// Serialized payload.
+    pub data: String,
+    /// When the message was enqueued.
+    pub enqueued_at: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<StoredMessage>,
+    next_seq: u64,
+    enqueued: u64,
+    purged: u64,
+    acked: u64,
+}
+
+/// A persistent store-and-forward queue (the embedded-database stand-in).
+///
+/// The handle is cheap to clone. Persistence across reboots is modelled by
+/// *keeping the store alive* while the middleware around it is torn down
+/// and recreated — exactly what a database file on flash gives you.
+#[derive(Debug, Clone, Default)]
+pub struct MessageStore {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl MessageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MessageStore::default()
+    }
+
+    /// Enqueues a payload for `to`; returns the assigned sequence number.
+    pub fn enqueue(&self, to: &Jid, data: String, now: SimTime) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.enqueued += 1;
+        inner.queue.push_back(StoredMessage {
+            seq,
+            to: to.clone(),
+            data,
+            enqueued_at: now,
+        });
+        seq
+    }
+
+    /// All unacknowledged messages, oldest first (retransmission reads
+    /// this; messages stay queued until [`MessageStore::ack`]).
+    pub fn pending(&self) -> Vec<StoredMessage> {
+        self.inner.borrow().queue.iter().cloned().collect()
+    }
+
+    /// Number of unacknowledged messages.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().queue.is_empty()
+    }
+
+    /// Age of the oldest unacknowledged message.
+    pub fn oldest_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.inner
+            .borrow()
+            .queue
+            .front()
+            .map(|m| now.saturating_duration_since(m.enqueued_at))
+    }
+
+    /// Removes messages acknowledged end-to-end.
+    pub fn ack(&self, seqs: &[u64]) {
+        let mut inner = self.inner.borrow_mut();
+        let before = inner.queue.len();
+        inner.queue.retain(|m| !seqs.contains(&m.seq));
+        inner.acked += (before - inner.queue.len()) as u64;
+    }
+
+    /// Drops messages older than `max_age` — the 24-hour expiry of §5.3.
+    /// Returns how many were purged.
+    pub fn purge_older_than(&self, now: SimTime, max_age: SimDuration) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let before = inner.queue.len();
+        inner
+            .queue
+            .retain(|m| now.saturating_duration_since(m.enqueued_at) <= max_age);
+        let purged = before - inner.queue.len();
+        inner.purged += purged as u64;
+        purged
+    }
+
+    /// Total messages ever enqueued.
+    pub fn enqueued_total(&self) -> u64 {
+        self.inner.borrow().enqueued
+    }
+
+    /// Total messages dropped by the age purge.
+    pub fn purged_total(&self) -> u64 {
+        self.inner.borrow().purged
+    }
+
+    /// Total messages removed by acknowledgement.
+    pub fn acked_total(&self) -> u64 {
+        self.inner.borrow().acked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jid() -> Jid {
+        Jid::new("collector@pogo").unwrap()
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn enqueue_assigns_increasing_seqs() {
+        let store = MessageStore::new();
+        let a = store.enqueue(&jid(), "a".into(), at(0));
+        let b = store.enqueue(&jid(), "b".into(), at(1));
+        assert!(b > a);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.pending()[0].data, "a");
+    }
+
+    #[test]
+    fn ack_removes_only_named_seqs() {
+        let store = MessageStore::new();
+        let a = store.enqueue(&jid(), "a".into(), at(0));
+        let b = store.enqueue(&jid(), "b".into(), at(0));
+        let c = store.enqueue(&jid(), "c".into(), at(0));
+        store.ack(&[a, c]);
+        let pending = store.pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].seq, b);
+        assert_eq!(store.acked_total(), 2);
+    }
+
+    #[test]
+    fn messages_survive_until_acked() {
+        // Reading pending() does not consume: retransmission semantics.
+        let store = MessageStore::new();
+        store.enqueue(&jid(), "a".into(), at(0));
+        assert_eq!(store.pending().len(), 1);
+        assert_eq!(store.pending().len(), 1);
+    }
+
+    #[test]
+    fn purge_drops_only_old_messages() {
+        let store = MessageStore::new();
+        store.enqueue(&jid(), "old".into(), at(0));
+        store.enqueue(
+            &jid(),
+            "new".into(),
+            SimTime::ZERO + SimDuration::from_hours(20),
+        );
+        let now = SimTime::ZERO + SimDuration::from_hours(25);
+        let purged = store.purge_older_than(now, SimDuration::from_hours(24));
+        assert_eq!(purged, 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.pending()[0].data, "new");
+        assert_eq!(store.purged_total(), 1);
+    }
+
+    #[test]
+    fn oldest_age_tracks_head() {
+        let store = MessageStore::new();
+        assert_eq!(store.oldest_age(at(100)), None);
+        store.enqueue(&jid(), "a".into(), at(100));
+        assert_eq!(store.oldest_age(at(5_100)), Some(SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn clones_share_state_like_a_database_file() {
+        let store = MessageStore::new();
+        store.enqueue(&jid(), "a".into(), at(0));
+        // "Reboot": middleware drops its handle, a new one opens the same
+        // store.
+        let reopened = store.clone();
+        assert_eq!(reopened.len(), 1);
+    }
+}

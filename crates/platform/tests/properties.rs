@@ -1,0 +1,142 @@
+//! Property-based tests for the phone platform: exact energy
+//! integration, radio state-machine invariants, and CPU power ordering.
+
+use proptest::prelude::*;
+
+use pogo_platform::{
+    CarrierProfile, CellularModem, Cpu, CpuConfig, EnergyMeter, Phone, PhoneConfig, RadioState,
+};
+use pogo_sim::{Sim, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #[test]
+    fn meter_total_equals_sum_of_rails(
+        segments in proptest::collection::vec(
+            (0usize..3, 0.0f64..2.0, 1u64..5_000),
+            1..40,
+        ),
+    ) {
+        // Arbitrary piecewise-constant schedules on three rails: the
+        // total must equal the independent per-rail integrals exactly.
+        let sim = Sim::new();
+        let meter = EnergyMeter::new(&sim);
+        let rails = [meter.register("a"), meter.register("b"), meter.register("c")];
+        let mut expected = [0.0f64; 3];
+        let mut levels = [0.0f64; 3];
+        for (rail, watts, dt_ms) in segments {
+            let dt = SimDuration::from_millis(dt_ms);
+            for i in 0..3 {
+                expected[i] += levels[i] * dt.as_secs_f64();
+            }
+            sim.run_for(dt);
+            meter.set_power(rails[rail], watts);
+            levels[rail] = watts;
+        }
+        let total: f64 = expected.iter().sum();
+        prop_assert!((meter.total_joules() - total).abs() < 1e-9);
+        for i in 0..3 {
+            prop_assert!((meter.energy_joules(rails[i]) - expected[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn radio_always_returns_to_idle_and_counts_tails(
+        sends in proptest::collection::vec((0u64..200_000, 100u64..50_000), 1..15),
+    ) {
+        // Any schedule of transfers ends with the modem idle, every byte
+        // accounted for, and ramp-ups ≤ transfers (tail reuse can only
+        // reduce them).
+        let sim = Sim::new();
+        let meter = EnergyMeter::new(&sim);
+        let modem = CellularModem::new(&sim, &meter, CarrierProfile::kpn());
+        let transitions: Rc<RefCell<Vec<RadioState>>> = Rc::new(RefCell::new(Vec::new()));
+        let tr = transitions.clone();
+        modem.on_state_change(move |s, _| tr.borrow_mut().push(s));
+        let mut total_bytes = 0u64;
+        let mut at = SimTime::ZERO;
+        for (gap_ms, bytes) in sends {
+            at += SimDuration::from_millis(gap_ms);
+            total_bytes += bytes;
+            let m = modem.clone();
+            sim.schedule_at(at, move || m.transmit(bytes, 0, || {}));
+        }
+        sim.run_until_idle();
+        prop_assert_eq!(modem.state(), RadioState::Idle);
+        prop_assert_eq!(modem.byte_counters().0, total_bytes);
+        prop_assert!(modem.ramp_ups() >= 1);
+        // Transition sanity: RampUp is always entered from a transmit in
+        // Idle/Fach, and each RampUp is eventually followed by Dch.
+        let ts = transitions.borrow();
+        for (i, s) in ts.iter().enumerate() {
+            if *s == RadioState::RampUp {
+                prop_assert!(
+                    ts[i + 1..].first() == Some(&RadioState::Dch),
+                    "ramp-up flows into DCH: {ts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radio_energy_monotone_in_tail_length(bytes in 1u64..100_000) {
+        // Same transfer, longer carrier tails ⇒ strictly more energy.
+        let energy = |profile: CarrierProfile| {
+            let sim = Sim::new();
+            let meter = EnergyMeter::new(&sim);
+            let modem = CellularModem::new(&sim, &meter, profile);
+            modem.transmit(bytes, 0, || {});
+            sim.run_until_idle();
+            sim.run_for(SimDuration::from_mins(2));
+            meter.total_joules()
+        };
+        let kpn = energy(CarrierProfile::kpn());
+        let vod = energy(CarrierProfile::vodafone());
+        let tmo = energy(CarrierProfile::t_mobile());
+        prop_assert!(kpn > vod && vod > tmo, "kpn {kpn} vod {vod} tmo {tmo}");
+    }
+
+    #[test]
+    fn cpu_awake_time_never_exceeds_wall_time(
+        alarms in proptest::collection::vec(1u64..600_000, 0..20),
+    ) {
+        let sim = Sim::new();
+        let meter = EnergyMeter::new(&sim);
+        let cpu = Cpu::new(&sim, &meter, CpuConfig::default());
+        for at in &alarms {
+            cpu.set_alarm(SimTime::from_millis(*at), || {});
+        }
+        sim.run_for(SimDuration::from_mins(15));
+        let awake = cpu.awake_time().as_millis();
+        let wall = sim.now().as_millis();
+        prop_assert!(awake <= wall);
+        // Energy bracket: between all-asleep and all-awake.
+        let joules = meter.total_joules();
+        let lo = 0.008 * wall as f64 / 1_000.0 - 1e-6;
+        let hi = 0.140 * wall as f64 / 1_000.0 + 1e-6;
+        prop_assert!(joules >= lo && joules <= hi, "{lo} <= {joules} <= {hi}");
+        prop_assert!(cpu.wakeups() <= alarms.len() as u64);
+    }
+
+    #[test]
+    fn phone_transmit_offline_never_moves_counters(
+        bytes in proptest::collection::vec(1u64..10_000, 1..10),
+    ) {
+        let sim = Sim::new();
+        let phone = Phone::new(
+            &sim,
+            PhoneConfig {
+                initial_bearer: None,
+                ..PhoneConfig::default()
+            },
+        );
+        for b in bytes {
+            let result = phone.transmit(b, 0, || {});
+            prop_assert!(result.is_err(), "offline transmit must fail");
+        }
+        sim.run_for(SimDuration::from_mins(5));
+        prop_assert_eq!(phone.mobile_byte_counters(), (0, 0));
+        prop_assert_eq!(phone.wifi().byte_counters(), (0, 0));
+    }
+}

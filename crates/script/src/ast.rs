@@ -1,0 +1,216 @@
+//! The PogoScript abstract syntax tree.
+
+use std::rc::Rc;
+
+/// A statement. Each carries the 1-based source line it starts on, used
+/// for runtime error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var a = 1, b;`
+    Var {
+        decls: Vec<(String, Option<Expr>)>,
+        line: u32,
+    },
+    /// `function name(params) { body }`
+    Func {
+        name: String,
+        params: Vec<String>,
+        body: Rc<Vec<Stmt>>,
+        line: u32,
+    },
+    /// An expression evaluated for its side effects.
+    Expr { expr: Expr, line: u32 },
+    /// `if (cond) then else els`
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+        line: u32,
+    },
+    /// `while (cond) body`
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+        line: u32,
+    },
+    /// `for (var name in object) body` — iterates object keys (as
+    /// strings) or array indices (as numbers).
+    ForIn {
+        name: String,
+        object: Expr,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    /// `return expr;`
+    Return { value: Option<Expr>, line: u32 },
+    /// `break;`
+    Break { line: u32 },
+    /// `continue;`
+    Continue { line: u32 },
+    /// `{ ... }`
+    Block { body: Vec<Stmt>, line: u32 },
+    /// A bare `;`.
+    Empty { line: u32 },
+}
+
+impl Stmt {
+    /// The source line this statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Var { line, .. }
+            | Stmt::Func { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::DoWhile { line, .. }
+            | Stmt::ForIn { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::Block { line, .. }
+            | Stmt::Empty { line } => *line,
+        }
+    }
+}
+
+/// Binary arithmetic/comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+}
+
+impl BinOp {
+    /// Operator spelling as it appears in source.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+        }
+    }
+}
+
+/// Short-circuiting logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicalOp {
+    And,
+    Or,
+}
+
+/// Unary prefix operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+    Plus,
+    Typeof,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Number(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Ident(String),
+    /// `[a, b, c]`
+    Array(Vec<Expr>),
+    /// `{ key: value, ... }` — keys are identifiers or string literals.
+    Object(Vec<(String, Expr)>),
+    /// `function (params) { body }`
+    Func {
+        params: Vec<String>,
+        body: Rc<Vec<Stmt>>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Logical {
+        op: LogicalOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then : els`
+    Ternary {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
+    /// `target = value` or compound `target op= value`.
+    Assign {
+        target: Box<Expr>,
+        op: Option<BinOp>,
+        value: Box<Expr>,
+    },
+    /// `++x`, `x++`, `--x`, `x--`
+    Update {
+        target: Box<Expr>,
+        increment: bool,
+        prefix: bool,
+    },
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    /// `obj.name`
+    Member {
+        object: Box<Expr>,
+        name: String,
+    },
+    /// `obj[index]`
+    Index {
+        object: Box<Expr>,
+        index: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// True if this expression is a valid assignment target.
+    pub fn is_lvalue(&self) -> bool {
+        matches!(
+            self,
+            Expr::Ident(_) | Expr::Member { .. } | Expr::Index { .. }
+        )
+    }
+}

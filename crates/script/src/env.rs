@@ -1,0 +1,118 @@
+//! Lexical environments (scope chains) for the interpreter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::value::Value;
+
+#[derive(Debug, Default)]
+struct Scope {
+    vars: HashMap<String, Value>,
+    parent: Option<Env>,
+}
+
+/// A lexical scope, shared by closures that capture it.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    scope: Rc<RefCell<Scope>>,
+}
+
+impl Env {
+    /// Creates a root (global) scope.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Creates a child scope whose lookups fall through to `self`.
+    pub fn child(&self) -> Env {
+        Env {
+            scope: Rc::new(RefCell::new(Scope {
+                vars: HashMap::new(),
+                parent: Some(self.clone()),
+            })),
+        }
+    }
+
+    /// Declares (or redeclares) a variable in *this* scope.
+    pub fn declare(&self, name: impl Into<String>, value: Value) {
+        self.scope.borrow_mut().vars.insert(name.into(), value);
+    }
+
+    /// Looks a name up through the scope chain.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        let scope = self.scope.borrow();
+        if let Some(v) = scope.vars.get(name) {
+            return Some(v.clone());
+        }
+        scope.parent.as_ref().and_then(|p| p.get(name))
+    }
+
+    /// Assigns to an existing variable somewhere in the chain. Returns
+    /// `false` if the name is not declared anywhere (PogoScript has no
+    /// implicit globals — §4.4's sandbox would not want them).
+    pub fn assign(&self, name: &str, value: Value) -> bool {
+        let mut scope = self.scope.borrow_mut();
+        if let Some(slot) = scope.vars.get_mut(name) {
+            *slot = value;
+            return true;
+        }
+        match &scope.parent {
+            Some(parent) => parent.assign(name, value),
+            None => false,
+        }
+    }
+
+    /// True if `name` is declared in this scope (not the chain).
+    pub fn declared_locally(&self, name: &str) -> bool {
+        self.scope.borrow().vars.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_walks_the_chain() {
+        let root = Env::new();
+        root.declare("x", Value::from(1.0));
+        let child = root.child();
+        assert_eq!(child.get("x"), Some(Value::from(1.0)));
+        assert_eq!(child.get("y"), None);
+    }
+
+    #[test]
+    fn shadowing_in_child_scope() {
+        let root = Env::new();
+        root.declare("x", Value::from(1.0));
+        let child = root.child();
+        child.declare("x", Value::from(2.0));
+        assert_eq!(child.get("x"), Some(Value::from(2.0)));
+        assert_eq!(root.get("x"), Some(Value::from(1.0)));
+    }
+
+    #[test]
+    fn assign_mutates_outer_variable() {
+        let root = Env::new();
+        root.declare("x", Value::from(1.0));
+        let child = root.child();
+        assert!(child.assign("x", Value::from(5.0)));
+        assert_eq!(root.get("x"), Some(Value::from(5.0)));
+    }
+
+    #[test]
+    fn assign_to_undeclared_fails() {
+        let root = Env::new();
+        assert!(!root.assign("nope", Value::Null));
+    }
+
+    #[test]
+    fn sibling_scopes_are_independent() {
+        let root = Env::new();
+        let a = root.child();
+        let b = root.child();
+        a.declare("x", Value::from(1.0));
+        assert_eq!(b.get("x"), None);
+    }
+}

@@ -1,0 +1,1110 @@
+//! The tree-walking interpreter.
+
+use std::rc::Rc;
+
+use crate::ast::{BinOp, Expr, LogicalOp, Stmt, UnaryOp};
+use crate::builtins;
+use crate::env::Env;
+use crate::error::{ErrorKind, ScriptError};
+use crate::parser::parse;
+use crate::value::{Closure, NativeFn, Value};
+
+/// Default per-invocation instruction budget: the deterministic analogue
+/// of the paper's 100 ms callback watchdog (§4.5), at a nominal 1 µs per
+/// interpreter step.
+pub const DEFAULT_BUDGET: u64 = 100_000;
+
+/// Maximum script call-stack depth. Conservative: each script frame
+/// costs several Rust frames in this tree-walking interpreter, and the
+/// host may run on a 2 MiB thread stack. Pogo's sensing scripts iterate,
+/// they don't recurse deeply.
+const MAX_DEPTH: usize = 100;
+
+/// Statement execution outcome.
+enum Flow {
+    Normal,
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// A PogoScript interpreter instance: global scope plus watchdog state.
+///
+/// One interpreter corresponds to one running script in the middleware;
+/// the host registers its API as native functions and then calls into
+/// script functions as events arrive.
+pub struct Interpreter {
+    globals: Env,
+    steps_remaining: u64,
+    budget_limit: Option<u64>,
+    depth: usize,
+    current_line: u32,
+}
+
+impl std::fmt::Debug for Interpreter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interpreter")
+            .field("budget_limit", &self.budget_limit)
+            .field("steps_remaining", &self.steps_remaining)
+            .finish()
+    }
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the standard builtins installed and no
+    /// instruction budget.
+    pub fn new() -> Self {
+        let globals = Env::new();
+        builtins::install(&globals);
+        Interpreter {
+            globals,
+            steps_remaining: u64::MAX,
+            budget_limit: None,
+            depth: 0,
+            current_line: 0,
+        }
+    }
+
+    /// The global scope (for hosts that need direct access).
+    pub fn globals(&self) -> &Env {
+        &self.globals
+    }
+
+    /// Registers a host function under `name` in the global scope.
+    pub fn register_native(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut Interpreter, &[Value]) -> Result<Value, ScriptError> + 'static,
+    ) {
+        self.globals.declare(
+            name,
+            Value::Native(Rc::new(NativeFn {
+                name: name.to_owned(),
+                func: Box::new(f),
+            })),
+        );
+    }
+
+    /// Sets the per-invocation instruction budget. `None` disables the
+    /// watchdog. The budget is re-armed on every [`Interpreter::eval`],
+    /// [`Interpreter::run`], and [`Interpreter::call`] from the host.
+    pub fn set_budget(&mut self, steps: Option<u64>) {
+        self.budget_limit = steps;
+        self.steps_remaining = steps.unwrap_or(u64::MAX);
+    }
+
+    /// Steps left in the current invocation (meaningful only with a
+    /// budget set).
+    pub fn steps_remaining(&self) -> u64 {
+        self.steps_remaining
+    }
+
+    /// Parses and executes `source` in the global scope, returning the
+    /// value of the last expression statement (or `null`).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, runtime errors, or [`ErrorKind::Timeout`] if
+    /// the instruction budget is exhausted.
+    pub fn eval(&mut self, source: &str) -> Result<Value, ScriptError> {
+        let program = parse(source)?;
+        self.run(&program)
+    }
+
+    /// Executes an already-parsed program in the global scope.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::eval`].
+    pub fn run(&mut self, program: &[Stmt]) -> Result<Value, ScriptError> {
+        self.arm_budget();
+        let env = self.globals.clone();
+        self.hoist(program, &env);
+        let mut last = Value::Null;
+        for stmt in program {
+            if let Stmt::Expr { expr, line } = stmt {
+                self.current_line = *line;
+                last = self.eval_expr(expr, &env)?;
+            } else {
+                match self.exec_stmt(stmt, &env)? {
+                    Flow::Normal => {}
+                    Flow::Return(v) => return Ok(v),
+                    Flow::Break | Flow::Continue => {
+                        return Err(
+                            self.rt_err(ErrorKind::Parse, "break/continue outside of a loop")
+                        )
+                    }
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Calls a script (or native) function value from the host, re-arming
+    /// the instruction budget first. This is how the middleware delivers
+    /// subscription events and timer callbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::Type`] if `f` is not callable, plus any error
+    /// the function raises.
+    pub fn call(&mut self, f: &Value, args: &[Value]) -> Result<Value, ScriptError> {
+        self.arm_budget();
+        self.call_value(f, args)
+    }
+
+    fn arm_budget(&mut self) {
+        self.steps_remaining = self.budget_limit.unwrap_or(u64::MAX);
+    }
+
+    /// Calls a function without touching the budget (used for nested
+    /// script-level calls).
+    pub(crate) fn call_value(&mut self, f: &Value, args: &[Value]) -> Result<Value, ScriptError> {
+        match f {
+            Value::Func(closure) => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(self.rt_err(ErrorKind::StackOverflow, "call stack exhausted"));
+                }
+                self.depth += 1;
+                let env = closure.env.child();
+                for (i, param) in closure.params.iter().enumerate() {
+                    env.declare(param.clone(), args.get(i).cloned().unwrap_or(Value::Null));
+                }
+                self.hoist(&closure.body, &env);
+                let mut result = Value::Null;
+                let mut error = None;
+                for stmt in closure.body.iter() {
+                    match self.exec_stmt(stmt, &env) {
+                        Ok(Flow::Normal) => {}
+                        Ok(Flow::Return(v)) => {
+                            result = v;
+                            break;
+                        }
+                        Ok(Flow::Break) | Ok(Flow::Continue) => {
+                            error = Some(
+                                self.rt_err(ErrorKind::Parse, "break/continue outside of a loop"),
+                            );
+                            break;
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                self.depth -= 1;
+                match error {
+                    Some(e) => Err(e),
+                    None => Ok(result),
+                }
+            }
+            Value::Native(native) => {
+                (native.func)(self, args).map_err(|e| e.with_line_if_unset(self.current_line))
+            }
+            other => Err(self.rt_err(
+                ErrorKind::Type,
+                format!("{} is not a function", other.type_name()),
+            )),
+        }
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    fn rt_err(&self, kind: ErrorKind, msg: impl Into<String>) -> ScriptError {
+        ScriptError::new(kind, msg, self.current_line)
+    }
+
+    fn step(&mut self) -> Result<(), ScriptError> {
+        if self.steps_remaining == 0 {
+            return Err(self.rt_err(
+                ErrorKind::Timeout,
+                "instruction budget exhausted (callback watchdog)",
+            ));
+        }
+        self.steps_remaining -= 1;
+        Ok(())
+    }
+
+    /// Declares function statements ahead of execution so forward and
+    /// mutual references work (JavaScript hoisting).
+    fn hoist(&mut self, body: &[Stmt], env: &Env) {
+        for stmt in body {
+            if let Stmt::Func {
+                name, params, body, ..
+            } = stmt
+            {
+                env.declare(
+                    name.clone(),
+                    Value::Func(Rc::new(Closure {
+                        params: params.clone(),
+                        body: body.clone(),
+                        env: env.clone(),
+                        name: name.clone(),
+                    })),
+                );
+            }
+        }
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &Env) -> Result<Flow, ScriptError> {
+        self.current_line = stmt.line();
+        self.step()?;
+        match stmt {
+            Stmt::Var { decls, .. } => {
+                for (name, init) in decls {
+                    let value = match init {
+                        Some(expr) => self.eval_expr(expr, env)?,
+                        None => Value::Null,
+                    };
+                    env.declare(name.clone(), value);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Func { .. } => Ok(Flow::Normal), // handled by hoisting
+            Stmt::Expr { expr, .. } => {
+                self.eval_expr(expr, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond, then, els, ..
+            } => {
+                if self.eval_expr(cond, env)?.is_truthy() {
+                    self.exec_stmt(then, env)
+                } else if let Some(els) = els {
+                    self.exec_stmt(els, env)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.eval_expr(cond, env)?.is_truthy() {
+                    match self.exec_stmt(body, env)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                loop {
+                    match self.exec_stmt(body, env)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    if !self.eval_expr(cond, env)?.is_truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ForIn {
+                name, object, body, ..
+            } => {
+                let object = self.eval_expr(object, env)?;
+                let keys: Vec<Value> = match &object {
+                    Value::Object(map) => map.borrow().keys().map(Value::str).collect(),
+                    Value::Array(items) => (0..items.borrow().len())
+                        .map(|i| Value::Num(i as f64))
+                        .collect(),
+                    Value::Null => Vec::new(),
+                    other => {
+                        return Err(self.rt_err(
+                            ErrorKind::Type,
+                            format!("cannot enumerate a {}", other.type_name()),
+                        ))
+                    }
+                };
+                let scope = env.child();
+                scope.declare(name.clone(), Value::Null);
+                for key in keys {
+                    scope.declare(name.clone(), key);
+                    match self.exec_stmt(body, &scope)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                let scope = env.child();
+                if let Some(init) = init {
+                    self.exec_stmt(init, &scope)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if !self.eval_expr(cond, &scope)?.is_truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec_stmt(body, &scope)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    if let Some(step) = step {
+                        self.eval_expr(step, &scope)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(expr) => self.eval_expr(expr, env)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break { .. } => Ok(Flow::Break),
+            Stmt::Continue { .. } => Ok(Flow::Continue),
+            Stmt::Block { body, .. } => {
+                let scope = env.child();
+                self.hoist(body, &scope);
+                for stmt in body {
+                    match self.exec_stmt(stmt, &scope)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Empty { .. } => Ok(Flow::Normal),
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------------
+
+    fn eval_expr(&mut self, expr: &Expr, env: &Env) -> Result<Value, ScriptError> {
+        self.step()?;
+        match expr {
+            Expr::Number(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Ident(name) => env.get(name).ok_or_else(|| {
+                self.rt_err(ErrorKind::Reference, format!("`{name}` is not defined"))
+            }),
+            Expr::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval_expr(item, env)?);
+                }
+                Ok(Value::array(out))
+            }
+            Expr::Object(props) => {
+                let mut map = crate::value::ObjMap::new();
+                for (key, value) in props {
+                    let v = self.eval_expr(value, env)?;
+                    map.insert(key.clone(), v);
+                }
+                Ok(Value::object(map))
+            }
+            Expr::Func { params, body } => Ok(Value::Func(Rc::new(Closure {
+                params: params.clone(),
+                body: body.clone(),
+                env: env.clone(),
+                name: "<anonymous>".to_owned(),
+            }))),
+            Expr::Unary { op, expr } => {
+                let v = self.eval_expr(expr, env)?;
+                self.eval_unary(*op, v)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval_expr(lhs, env)?;
+                let b = self.eval_expr(rhs, env)?;
+                self.eval_binary(*op, a, b)
+            }
+            Expr::Logical { op, lhs, rhs } => {
+                let a = self.eval_expr(lhs, env)?;
+                match op {
+                    LogicalOp::And => {
+                        if a.is_truthy() {
+                            self.eval_expr(rhs, env)
+                        } else {
+                            Ok(a)
+                        }
+                    }
+                    LogicalOp::Or => {
+                        if a.is_truthy() {
+                            Ok(a)
+                        } else {
+                            self.eval_expr(rhs, env)
+                        }
+                    }
+                }
+            }
+            Expr::Ternary { cond, then, els } => {
+                if self.eval_expr(cond, env)?.is_truthy() {
+                    self.eval_expr(then, env)
+                } else {
+                    self.eval_expr(els, env)
+                }
+            }
+            Expr::Assign { target, op, value } => {
+                let rhs = self.eval_expr(value, env)?;
+                let new_value = match op {
+                    None => rhs,
+                    Some(op) => {
+                        let current = self.eval_expr(target, env)?;
+                        self.eval_binary(*op, current, rhs)?
+                    }
+                };
+                self.assign_to(target, new_value.clone(), env)?;
+                Ok(new_value)
+            }
+            Expr::Update {
+                target,
+                increment,
+                prefix,
+            } => {
+                let current = self.eval_expr(target, env)?;
+                let n = current.as_num().ok_or_else(|| {
+                    self.rt_err(
+                        ErrorKind::Type,
+                        format!(
+                            "cannot {} a {}",
+                            if *increment { "increment" } else { "decrement" },
+                            current.type_name()
+                        ),
+                    )
+                })?;
+                let updated = if *increment { n + 1.0 } else { n - 1.0 };
+                self.assign_to(target, Value::Num(updated), env)?;
+                Ok(Value::Num(if *prefix { updated } else { n }))
+            }
+            Expr::Call { callee, args, line } => {
+                self.current_line = *line;
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(self.eval_expr(arg, env)?);
+                }
+                self.current_line = *line;
+                // Method call: dispatch on the receiver so `arr.push(x)`
+                // and `subscription.release()` work.
+                if let Expr::Member { object, name } = callee.as_ref() {
+                    let receiver = self.eval_expr(object, env)?;
+                    self.current_line = *line;
+                    return self.call_method(receiver, name, &arg_values);
+                }
+                let f = self.eval_expr(callee, env)?;
+                self.current_line = *line;
+                self.call_value(&f, &arg_values)
+            }
+            Expr::Member { object, name } => {
+                let obj = self.eval_expr(object, env)?;
+                self.get_member(&obj, name)
+            }
+            Expr::Index { object, index } => {
+                let obj = self.eval_expr(object, env)?;
+                let idx = self.eval_expr(index, env)?;
+                self.get_index(&obj, &idx)
+            }
+        }
+    }
+
+    fn eval_unary(&self, op: UnaryOp, v: Value) -> Result<Value, ScriptError> {
+        match op {
+            UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
+            UnaryOp::Neg => match v.as_num() {
+                Some(n) => Ok(Value::Num(-n)),
+                None => Err(self.rt_err(
+                    ErrorKind::Type,
+                    format!("cannot negate a {}", v.type_name()),
+                )),
+            },
+            UnaryOp::Plus => match v.as_num() {
+                Some(n) => Ok(Value::Num(n)),
+                None => Err(self.rt_err(
+                    ErrorKind::Type,
+                    format!("unary + applied to a {}", v.type_name()),
+                )),
+            },
+            UnaryOp::Typeof => Ok(Value::str(v.type_name())),
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, a: Value, b: Value) -> Result<Value, ScriptError> {
+        use BinOp::*;
+        match op {
+            Add => match (&a, &b) {
+                (Value::Num(x), Value::Num(y)) => Ok(Value::Num(x + y)),
+                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::from(format!(
+                    "{}{}",
+                    a.to_display_string(),
+                    b.to_display_string()
+                ))),
+                _ => Err(self.num_op_err(op, &a, &b)),
+            },
+            Sub | Mul | Div | Rem => match (a.as_num(), b.as_num()) {
+                (Some(x), Some(y)) => Ok(Value::Num(match op {
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Rem => x % y,
+                    _ => unreachable!(),
+                })),
+                _ => Err(self.num_op_err(op, &a, &b)),
+            },
+            Eq => Ok(Value::Bool(a == b)),
+            NotEq => Ok(Value::Bool(a != b)),
+            Lt | Gt | Le | Ge => {
+                let ord = match (&a, &b) {
+                    (Value::Num(x), Value::Num(y)) => x.partial_cmp(y),
+                    (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+                    _ => return Err(self.num_op_err(op, &a, &b)),
+                };
+                let result = match (op, ord) {
+                    (_, None) => false, // NaN comparisons
+                    (Lt, Some(o)) => o == std::cmp::Ordering::Less,
+                    (Gt, Some(o)) => o == std::cmp::Ordering::Greater,
+                    (Le, Some(o)) => o != std::cmp::Ordering::Greater,
+                    (Ge, Some(o)) => o != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(result))
+            }
+        }
+    }
+
+    fn num_op_err(&self, op: BinOp, a: &Value, b: &Value) -> ScriptError {
+        self.rt_err(
+            ErrorKind::Type,
+            format!(
+                "operator `{}` not applicable to {} and {}",
+                op.symbol(),
+                a.type_name(),
+                b.type_name()
+            ),
+        )
+    }
+
+    fn assign_to(&mut self, target: &Expr, value: Value, env: &Env) -> Result<(), ScriptError> {
+        match target {
+            Expr::Ident(name) => {
+                if env.assign(name, value) {
+                    Ok(())
+                } else {
+                    Err(self.rt_err(
+                        ErrorKind::Reference,
+                        format!("assignment to undeclared variable `{name}`"),
+                    ))
+                }
+            }
+            Expr::Member { object, name } => {
+                let obj = self.eval_expr(object, env)?;
+                match obj {
+                    Value::Object(map) => {
+                        map.borrow_mut().insert(name.clone(), value);
+                        Ok(())
+                    }
+                    other => Err(self.rt_err(
+                        ErrorKind::Type,
+                        format!("cannot set property `{name}` on a {}", other.type_name()),
+                    )),
+                }
+            }
+            Expr::Index { object, index } => {
+                let obj = self.eval_expr(object, env)?;
+                let idx = self.eval_expr(index, env)?;
+                match (&obj, &idx) {
+                    (Value::Array(items), Value::Num(n)) => {
+                        let i = *n as usize;
+                        if n.fract() != 0.0 || *n < 0.0 {
+                            return Err(
+                                self.rt_err(ErrorKind::Type, format!("invalid array index {n}"))
+                            );
+                        }
+                        let mut items = items.borrow_mut();
+                        if i >= items.len() {
+                            items.resize(i + 1, Value::Null);
+                        }
+                        items[i] = value;
+                        Ok(())
+                    }
+                    (Value::Object(map), Value::Str(key)) => {
+                        map.borrow_mut().insert(key.to_string(), value);
+                        Ok(())
+                    }
+                    (obj, idx) => Err(self.rt_err(
+                        ErrorKind::Type,
+                        format!(
+                            "cannot index a {} with a {}",
+                            obj.type_name(),
+                            idx.type_name()
+                        ),
+                    )),
+                }
+            }
+            _ => Err(self.rt_err(ErrorKind::Type, "invalid assignment target")),
+        }
+    }
+
+    fn get_member(&mut self, obj: &Value, name: &str) -> Result<Value, ScriptError> {
+        match obj {
+            Value::Object(map) => Ok(map.borrow().get(name).cloned().unwrap_or(Value::Null)),
+            Value::Array(items) => match name {
+                "length" => Ok(Value::Num(items.borrow().len() as f64)),
+                _ => Err(self.rt_err(
+                    ErrorKind::Type,
+                    format!("arrays have no property `{name}` (did you mean to call it?)"),
+                )),
+            },
+            Value::Str(s) => match name {
+                "length" => Ok(Value::Num(s.chars().count() as f64)),
+                _ => Err(self.rt_err(
+                    ErrorKind::Type,
+                    format!("strings have no property `{name}` (did you mean to call it?)"),
+                )),
+            },
+            Value::Null => Err(self.rt_err(
+                ErrorKind::Type,
+                format!("cannot read property `{name}` of null"),
+            )),
+            other => Err(self.rt_err(
+                ErrorKind::Type,
+                format!("cannot read property `{name}` of a {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn get_index(&mut self, obj: &Value, idx: &Value) -> Result<Value, ScriptError> {
+        match (obj, idx) {
+            (Value::Array(items), Value::Num(n)) => {
+                if *n < 0.0 || n.fract() != 0.0 {
+                    return Ok(Value::Null);
+                }
+                Ok(items
+                    .borrow()
+                    .get(*n as usize)
+                    .cloned()
+                    .unwrap_or(Value::Null))
+            }
+            (Value::Object(map), Value::Str(key)) => {
+                Ok(map.borrow().get(key).cloned().unwrap_or(Value::Null))
+            }
+            (Value::Str(s), Value::Num(n)) => {
+                if *n < 0.0 || n.fract() != 0.0 {
+                    return Ok(Value::Null);
+                }
+                Ok(s.chars()
+                    .nth(*n as usize)
+                    .map(|c| Value::from(c.to_string()))
+                    .unwrap_or(Value::Null))
+            }
+            (Value::Null, _) => Err(self.rt_err(ErrorKind::Type, "cannot index null")),
+            (obj, idx) => Err(self.rt_err(
+                ErrorKind::Type,
+                format!(
+                    "cannot index a {} with a {}",
+                    obj.type_name(),
+                    idx.type_name()
+                ),
+            )),
+        }
+    }
+
+    /// Dispatches `receiver.name(args)`.
+    fn call_method(
+        &mut self,
+        receiver: Value,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, ScriptError> {
+        match &receiver {
+            Value::Object(map) => {
+                let method = map.borrow().get(name).cloned();
+                match method {
+                    Some(f @ (Value::Func(_) | Value::Native(_))) => self.call_value(&f, args),
+                    Some(other) => Err(self.rt_err(
+                        ErrorKind::Type,
+                        format!(
+                            "property `{name}` is a {}, not a function",
+                            other.type_name()
+                        ),
+                    )),
+                    None => {
+                        Err(self.rt_err(ErrorKind::Type, format!("object has no method `{name}`")))
+                    }
+                }
+            }
+            Value::Array(_) => builtins::call_array_method(self, &receiver, name, args),
+            Value::Str(_) => builtins::call_string_method(self, &receiver, name, args),
+            other => Err(self.rt_err(
+                ErrorKind::Type,
+                format!("cannot call method `{name}` on a {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// The line currently being executed (for native error reporting).
+    pub fn current_line(&self) -> u32 {
+        self.current_line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> Value {
+        Interpreter::new().eval(src).unwrap()
+    }
+
+    fn eval_err(src: &str) -> ScriptError {
+        Interpreter::new().eval(src).unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval("1 + 2 * 3;"), Value::from(7.0));
+        assert_eq!(eval("(1 + 2) * 3;"), Value::from(9.0));
+        assert_eq!(eval("10 % 3;"), Value::from(1.0));
+        assert_eq!(eval("7 / 2;"), Value::from(3.5));
+    }
+
+    #[test]
+    fn string_concatenation() {
+        assert_eq!(eval("'a' + 'b';"), Value::str("ab"));
+        assert_eq!(eval("'n=' + 5;"), Value::str("n=5"));
+        assert_eq!(eval("1 + ' x';"), Value::str("1 x"));
+    }
+
+    #[test]
+    fn variables_and_assignment() {
+        assert_eq!(eval("var x = 1; x = x + 2; x;"), Value::from(3.0));
+        assert_eq!(
+            eval("var x = 10; x += 5; x -= 3; x *= 2; x;"),
+            Value::from(24.0)
+        );
+    }
+
+    #[test]
+    fn assignment_to_undeclared_is_reference_error() {
+        let err = eval_err("y = 1;");
+        assert_eq!(err.kind(), ErrorKind::Reference);
+    }
+
+    #[test]
+    fn if_else_and_truthiness() {
+        assert_eq!(
+            eval("var r = 0; if ('') { r = 1; } else { r = 2; } r;"),
+            Value::from(2.0)
+        );
+        assert_eq!(eval("var r = 0; if (3) r = 1; r;"), Value::from(1.0));
+    }
+
+    #[test]
+    fn while_loop_with_break_continue() {
+        let v = eval(
+            "var sum = 0; var i = 0;
+             while (true) {
+                 i++;
+                 if (i > 10) break;
+                 if (i % 2 == 0) continue;
+                 sum += i;
+             }
+             sum;",
+        );
+        assert_eq!(v, Value::from(25.0)); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn for_loop() {
+        assert_eq!(
+            eval("var s = 0; for (var i = 0; i < 5; i++) { s += i; } s;"),
+            Value::from(10.0)
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            eval("function fact(n) { if (n <= 1) return 1; return n * fact(n - 1); } fact(6);"),
+            Value::from(720.0)
+        );
+    }
+
+    #[test]
+    fn function_hoisting_allows_forward_calls() {
+        assert_eq!(
+            eval("var r = f(); function f() { return 42; } r;"),
+            Value::from(42.0)
+        );
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        let v = eval(
+            "function counter() {
+                 var n = 0;
+                 return function () { n = n + 1; return n; };
+             }
+             var c = counter();
+             c(); c(); c();",
+        );
+        assert_eq!(v, Value::from(3.0));
+    }
+
+    #[test]
+    fn two_closures_share_captured_state() {
+        let v = eval(
+            "function make() {
+                 var n = 0;
+                 return { inc: function () { n++; return n; },
+                          get: function () { return n; } };
+             }
+             var m = make();
+             m.inc(); m.inc();
+             m.get();",
+        );
+        assert_eq!(v, Value::from(2.0));
+    }
+
+    #[test]
+    fn arrays_index_and_length() {
+        assert_eq!(eval("var a = [1, 2, 3]; a[1];"), Value::from(2.0));
+        assert_eq!(eval("var a = [1, 2, 3]; a.length;"), Value::from(3.0));
+        assert_eq!(eval("var a = [1]; a[5] = 9; a.length;"), Value::from(6.0));
+        assert_eq!(eval("var a = [1, 2]; a[99];"), Value::Null);
+    }
+
+    #[test]
+    fn objects_members_and_dynamic_keys() {
+        assert_eq!(eval("var o = { a: 1 }; o.a;"), Value::from(1.0));
+        assert_eq!(eval("var o = { a: 1 }; o.b;"), Value::Null);
+        assert_eq!(
+            eval("var o = {}; o.x = 7; o['y'] = 8; o.x + o['y'];"),
+            Value::from(15.0)
+        );
+    }
+
+    #[test]
+    fn nested_structures() {
+        assert_eq!(
+            eval("var o = { pts: [{ x: 1 }, { x: 2 }] }; o.pts[1].x;"),
+            Value::from(2.0)
+        );
+    }
+
+    #[test]
+    fn ternary_and_logical_short_circuit() {
+        assert_eq!(eval("true ? 1 : 2;"), Value::from(1.0));
+        // Short-circuit: the undefined function is never called.
+        assert_eq!(eval("false && boom();"), Value::from(false));
+        assert_eq!(eval("1 || boom();"), Value::from(1.0));
+        // || returns the first truthy operand, JS-style.
+        assert_eq!(eval("null || 'fallback';"), Value::str("fallback"));
+    }
+
+    #[test]
+    fn typeof_operator() {
+        assert_eq!(eval("typeof 3;"), Value::str("number"));
+        assert_eq!(eval("typeof 'x';"), Value::str("string"));
+        assert_eq!(eval("typeof [];"), Value::str("array"));
+        assert_eq!(eval("typeof {};"), Value::str("object"));
+        assert_eq!(eval("typeof null;"), Value::str("null"));
+        assert_eq!(eval("typeof function () {};"), Value::str("function"));
+    }
+
+    #[test]
+    fn update_operators_prefix_vs_postfix() {
+        assert_eq!(eval("var i = 5; i++;"), Value::from(5.0));
+        assert_eq!(eval("var i = 5; ++i;"), Value::from(6.0));
+        assert_eq!(eval("var i = 5; i--; i;"), Value::from(4.0));
+        assert_eq!(eval("var a = [1]; a[0]++; a[0];"), Value::from(2.0));
+    }
+
+    #[test]
+    fn reference_error_on_unknown_identifier() {
+        let err = eval_err("nope;");
+        assert_eq!(err.kind(), ErrorKind::Reference);
+        assert!(err.message().contains("nope"));
+    }
+
+    #[test]
+    fn type_errors_carry_line_numbers() {
+        let err = eval_err("var a = 1;\nvar b = a.x;");
+        assert_eq!(err.kind(), ErrorKind::Type);
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn native_functions_are_callable() {
+        let mut interp = Interpreter::new();
+        interp.register_native("double", |_, args| {
+            let n = args[0]
+                .as_num()
+                .ok_or_else(|| ScriptError::host("want num"))?;
+            Ok(Value::Num(n * 2.0))
+        });
+        assert_eq!(interp.eval("double(21);").unwrap(), Value::from(42.0));
+    }
+
+    #[test]
+    fn natives_can_call_back_into_script() {
+        let mut interp = Interpreter::new();
+        interp.register_native("apply3", |interp, args| {
+            interp.call_value(&args[0], &[Value::from(3.0)])
+        });
+        assert_eq!(
+            interp
+                .eval("apply3(function (x) { return x * x; });")
+                .unwrap(),
+            Value::from(9.0)
+        );
+    }
+
+    #[test]
+    fn budget_kills_infinite_loop() {
+        let mut interp = Interpreter::new();
+        interp.set_budget(Some(10_000));
+        let err = interp.eval("while (true) {}").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Timeout);
+    }
+
+    #[test]
+    fn budget_rearms_per_host_invocation() {
+        let mut interp = Interpreter::new();
+        interp.set_budget(Some(5_000));
+        // Each eval gets a fresh budget.
+        for _ in 0..5 {
+            interp
+                .eval("var s = 0; for (var i = 0; i < 100; i++) s += i; s;")
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn deep_recursion_is_stack_overflow_not_crash() {
+        let err = eval_err("function f(n) { return f(n + 1); } f(0);");
+        assert_eq!(err.kind(), ErrorKind::StackOverflow);
+    }
+
+    #[test]
+    fn division_by_zero_is_infinity() {
+        assert_eq!(eval("1 / 0;"), Value::from(f64::INFINITY));
+        assert!(eval("0 / 0;").as_num().unwrap().is_nan());
+    }
+
+    #[test]
+    fn nan_comparisons_are_false() {
+        assert_eq!(eval("var n = 0 / 0; n < 1;"), Value::from(false));
+        assert_eq!(eval("var n = 0 / 0; n >= 1;"), Value::from(false));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(eval("'apple' < 'banana';"), Value::from(true));
+        assert_eq!(eval("'b' >= 'b';"), Value::from(true));
+    }
+
+    #[test]
+    fn array_reference_semantics() {
+        assert_eq!(
+            eval("var a = [1]; var b = a; b.push(2); a.length;"),
+            Value::from(2.0)
+        );
+    }
+
+    #[test]
+    fn block_scoping_of_for_initializer() {
+        // The loop variable lives in the loop's own scope.
+        let err = eval_err("for (var i = 0; i < 1; i++) {} i;");
+        assert_eq!(err.kind(), ErrorKind::Reference);
+    }
+
+    #[test]
+    fn do_while_runs_body_at_least_once() {
+        assert_eq!(
+            eval("var n = 0; do { n++; } while (false); n;"),
+            Value::from(1.0)
+        );
+        assert_eq!(
+            eval("var n = 0; do { n++; } while (n < 5); n;"),
+            Value::from(5.0)
+        );
+        // break works inside do-while.
+        assert_eq!(
+            eval("var n = 0; do { n++; if (n == 3) break; } while (true); n;"),
+            Value::from(3.0)
+        );
+    }
+
+    #[test]
+    fn for_in_iterates_object_keys_in_order() {
+        assert_eq!(
+            eval("var o = { b: 1, a: 2 }; var ks = ''; for (var k in o) ks += k; ks;"),
+            Value::str("ba")
+        );
+        // And the values are reachable through indexing.
+        assert_eq!(
+            eval("var o = { x: 3, y: 4 }; var s = 0; for (var k in o) s += o[k]; s;"),
+            Value::from(7.0)
+        );
+    }
+
+    #[test]
+    fn for_in_over_arrays_yields_indices() {
+        assert_eq!(
+            eval("var a = [10, 20, 30]; var s = 0; for (var i in a) s += a[i]; s;"),
+            Value::from(60.0)
+        );
+        assert_eq!(
+            eval("var n = 0; for (var k in null) n++; n;"),
+            Value::from(0.0)
+        );
+    }
+
+    #[test]
+    fn for_in_loop_variable_is_scoped() {
+        let err = eval_err("for (var k in { a: 1 }) {} k;");
+        assert_eq!(err.kind(), ErrorKind::Reference);
+    }
+
+    #[test]
+    fn for_in_over_number_is_type_error() {
+        let err = eval_err("for (var k in 5) {}");
+        assert_eq!(err.kind(), ErrorKind::Type);
+    }
+
+    #[test]
+    fn cosine_coefficient_in_script() {
+        // A miniature of what clustering.js does: cosine similarity
+        // between two RSSI maps represented as arrays of {bssid, level}.
+        let src = r#"
+function cosine(a, b) {
+    var dot = 0, na = 0, nb = 0;
+    for (var i = 0; i < a.length; i++) {
+        na += a[i].level * a[i].level;
+        for (var j = 0; j < b.length; j++) {
+            if (a[i].bssid == b[j].bssid)
+                dot += a[i].level * b[j].level;
+        }
+    }
+    for (var j = 0; j < b.length; j++)
+        nb += b[j].level * b[j].level;
+    if (na == 0 || nb == 0) return 0;
+    return dot / (Math.sqrt(na) * Math.sqrt(nb));
+}
+cosine([{bssid: 'a', level: 1}], [{bssid: 'a', level: 1}]);
+"#;
+        let v = eval(src);
+        assert!((v.as_num().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

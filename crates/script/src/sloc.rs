@@ -1,0 +1,116 @@
+//! Source-lines-of-code counting, following the paper's convention for
+//! Table 2: "Empty lines and comments are not counted."
+
+/// Size statistics of one script source, as reported in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceStats {
+    /// Source lines of code (non-empty, non-comment).
+    pub sloc: usize,
+    /// Size in bytes of the raw source.
+    pub bytes: usize,
+}
+
+/// Counts SLOC and byte size of a script.
+///
+/// A line counts if, after stripping `//` comments and any parts inside
+/// `/* */` block comments, non-whitespace characters remain. String
+/// literals are respected (a `//` inside a string does not start a
+/// comment).
+///
+/// # Example
+///
+/// ```
+/// let stats = pogo_script::count_sloc("// header\nvar x = 1;\n\nvar y = 2;\n");
+/// assert_eq!(stats.sloc, 2);
+/// ```
+pub fn count_sloc(source: &str) -> SourceStats {
+    let bytes = source.len();
+    let mut sloc = 0;
+    let mut in_block_comment = false;
+
+    for line in source.lines() {
+        let mut has_code = false;
+        let mut chars = line.chars().peekable();
+        let mut in_string: Option<char> = None;
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                }
+                continue;
+            }
+            if let Some(quote) = in_string {
+                has_code = true;
+                if c == '\\' {
+                    chars.next();
+                } else if c == quote {
+                    in_string = None;
+                }
+                continue;
+            }
+            match c {
+                '"' | '\'' => {
+                    in_string = Some(c);
+                    has_code = true;
+                }
+                '/' if chars.peek() == Some(&'/') => break,
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                }
+                c if c.is_whitespace() => {}
+                _ => has_code = true,
+            }
+        }
+        if has_code {
+            sloc += 1;
+        }
+    }
+    SourceStats { sloc, bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_code_lines_only() {
+        let src = "var a = 1;\n\n// comment\nvar b = 2;\n";
+        let stats = count_sloc(src);
+        assert_eq!(stats.sloc, 2);
+        assert_eq!(stats.bytes, src.len());
+    }
+
+    #[test]
+    fn block_comments_spanning_lines_excluded() {
+        let src = "/* one\n two\n three */\nvar x = 1;\n";
+        assert_eq!(count_sloc(src).sloc, 1);
+    }
+
+    #[test]
+    fn code_before_and_after_comments_counts() {
+        assert_eq!(count_sloc("var x = 1; // trailing\n").sloc, 1);
+        assert_eq!(count_sloc("/* a */ var x = 1;\n").sloc, 1);
+        assert_eq!(
+            count_sloc("var a = 1; /* start\n still comment\n end */ var b;\n").sloc,
+            2
+        );
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        assert_eq!(count_sloc("var url = 'http://x';\n").sloc, 1);
+        assert_eq!(count_sloc("var s = \"a /* b */ c\";\n").sloc, 1);
+    }
+
+    #[test]
+    fn whitespace_only_lines_do_not_count() {
+        assert_eq!(count_sloc("   \n\t\n  var x;  \n").sloc, 1);
+    }
+
+    #[test]
+    fn empty_source() {
+        assert_eq!(count_sloc(""), SourceStats { sloc: 0, bytes: 0 });
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for PogoScript: pretty-print round-trips,
+//! arithmetic agreement with a Rust reference model, and watchdog
+//! monotonicity.
+
+use proptest::prelude::*;
+
+use pogo_script::pretty::print_program;
+use pogo_script::{parse, Interpreter, Value};
+
+// ---- expression model --------------------------------------------------------
+
+/// A little arithmetic AST with a Rust-side evaluator, rendered to
+/// PogoScript source and compared against the interpreter.
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(i32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self) -> f64 {
+        match self {
+            Expr::Num(n) => *n as f64,
+            Expr::Add(a, b) => a.eval() + b.eval(),
+            Expr::Sub(a, b) => a.eval() - b.eval(),
+            Expr::Mul(a, b) => a.eval() * b.eval(),
+            Expr::Div(a, b) => a.eval() / b.eval(),
+            Expr::Neg(a) => -a.eval(),
+            Expr::Ternary(c, t, e) => {
+                let cv = c.eval();
+                if cv != 0.0 && !cv.is_nan() {
+                    t.eval()
+                } else {
+                    e.eval()
+                }
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Expr::Num(n) => {
+                if *n < 0 {
+                    format!("({n})")
+                } else {
+                    n.to_string()
+                }
+            }
+            Expr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            Expr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            Expr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            Expr::Div(a, b) => format!("({} / {})", a.render(), b.render()),
+            Expr::Neg(a) => format!("(-{})", a.render()),
+            Expr::Ternary(c, t, e) => {
+                format!("({} ? {} : {})", c.render(), t.render(), e.render())
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (-1000i32..1000).prop_map(Expr::Num);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Div(a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Neg(a.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Ternary(
+                c.into(),
+                t.into(),
+                e.into()
+            )),
+        ]
+    })
+}
+
+// ---- program generator for round-trip tests ------------------------------------
+
+/// Renders a small random program: declarations, loops, functions.
+fn program_strategy() -> impl Strategy<Value = String> {
+    let ident = proptest::sample::select(vec!["a", "b", "c", "total", "x9", "_tmp"]);
+    let stmt = (ident, expr_strategy(), 0u8..5).prop_map(|(name, expr, kind)| match kind {
+        0 => format!("var {name} = {};", expr.render()),
+        1 => format!(
+            "if ({}) {{ {name} = 1; }} else {{ {name} = 2; }}",
+            expr.render()
+        ),
+        2 => format!(
+            "for (var i = 0; i < 3; i++) {{ {name} = {}; }}",
+            expr.render()
+        ),
+        3 => format!("function f_{name}(p) {{ return p + {}; }}", expr.render()),
+        _ => format!("while (false) {{ {name} = {}; }}", expr.render()),
+    });
+    proptest::collection::vec(stmt, 1..8).prop_map(|stmts| {
+        // Declare all the names first so the program is also runnable.
+        let mut src = String::from("var a = 0, b = 0, c = 0, total = 0, x9 = 0, _tmp = 0;\n");
+        for s in stmts {
+            src.push_str(&s);
+            src.push('\n');
+        }
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arithmetic_matches_rust_model(expr in expr_strategy()) {
+        let mut interp = Interpreter::new();
+        let got = interp
+            .eval(&format!("{};", expr.render()))
+            .expect("generated expression evaluates");
+        let expected = expr.eval();
+        match got {
+            Value::Num(n) => {
+                // Identical f64 semantics, including NaN and infinities.
+                prop_assert!(
+                    n == expected || (n.is_nan() && expected.is_nan()),
+                    "{} => {n} vs {expected}",
+                    expr.render()
+                );
+            }
+            other => prop_assert!(false, "non-numeric result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pretty_print_roundtrips(src in program_strategy()) {
+        let ast1 = parse(&src).expect("generated program parses");
+        let printed = print_program(&ast1);
+        let ast2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to reparse: {e}\n{printed}"));
+        // The printer is the normal form: printing again must be a fixpoint.
+        prop_assert_eq!(print_program(&ast2), printed);
+    }
+
+    #[test]
+    fn generated_programs_run_within_budget(src in program_strategy()) {
+        let mut interp = Interpreter::new();
+        interp.set_budget(Some(1_000_000));
+        // Programs draw from terminating constructs only; they must
+        // neither error nor trip the watchdog.
+        interp.eval(&src).expect("generated program runs");
+    }
+
+    #[test]
+    fn budget_is_monotone(expr in expr_strategy()) {
+        // If a program completes within N steps it completes within any
+        // larger budget with the same result.
+        let src = format!("{};", expr.render());
+        let mut small = Interpreter::new();
+        small.set_budget(Some(10_000));
+        let with_small = small.eval(&src);
+        prop_assume!(with_small.is_ok());
+        let mut big = Interpreter::new();
+        big.set_budget(Some(1_000_000));
+        let with_big = big.eval(&src).expect("bigger budget cannot fail");
+        match (with_small.unwrap(), with_big) {
+            (Value::Num(a), Value::Num(b)) => {
+                prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+            }
+            _ => prop_assert!(false, "non-numeric results"),
+        }
+    }
+
+    #[test]
+    fn number_literals_roundtrip_through_the_lexer(n in proptest::num::f64::POSITIVE) {
+        // Any positive float printed with Rust's shortest-roundtrip
+        // formatting must lex back to exactly the same f64.
+        let mut interp = Interpreter::new();
+        let v = interp
+            .eval(&format!("{n:?};"))
+            .expect("float literal evaluates");
+        match v {
+            Value::Num(back) => prop_assert!(back == n, "{n:?} -> {back:?}"),
+            other => prop_assert!(false, "non-numeric {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_conversion_roundtrips_integers(n in -1_000_000_000i64..1_000_000_000) {
+        let mut interp = Interpreter::new();
+        let v = interp
+            .eval(&format!("Number(String({n}));"))
+            .expect("conversion chain runs");
+        prop_assert_eq!(v, Value::from(n as f64));
+    }
+}

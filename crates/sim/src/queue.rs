@@ -1,0 +1,208 @@
+//! The pending-event queue: a binary heap keyed by (time, sequence) with
+//! O(1) cancellation through a side table.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+}
+
+// Reverse ordering: the BinaryHeap is a max-heap, we want earliest first.
+// Ties on `time` break by sequence number so same-instant events fire in
+// scheduling order, keeping runs deterministic.
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of callbacks.
+///
+/// This type is not used directly by simulation components — they go through
+/// [`crate::Sim`] — but it is public so alternative drivers can be built on
+/// the same ordering guarantees.
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    callbacks: HashMap<EventId, Box<dyn FnOnce()>>,
+    next_seq: u64,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.callbacks.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            callbacks: HashMap::new(),
+            next_seq: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `callback` to fire at `time`. Returns a handle that can be
+    /// passed to [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, callback: Box<dyn FnOnce()>) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, id });
+        self.callbacks.insert(id, callback);
+        id
+    }
+
+    /// Cancels a pending event. Returns `true` if the event existed and had
+    /// not fired yet.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.callbacks.remove(&id).is_some()
+    }
+
+    /// Time of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.drop_dead_heads();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, Box<dyn FnOnce()>)> {
+        self.drop_dead_heads();
+        let entry = self.heap.pop()?;
+        let cb = self
+            .callbacks
+            .remove(&entry.id)
+            .expect("live head must have a callback");
+        Some((entry.time, cb))
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.callbacks.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.callbacks.is_empty()
+    }
+
+    // Pops heap entries whose callbacks were cancelled.
+    fn drop_dead_heads(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.callbacks.contains_key(&head.id) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[allow(clippy::type_complexity)]
+    fn recorder() -> (Rc<RefCell<Vec<u32>>>, impl Fn(u32) -> Box<dyn FnOnce()>) {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let make = move |v: u32| -> Box<dyn FnOnce()> {
+            let l = l.clone();
+            Box::new(move || l.borrow_mut().push(v))
+        };
+        (log, make)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let (log, cb) = recorder();
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), cb(3));
+        q.push(SimTime::from_millis(10), cb(1));
+        q.push(SimTime::from_millis(20), cb(2));
+        while let Some((_, f)) = q.pop() {
+            f();
+        }
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_fires_in_schedule_order() {
+        let (log, cb) = recorder();
+        let mut q = EventQueue::new();
+        for v in 0..5 {
+            q.push(SimTime::from_millis(7), cb(v));
+        }
+        while let Some((_, f)) = q.pop() {
+            f();
+        }
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let (log, cb) = recorder();
+        let mut q = EventQueue::new();
+        let keep = q.push(SimTime::from_millis(1), cb(1));
+        let gone = q.push(SimTime::from_millis(2), cb(2));
+        assert!(q.cancel(gone));
+        assert!(!q.cancel(gone), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        while let Some((_, f)) = q.pop() {
+            f();
+        }
+        assert_eq!(*log.borrow(), vec![1]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let (_, cb) = recorder();
+        let mut q = EventQueue::new();
+        let head = q.push(SimTime::from_millis(1), cb(1));
+        q.push(SimTime::from_millis(5), cb(2));
+        q.cancel(head);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the simulation kernel: the deterministic
+//! total order of events.
+
+use proptest::prelude::*;
+
+use pogo_sim::{Sim, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #[test]
+    fn events_fire_in_time_then_schedule_order(
+        times in proptest::collection::vec(0u64..10_000, 1..60),
+    ) {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (seq, &t) in times.iter().enumerate() {
+            let log = log.clone();
+            let sim2 = sim.clone();
+            sim.schedule_at(SimTime::from_millis(t), move || {
+                log.borrow_mut().push((sim2.now().as_millis(), seq));
+            });
+        }
+        sim.run_until_idle();
+        let fired = log.borrow();
+        prop_assert_eq!(fired.len(), times.len());
+        // Fired order is exactly (time, scheduling sequence).
+        let mut expected: Vec<(u64, usize)> = times
+            .iter()
+            .enumerate()
+            .map(|(seq, &t)| (t, seq))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(&*fired, &expected);
+    }
+
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..10_000, 1..40),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let sim = Sim::new();
+        let fired: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut ids = Vec::new();
+        for (seq, &t) in times.iter().enumerate() {
+            let fired = fired.clone();
+            ids.push(sim.schedule_at(SimTime::from_millis(t), move || {
+                fired.borrow_mut().push(seq);
+            }));
+        }
+        let mut kept = Vec::new();
+        for (seq, id) in ids.into_iter().enumerate() {
+            if cancel_mask[seq] {
+                prop_assert!(sim.cancel(id), "first cancel succeeds");
+                prop_assert!(!sim.cancel(id), "second cancel fails");
+            } else {
+                kept.push(seq);
+            }
+        }
+        sim.run_until_idle();
+        let mut got = fired.borrow().clone();
+        got.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(got, kept);
+    }
+
+    #[test]
+    fn run_until_partitions_time(
+        times in proptest::collection::vec(0u64..10_000, 1..40),
+        split in 0u64..10_000,
+    ) {
+        // Running to `split` then to the end is the same as running once:
+        // every event fires exactly once, in the same global order.
+        let run_split = |at: Option<u64>| {
+            let sim = Sim::new();
+            let log: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+            for (seq, &t) in times.iter().enumerate() {
+                let log = log.clone();
+                sim.schedule_at(SimTime::from_millis(t), move || {
+                    log.borrow_mut().push(seq);
+                });
+            }
+            if let Some(at) = at {
+                sim.run_until(SimTime::from_millis(at));
+            }
+            sim.run_until(SimTime::from_millis(20_000));
+            let result = log.borrow().clone();
+            result
+        };
+        prop_assert_eq!(run_split(Some(split)), run_split(None));
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        use pogo_sim::SimRng;
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+            prop_assert_eq!(a.gauss(0.0, 1.0).to_bits(), b.gauss(0.0, 1.0).to_bits());
+            prop_assert_eq!(a.range_u64(0, 100), b.range_u64(0, 100));
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        let da = SimDuration::from_millis(a);
+        let db = SimDuration::from_millis(b);
+        prop_assert_eq!((da + db).as_millis(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_millis(), a.saturating_sub(b));
+        prop_assert_eq!(da.min(db).as_millis(), a.min(b));
+        prop_assert_eq!(da.max(db).as_millis(), a.max(b));
+        let t = SimTime::from_millis(a) + db;
+        prop_assert_eq!(t.as_millis(), a + b);
+        prop_assert_eq!(t.duration_since(SimTime::from_millis(a)), db);
+    }
+}

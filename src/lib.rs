@@ -1,0 +1,49 @@
+//! # pogo — a Rust reproduction of the Pogo mobile-phone-sensing middleware
+//!
+//! This umbrella crate re-exports the whole workspace and provides the
+//! glue that wires the paper's flagship *localization application*
+//! (§4.1) together: the PogoScript sources of `scan.js`,
+//! `clustering.js`, and `collect.js`, conversions between middleware
+//! messages and the native clustering types, the `geolocate` extension
+//! native, and ground-truth reconstruction from device logs.
+//!
+//! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pogo::core::{ExperimentSpec, Testbed};
+//! use pogo::core::proto::ScriptSpec;
+//! use pogo::sim::{Sim, SimDuration};
+//!
+//! let sim = Sim::new();
+//! let mut testbed = Testbed::new(&sim);
+//! testbed.add_device(
+//!     "phone-1",
+//!     pogo::platform::PhoneConfig::default(),
+//!     |cfg| cfg,
+//!     pogo::core::sensor::SensorSources::default(),
+//! );
+//! testbed.collector().deploy(
+//!     &ExperimentSpec {
+//!         id: "hello".into(),
+//!         scripts: vec![pogo::core::proto::ScriptSpec {
+//!             name: "hello.js".into(),
+//!             source: "publish('greetings', { hi: true });".into(),
+//!         }],
+//!     },
+//!     &[testbed.devices()[0].jid()],
+//! );
+//! sim.run_for(SimDuration::from_mins(90));
+//! ```
+
+pub use pogo_cluster as cluster;
+pub use pogo_core as core;
+pub use pogo_mobility as mobility;
+pub use pogo_net as net;
+pub use pogo_platform as platform;
+pub use pogo_script as script;
+pub use pogo_sim as sim;
+
+pub mod glue;
