@@ -1,0 +1,113 @@
+//! `perf_smoke` — deterministic hot-path microbenchmarks.
+//!
+//! Default mode runs the four workloads (broker fan-out, JSON codec,
+//! streaming DBSCAN, interpreter) and writes the results to
+//! `BENCH_pr1.json` (override with `--out PATH`).
+//!
+//! `--check PATH` instead compares the fresh run against a committed
+//! baseline file and exits non-zero if any bench regressed by more than
+//! 25% per op (override with `--tolerance FRACTION`). `scripts/ci.sh`
+//! runs this mode.
+
+use std::process::ExitCode;
+
+use pogo_bench::{perf, report};
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_pr1.json");
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => return usage("--check needs a path"),
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => return usage("--tolerance needs a non-negative fraction"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let records = perf::run_all();
+
+    println!("{}", report::banner("perf_smoke — hot-path microbenchmarks"));
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                r.ops.to_string(),
+                format!("{:.1}", r.ns_per_op),
+                r.baseline_ns_per_op
+                    .map(|b| format!("{b:.1}"))
+                    .unwrap_or_else(|| "-".to_owned()),
+                r.speedup
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".to_owned()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["bench", "ops", "ns/op", "seed ns/op", "speedup"], &rows)
+    );
+
+    match check_path {
+        Some(path) => {
+            let baseline = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("perf_smoke: cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match perf::regressions(&records, &baseline, tolerance) {
+                Ok(regs) if regs.is_empty() => {
+                    println!("check: no regression beyond {:.0}% vs {path}", tolerance * 100.0);
+                    ExitCode::SUCCESS
+                }
+                Ok(regs) => {
+                    for r in &regs {
+                        eprintln!("REGRESSION {r}");
+                    }
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("perf_smoke: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        None => {
+            let json = perf::to_json(&records);
+            if let Err(e) = std::fs::write(&out_path, json + "\n") {
+                eprintln!("perf_smoke: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("perf_smoke: {err}");
+    }
+    eprintln!("usage: perf_smoke [--out PATH] [--check PATH] [--tolerance FRACTION]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -15,10 +15,15 @@
 //! | [`fig3`] | Figure 3 — the 3G tail power trace |
 //! | [`fig4`] | Figure 4 — tail-synchronized transmission timeline |
 //! | [`ablation`] | batching-policy and freeze/thaw ablations |
+//!
+//! [`perf`] is not an experiment: it holds the deterministic hot-path
+//! microbenchmarks behind the `perf_smoke` binary and the committed
+//! `BENCH_*.json` baselines.
 
 pub mod ablation;
 pub mod fig3;
 pub mod fig4;
+pub mod perf;
 pub mod report;
 pub mod session;
 pub mod table2;

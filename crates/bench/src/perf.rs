@@ -1,0 +1,763 @@
+//! Hot-path microbenchmarks — the workloads behind the `perf_smoke`
+//! binary.
+//!
+//! Four deterministic workloads exercise the paths the optimization pass
+//! touched: broker fan-out, the JSON codec, the streaming clusterer, and
+//! the PogoScript interpreter. Workload *content* is fixed by seeds and
+//! guarded by checksums; only the wall-clock measurement varies between
+//! machines. Every measurement is the fastest of [`RUNS`] repetitions
+//! after one warm-up (the least-interrupted run of a deterministic
+//! workload).
+//!
+//! Two workloads also time a **baseline**: a faithful replica of the
+//! seed's pre-optimization implementation (linear-scan broker,
+//! norm-recomputing two-pass clusterer), compiled right here so the
+//! speedup is measured against real code rather than remembered numbers.
+//! The baselines are additionally asserted to produce *identical output*
+//! to the optimized paths before anything is timed.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Instant;
+
+use pogo_cluster::{Bssid, ClusterSummary, Scan, StreamClusterer, StreamConfig};
+use pogo_core::{Broker, Msg};
+use pogo_script::{Interpreter, Value};
+use pogo_sim::SimRng;
+
+/// Repetitions per measurement; the *minimum* is reported. The workloads
+/// are deterministic, so the fastest repetition is the least-interrupted
+/// one — medians on a noisy box still carry scheduler preemptions.
+pub const RUNS: usize = 7;
+
+/// Broker workload: distinct channels.
+pub const BROKER_CHANNELS: usize = 100;
+/// Broker workload: total subscriptions, spread round-robin.
+pub const BROKER_SUBS: usize = 1_000;
+/// Broker workload: publishes per timed run.
+pub const BROKER_PUBLISHES: usize = 20_000;
+/// Codec workload: encode/decode/measure iterations per timed run.
+pub const CODEC_ITERS: usize = 2_000;
+/// Clustering workload: trace length (Table 4's per-user scan counts are
+/// 25k–36k; User 3 logged 33,224).
+pub const DBSCAN_SCANS: usize = 33_000;
+/// Interpreter workload: full parse+eval cycles per timed run.
+pub const INTERP_EVALS: usize = 40;
+
+/// One benchmark's outcome.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Stable key, used in `BENCH_*.json` and by `--check`.
+    pub name: &'static str,
+    /// Operations per timed run (publishes, scans, evals…).
+    pub ops: u64,
+    /// Best wall time of one full run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Best-run per-operation cost.
+    pub ns_per_op: f64,
+    /// Per-operation cost of the replicated pre-optimization baseline.
+    pub baseline_ns_per_op: Option<f64>,
+    /// `baseline / optimized` (higher is better).
+    pub speedup: Option<f64>,
+}
+
+/// Times `body` `RUNS + 1` times (first is a discarded warm-up) and
+/// returns the fastest wall time in nanoseconds.
+fn best_wall_ns(body: impl FnMut()) -> u64 {
+    best_wall_ns_runs(RUNS, body)
+}
+
+/// [`best_wall_ns`] with an explicit repetition count, for benches whose
+/// single run is long enough that 7 repetitions rarely all land in a
+/// quiet scheduling window.
+fn best_wall_ns_runs(runs: usize, mut body: impl FnMut()) -> u64 {
+    body();
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            body();
+            start.elapsed().as_nanos() as u64
+        })
+        .min()
+        .expect("runs > 0")
+}
+
+/// Times two bodies back to back, interleaved per round, so clock-speed
+/// drift (laptops, noisy CI boxes) biases both sides equally and the
+/// speedup ratio stays honest. Returns each side's fastest run.
+fn best_wall_ns_pair(mut a: impl FnMut(), mut b: impl FnMut()) -> (u64, u64) {
+    a();
+    b();
+    let (mut best_a, mut best_b) = (u64::MAX, u64::MAX);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        a();
+        best_a = best_a.min(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        b();
+        best_b = best_b.min(start.elapsed().as_nanos() as u64);
+    }
+    (best_a, best_b)
+}
+
+fn record(
+    name: &'static str,
+    ops: u64,
+    wall_ns: u64,
+    baseline_wall_ns: Option<u64>,
+) -> BenchRecord {
+    let ns_per_op = wall_ns as f64 / ops as f64;
+    let baseline_ns_per_op = baseline_wall_ns.map(|b| b as f64 / ops as f64);
+    BenchRecord {
+        name,
+        ops,
+        wall_ns,
+        ns_per_op,
+        baseline_ns_per_op,
+        speedup: baseline_ns_per_op.map(|b| b / ns_per_op),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broker fan-out
+// ---------------------------------------------------------------------------
+
+type Sink = Rc<dyn Fn(&str, &Msg, Option<&str>)>;
+
+/// The seed's broker routing: one flat `Vec` of subscriptions scanned on
+/// every publish, with the matching sinks cloned into a fresh `Vec`
+/// (the collect-then-invoke re-entrancy idiom the channel index replaced).
+#[derive(Default)]
+struct LinearBroker {
+    subs: Vec<(String, bool, Sink)>,
+    taps: Vec<Sink>,
+}
+
+impl LinearBroker {
+    fn subscribe(&mut self, channel: &str, sink: Sink) {
+        self.subs.push((channel.to_owned(), true, sink));
+    }
+
+    fn publish(&self, channel: &str, msg: &Msg) -> usize {
+        let sinks: Vec<Sink> = self
+            .subs
+            .iter()
+            .filter(|(ch, active, _)| *active && ch == channel)
+            .map(|(_, _, sink)| sink.clone())
+            .collect();
+        let taps: Vec<Sink> = self.taps.clone();
+        for sink in &sinks {
+            sink(channel, msg, None);
+        }
+        for tap in &taps {
+            tap(channel, msg, None);
+        }
+        sinks.len()
+    }
+}
+
+/// 1k subscriptions across 100 channels, publishes round-robin; indexed
+/// broker vs. the linear scan.
+pub fn bench_broker_fanout() -> BenchRecord {
+    let channels: Vec<String> = (0..BROKER_CHANNELS).map(|i| format!("sensor-{i:03}")).collect();
+    let msg = Msg::Num(42.0);
+    let fanout = (BROKER_SUBS / BROKER_CHANNELS) as u64;
+    let per_run = BROKER_PUBLISHES as u64 * fanout;
+
+    let hits = Rc::new(Cell::new(0u64));
+    let broker = Broker::new();
+    for i in 0..BROKER_SUBS {
+        let h = hits.clone();
+        broker.subscribe(&channels[i % BROKER_CHANNELS], Msg::Null, move |_, _, _| {
+            h.set(h.get() + 1)
+        });
+    }
+    let linear_hits = Rc::new(Cell::new(0u64));
+    let mut linear = LinearBroker::default();
+    for i in 0..BROKER_SUBS {
+        let h = linear_hits.clone();
+        linear.subscribe(
+            &channels[i % BROKER_CHANNELS],
+            Rc::new(move |_, _, _| h.set(h.get() + 1)),
+        );
+    }
+
+    let (wall, linear_wall) = best_wall_ns_pair(
+        || {
+            for i in 0..BROKER_PUBLISHES {
+                broker.publish(&channels[i % BROKER_CHANNELS], &msg);
+            }
+        },
+        || {
+            for i in 0..BROKER_PUBLISHES {
+                linear.publish(&channels[i % BROKER_CHANNELS], &msg);
+            }
+        },
+    );
+    assert_eq!(hits.get(), (RUNS as u64 + 1) * per_run, "indexed broker delivery checksum");
+    assert_eq!(linear_hits.get(), (RUNS as u64 + 1) * per_run, "linear broker delivery checksum");
+
+    record("broker_fanout", BROKER_PUBLISHES as u64, wall, Some(linear_wall))
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------------
+
+/// A representative wifi-scan report: the message shape that dominates
+/// Pogo's uplink traffic (Table 4's "raw size" column is exactly this).
+pub fn wifi_scan_msg() -> Msg {
+    let mut rng = SimRng::seed_from_u64(0xC0DEC);
+    let aps: Vec<Msg> = (0..12u64)
+        .map(|k| {
+            Msg::obj([
+                (
+                    "bssid",
+                    Msg::str(format!("02:00:00:00:{:02x}:{:02x}", k, (k * 7) % 256)),
+                ),
+                (
+                    "signal",
+                    Msg::Num((rng.range_f64(0.05, 1.0) * 1000.0).round() / 1000.0),
+                ),
+            ])
+        })
+        .collect();
+    Msg::obj([
+        ("type", Msg::str("wifi-scan")),
+        ("t", Msg::Num(1_352_000_000_000.0)),
+        ("seq", Msg::Num(42.0)),
+        ("aps", Msg::Arr(aps)),
+    ])
+}
+
+/// Serialize + size + parse a wifi-scan message, round-trip checked.
+pub fn bench_json_codec() -> BenchRecord {
+    let msg = wifi_scan_msg();
+    let json = msg.to_json();
+    assert_eq!(msg.json_size(), json.len() as u64, "json_size must match serialization");
+    assert_eq!(Msg::from_json(&json).expect("round-trip parses"), msg);
+
+    let wall = best_wall_ns(|| {
+        for _ in 0..CODEC_ITERS {
+            let json = black_box(&msg).to_json();
+            let size = msg.json_size();
+            let back = Msg::from_json(&json).expect("round-trip parses");
+            black_box((json, size, back));
+        }
+    });
+    record("json_codec", CODEC_ITERS as u64, wall, None)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming DBSCAN
+// ---------------------------------------------------------------------------
+
+/// Generates a Table-4-scale synthetic trace: alternating dwells (one of
+/// 40 places, each with its own 6-AP neighbourhood) and commutes (a few
+/// weak unfamiliar APs), one scan per simulated minute.
+pub fn table4_scale_trace(seed: u64) -> Vec<Scan> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut scans = Vec::with_capacity(DBSCAN_SCANS);
+    let mut t_ms: u64 = 0;
+    while scans.len() < DBSCAN_SCANS {
+        let base = 1_000 * (1 + rng.index(40) as u64);
+        let dwell = rng.range_u64(40, 90);
+        for _ in 0..dwell {
+            let aps: Vec<(Bssid, f64)> = (0..6u64)
+                .map(|k| {
+                    let s = (0.3 + 0.1 * k as f64 + rng.range_f64(-0.05, 0.05)).clamp(0.05, 1.0);
+                    (Bssid::new(base + k), s)
+                })
+                .collect();
+            scans.push(Scan::from_parts(t_ms, aps));
+            t_ms += 60_000;
+        }
+        let transit = rng.range_u64(6, 18);
+        for _ in 0..transit {
+            let first = rng.range_u64(50_000, 120_000);
+            let n = 1 + rng.index(3) as u64;
+            let aps: Vec<(Bssid, f64)> = (0..n)
+                .map(|k| (Bssid::new(first + k), rng.range_f64(0.05, 0.35)))
+                .collect();
+            scans.push(Scan::from_parts(t_ms, aps));
+            t_ms += 60_000;
+        }
+    }
+    scans.truncate(DBSCAN_SCANS);
+    scans
+}
+
+/// The seed's scan representation: a plain `Vec` AP table, so every
+/// clone the clusterer makes (into the window, into the member list) is
+/// a heap copy. The optimized `Scan` refcount-shares the table instead.
+#[derive(Debug, Clone, PartialEq)]
+struct SeedScan {
+    timestamp_ms: u64,
+    aps: Vec<(Bssid, f64)>,
+}
+
+impl SeedScan {
+    fn of(scan: &Scan) -> SeedScan {
+        SeedScan {
+            timestamp_ms: scan.timestamp_ms,
+            aps: scan.aps().to_vec(),
+        }
+    }
+
+    fn aps(&self) -> &[(Bssid, f64)] {
+        &self.aps
+    }
+}
+
+/// The seed's cosine: norms re-derived inside every call, two square
+/// roots per invocation.
+fn naive_cosine(a: &SeedScan, b: &SeedScan) -> f64 {
+    let (mut dot, mut norm_a, mut norm_b) = (0.0, 0.0, 0.0);
+    let (aps_a, aps_b) = (a.aps(), b.aps());
+    let (mut i, mut j) = (0, 0);
+    while i < aps_a.len() && j < aps_b.len() {
+        let (ba, sa) = aps_a[i];
+        let (bb, sb) = aps_b[j];
+        match ba.cmp(&bb) {
+            std::cmp::Ordering::Less => {
+                norm_a += sa * sa;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                norm_b += sb * sb;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                dot += sa * sb;
+                norm_a += sa * sa;
+                norm_b += sb * sb;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(_, s) in &aps_a[i..] {
+        norm_a += s * s;
+    }
+    for &(_, s) in &aps_b[j..] {
+        norm_b += s * s;
+    }
+    if norm_a == 0.0 || norm_b == 0.0 {
+        return 0.0;
+    }
+    dot / (norm_a.sqrt() * norm_b.sqrt())
+}
+
+fn naive_distance(a: &SeedScan, b: &SeedScan) -> f64 {
+    1.0 - naive_cosine(a, b)
+}
+
+/// A closed cluster as the seed clusterer reports it.
+#[derive(Debug, Clone, PartialEq)]
+struct SeedSummary {
+    representative: SeedScan,
+    entry_ms: u64,
+    exit_ms: u64,
+    samples: usize,
+}
+
+fn summaries_agree(optimized: &[ClusterSummary], seed: &[SeedSummary]) -> bool {
+    optimized.len() == seed.len()
+        && optimized.iter().zip(seed).all(|(a, b)| {
+            a.entry_ms == b.entry_ms
+                && a.exit_ms == b.exit_ms
+                && a.samples == b.samples
+                && a.representative.timestamp_ms == b.representative.timestamp_ms
+                && a.representative.aps() == b.representative.aps()
+        })
+}
+
+/// The seed's streaming clusterer, verbatim: separate core-object and
+/// seeding sweeps over the window, `max_by` representative selection that
+/// recomputes both cosines per comparison, no cached norms.
+struct NaiveClusterer {
+    cfg: StreamConfig,
+    window: VecDeque<SeedScan>,
+    members: Vec<SeedScan>,
+}
+
+impl NaiveClusterer {
+    fn new(cfg: StreamConfig) -> Self {
+        NaiveClusterer {
+            cfg,
+            window: VecDeque::with_capacity(cfg.window),
+            members: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, scan: SeedScan) -> Option<SeedSummary> {
+        let mut gap_closed = None;
+        if let Some(last) = self.window.back() {
+            if scan.timestamp_ms.saturating_sub(last.timestamp_ms) > self.cfg.max_gap_ms {
+                gap_closed = self.close();
+                self.window.clear();
+            }
+        }
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(scan.clone());
+
+        let mut closed = None;
+        if !self.members.is_empty() {
+            if self.is_reachable(&scan) {
+                self.members.push(scan);
+                return gap_closed;
+            }
+            closed = self.close();
+        }
+        if self.is_core(&scan) {
+            self.members = self
+                .window
+                .iter()
+                .filter(|other| naive_distance(&scan, other) <= self.cfg.eps)
+                .cloned()
+                .collect();
+        }
+        gap_closed.or(closed)
+    }
+
+    fn finish(&mut self) -> Option<SeedSummary> {
+        self.close()
+    }
+
+    fn is_reachable(&self, scan: &SeedScan) -> bool {
+        self.members
+            .iter()
+            .rev()
+            .take(self.cfg.reach_depth)
+            .any(|m| naive_distance(scan, m) <= self.cfg.eps)
+    }
+
+    fn is_core(&self, scan: &SeedScan) -> bool {
+        let hits = self
+            .window
+            .iter()
+            .filter(|other| naive_distance(scan, other) <= self.cfg.eps)
+            .count();
+        hits >= self.cfg.min_pts
+    }
+
+    fn close(&mut self) -> Option<SeedSummary> {
+        let members = std::mem::take(&mut self.members);
+        if members.len() < self.cfg.min_pts {
+            return None;
+        }
+        let representative = naive_nearest_to_mean(&members);
+        Some(SeedSummary {
+            entry_ms: members.first().expect("non-empty").timestamp_ms,
+            exit_ms: members.last().expect("non-empty").timestamp_ms,
+            samples: members.len(),
+            representative,
+        })
+    }
+}
+
+fn naive_nearest_to_mean(members: &[SeedScan]) -> SeedScan {
+    let mean = naive_mean_scan(members);
+    members
+        .iter()
+        .enumerate()
+        .max_by(|(i, a), (j, b)| {
+            naive_cosine(a, &mean)
+                .partial_cmp(&naive_cosine(b, &mean))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(j.cmp(i))
+        })
+        .map(|(_, s)| s.clone())
+        .expect("members is non-empty")
+}
+
+fn naive_mean_scan(members: &[SeedScan]) -> SeedScan {
+    let mut sums: Vec<(Bssid, f64)> = Vec::new();
+    for scan in members {
+        for &(bssid, s) in scan.aps() {
+            match sums.binary_search_by_key(&bssid, |&(b, _)| b) {
+                Ok(i) => sums[i].1 += s,
+                Err(i) => sums.insert(i, (bssid, s)),
+            }
+        }
+    }
+    let n = members.len() as f64;
+    for (_, s) in &mut sums {
+        *s /= n;
+    }
+    SeedScan {
+        timestamp_ms: members[0].timestamp_ms,
+        aps: sums,
+    }
+}
+
+fn replay_optimized(trace: &[Scan], cfg: StreamConfig) -> Vec<ClusterSummary> {
+    let mut c = StreamClusterer::new(cfg);
+    let mut out = Vec::new();
+    for scan in trace {
+        out.extend(c.push(scan.clone()));
+    }
+    out.extend(c.finish());
+    out
+}
+
+fn replay_naive(trace: &[SeedScan], cfg: StreamConfig) -> Vec<SeedSummary> {
+    let mut c = NaiveClusterer::new(cfg);
+    let mut out = Vec::new();
+    for scan in trace {
+        out.extend(c.push(scan.clone()));
+    }
+    out.extend(c.finish());
+    out
+}
+
+/// Table-4-scale clustering replay: optimized streaming DBSCAN vs. the
+/// seed implementation, with the outputs asserted identical first.
+pub fn bench_stream_dbscan() -> BenchRecord {
+    let trace = table4_scale_trace(0x706f_676f);
+    let seed_trace: Vec<SeedScan> = trace.iter().map(SeedScan::of).collect();
+    let cfg = StreamConfig::default();
+
+    let expected = replay_optimized(&trace, cfg);
+    let baseline_out = replay_naive(&seed_trace, cfg);
+    assert!(
+        summaries_agree(&expected, &baseline_out),
+        "optimized clusterer must reproduce the seed's output exactly"
+    );
+    assert!(
+        expected.len() > 100,
+        "trace must exercise many cluster closures (got {})",
+        expected.len()
+    );
+
+    // Each side is timed over *consecutive* warm runs, the way criterion
+    // groups measurements: the replays stream multi-megabyte traces, so
+    // interleaving them per round evicts each other's trace from cache
+    // and times memory instead of clustering. The baseline goes first so
+    // the optimized side runs on an already-hot (sustained-clock) CPU.
+    let wall = best_wall_ns_runs(3 * RUNS, || {
+        black_box(replay_optimized(black_box(&trace), cfg));
+    });
+    let naive_wall = best_wall_ns_runs(3 * RUNS, || {
+        black_box(replay_naive(black_box(&seed_trace), cfg));
+    });
+    record("stream_dbscan", trace.len() as u64, wall, Some(naive_wall))
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+/// A lookup- and call-heavy script: scope-chain traffic is what the
+/// interned-environment change targets.
+pub const INTERP_SOURCE: &str = "\
+var total = 0;
+function dist(ax, ay, bx, by) {
+    var dx = ax - bx;
+    var dy = ay - by;
+    return Math.sqrt(dx * dx + dy * dy);
+}
+function label(i) {
+    var tag = 'p' + i;
+    return tag.length + (i % 2);
+}
+for (var i = 0; i < 500; i++) {
+    total += dist(i, i % 7, i % 13, label(i));
+}
+total;";
+
+/// Full parse+eval cycles of [`INTERP_SOURCE`].
+pub fn bench_interpreter() -> BenchRecord {
+    let expected = Interpreter::new().eval(INTERP_SOURCE).expect("script runs");
+    assert!(matches!(expected, Value::Num(n) if n.is_finite()));
+
+    let wall = best_wall_ns(|| {
+        for _ in 0..INTERP_EVALS {
+            let mut interp = Interpreter::new();
+            let got = interp.eval(black_box(INTERP_SOURCE)).expect("script runs");
+            assert_eq!(got, expected, "interpreter workload checksum");
+        }
+    });
+    record("interpreter", INTERP_EVALS as u64, wall, None)
+}
+
+// ---------------------------------------------------------------------------
+// Harness plumbing
+// ---------------------------------------------------------------------------
+
+/// Runs all four workloads.
+pub fn run_all() -> Vec<BenchRecord> {
+    // The clustering replay goes first: it streams a multi-megabyte scan
+    // trace, and allocating that trace on the fresh heap (before the
+    // other benches churn it) keeps the scans laid out contiguously —
+    // the same layout a real trace loaded at startup would have.
+    let dbscan = bench_stream_dbscan();
+    vec![
+        bench_broker_fanout(),
+        bench_json_codec(),
+        dbscan,
+        bench_interpreter(),
+    ]
+}
+
+/// Serializes records to the `BENCH_*.json` schema.
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let benches = Msg::Obj(
+        records
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("ops".to_owned(), Msg::Num(r.ops as f64)),
+                    ("wall_ns".to_owned(), Msg::Num(r.wall_ns as f64)),
+                    ("ns_per_op".to_owned(), Msg::Num(round3(r.ns_per_op))),
+                ];
+                if let Some(b) = r.baseline_ns_per_op {
+                    fields.push(("baseline_ns_per_op".to_owned(), Msg::Num(round3(b))));
+                }
+                if let Some(s) = r.speedup {
+                    fields.push(("speedup".to_owned(), Msg::Num(round3(s))));
+                }
+                (r.name.to_owned(), Msg::Obj(fields))
+            })
+            .collect(),
+    );
+    let doc = Msg::obj([
+        ("schema", Msg::str("pogo-perf/1")),
+        ("benches", benches),
+    ]);
+    doc.to_json()
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Compares `current` against a committed `BENCH_*.json`. Returns the
+/// list of regressions beyond `tolerance` (0.25 = fail if more than 25%
+/// slower per op); benches absent from the baseline are skipped.
+pub fn regressions(
+    current: &[BenchRecord],
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let doc = Msg::from_json(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
+    let benches = doc
+        .get("benches")
+        .ok_or_else(|| "baseline has no `benches` object".to_owned())?;
+    let mut out = Vec::new();
+    for r in current {
+        let Some(base) = benches.get(r.name).and_then(|b| b.get("ns_per_op")).and_then(Msg::as_num)
+        else {
+            continue;
+        };
+        if r.ns_per_op > base * (1.0 + tolerance) {
+            out.push(format!(
+                "{}: {:.1} ns/op vs baseline {:.1} ns/op (+{:.0}%, tolerance {:.0}%)",
+                r.name,
+                r.ns_per_op,
+                base,
+                (r.ns_per_op / base - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo_cluster::cosine;
+
+    #[test]
+    fn trace_is_deterministic_and_sized() {
+        let a = table4_scale_trace(7);
+        let b = table4_scale_trace(7);
+        assert_eq!(a.len(), DBSCAN_SCANS);
+        assert_eq!(a, b);
+        assert_ne!(a, table4_scale_trace(8));
+    }
+
+    #[test]
+    fn naive_clusterer_matches_optimized_on_short_trace() {
+        let trace = &table4_scale_trace(3)[..2_000];
+        let seed_trace: Vec<SeedScan> = trace.iter().map(SeedScan::of).collect();
+        let cfg = StreamConfig::default();
+        assert!(summaries_agree(
+            &replay_optimized(trace, cfg),
+            &replay_naive(&seed_trace, cfg)
+        ));
+    }
+
+    #[test]
+    fn naive_cosine_matches_optimized() {
+        let trace = &table4_scale_trace(11)[..200];
+        for a in trace.iter().step_by(7) {
+            for b in trace.iter().step_by(13) {
+                assert_eq!(
+                    naive_cosine(&SeedScan::of(a), &SeedScan::of(b)),
+                    cosine(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_broker_counts_match_indexed() {
+        let hits = Rc::new(Cell::new(0u64));
+        let mut linear = LinearBroker::default();
+        let broker = Broker::new();
+        for i in 0..10 {
+            let h = hits.clone();
+            linear.subscribe(&format!("ch-{}", i % 3), Rc::new(move |_, _, _| h.set(h.get() + 1)));
+            broker.subscribe(&format!("ch-{}", i % 3), Msg::Null, |_, _, _| {});
+        }
+        assert_eq!(linear.publish("ch-0", &Msg::Null), broker.publish("ch-0", &Msg::Null));
+        assert_eq!(linear.publish("ch-2", &Msg::Null), broker.publish("ch-2", &Msg::Null));
+        assert_eq!(linear.publish("nope", &Msg::Null), broker.publish("nope", &Msg::Null));
+    }
+
+    #[test]
+    fn json_schema_round_trips_and_checks() {
+        let records = vec![
+            BenchRecord {
+                name: "fast",
+                ops: 100,
+                wall_ns: 1_000,
+                ns_per_op: 10.0,
+                baseline_ns_per_op: Some(30.0),
+                speedup: Some(3.0),
+            },
+            BenchRecord {
+                name: "steady",
+                ops: 10,
+                wall_ns: 500,
+                ns_per_op: 50.0,
+                baseline_ns_per_op: None,
+                speedup: None,
+            },
+        ];
+        let json = to_json(&records);
+        assert!(regressions(&records, &json, 0.25).unwrap().is_empty());
+
+        let mut slower = records.clone();
+        slower[0].ns_per_op = 13.0; // +30% > 25% tolerance
+        let regs = regressions(&slower, &json, 0.25).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].starts_with("fast:"));
+
+        // Within tolerance: no complaint.
+        slower[0].ns_per_op = 12.0;
+        assert!(regressions(&slower, &json, 0.25).unwrap().is_empty());
+    }
+
+    #[test]
+    fn regressions_rejects_malformed_baseline() {
+        assert!(regressions(&[], "not json", 0.25).is_err());
+        assert!(regressions(&[], "{\"schema\": \"pogo-perf/1\"}", 0.25).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! Access-point scans: raw readings, sanitization, and RSSI normalization.
 
 use std::fmt;
+use std::rc::Rc;
 use std::str::FromStr;
 
 /// A Wi-Fi access point MAC address (48 bits, stored in the low bits).
@@ -114,20 +115,25 @@ impl RawScan {
             .collect();
         aps.sort_by_key(|&(b, _)| b);
         aps.dedup_by_key(|&mut (b, _)| b);
-        Scan {
-            timestamp_ms: self.timestamp_ms,
-            aps,
-        }
+        Scan::sorted(self.timestamp_ms, aps)
     }
 }
 
 /// A sanitized, normalized scan: the unit of clustering.
+///
+/// Scans are immutable once built; the AP table is refcount-shared so
+/// cloning one (the streaming clusterer keeps every scan in its sliding
+/// window *and* in the open cluster's member list) is two pointer bumps,
+/// not a heap copy.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Scan {
     /// Capture time in milliseconds.
     pub timestamp_ms: u64,
     /// `(bssid, normalized strength)` pairs, sorted by BSSID, unique.
-    aps: Vec<(Bssid, f64)>,
+    aps: Rc<[(Bssid, f64)]>,
+    /// Cached L2 norm of the strength vector, so similarity computations
+    /// only walk the merge-join for the dot product.
+    norm: f64,
 }
 
 impl Scan {
@@ -136,12 +142,35 @@ impl Scan {
     pub fn from_parts(timestamp_ms: u64, mut aps: Vec<(Bssid, f64)>) -> Self {
         aps.sort_by_key(|&(b, _)| b);
         aps.dedup_by_key(|&mut (b, _)| b);
-        Scan { timestamp_ms, aps }
+        Scan::sorted(timestamp_ms, aps)
+    }
+
+    fn sorted(timestamp_ms: u64, aps: Vec<(Bssid, f64)>) -> Self {
+        // Accumulated in BSSID order — the same order the old inline
+        // merge-join summed squares in, so cosine values stay bit-for-bit
+        // identical (the clustering.js differential test depends on that).
+        let mut sum_sq = 0.0;
+        for &(_, s) in &aps {
+            sum_sq += s * s;
+        }
+        Scan {
+            timestamp_ms,
+            aps: aps.into(),
+            norm: sum_sq.sqrt(),
+        }
     }
 
     /// The `(bssid, strength)` pairs, sorted by BSSID.
+    #[inline]
     pub fn aps(&self) -> &[(Bssid, f64)] {
         &self.aps
+    }
+
+    /// L2 norm of the strength vector (0 for an empty scan), cached at
+    /// construction.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm
     }
 
     /// Number of access points in the scan.

@@ -17,44 +17,58 @@ use crate::scan::Scan;
 /// assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
 /// ```
 pub fn cosine(a: &Scan, b: &Scan) -> f64 {
-    let (mut dot, mut norm_a, mut norm_b) = (0.0, 0.0, 0.0);
+    // Norms are cached on the scans; only the dot product needs the
+    // merge join (both sides are sorted by BSSID).
+    let (norm_a, norm_b) = (a.norm(), b.norm());
+    if norm_a == 0.0 || norm_b == 0.0 {
+        return 0.0;
+    }
     let (aps_a, aps_b) = (a.aps(), b.aps());
-    // Merge join: both sides are sorted by BSSID.
+    // Disjoint BSSID ranges (both sides are sorted) mean no shared AP, so
+    // the dot product is exactly 0 — the common case when comparing a
+    // transit scan against a dwelling window. Non-zero norms imply both
+    // slices are non-empty.
+    if aps_a[aps_a.len() - 1].0 < aps_b[0].0 || aps_b[aps_b.len() - 1].0 < aps_a[0].0 {
+        return 0.0;
+    }
+    // Identical AP layouts — consecutive scans at the same place, the
+    // bulk of a dwell — take a branch-light aligned product. The dot
+    // accumulates over shared BSSIDs in ascending order either way, so
+    // this is bit-identical to the merge join below.
+    if aps_a.len() == aps_b.len() {
+        let mut dot = 0.0;
+        let mut aligned = true;
+        for (&(ba, sa), &(bb, sb)) in aps_a.iter().zip(aps_b) {
+            if ba != bb {
+                aligned = false;
+                break;
+            }
+            dot += sa * sb;
+        }
+        if aligned {
+            return dot / (norm_a * norm_b);
+        }
+    }
+    let mut dot = 0.0;
     let (mut i, mut j) = (0, 0);
     while i < aps_a.len() && j < aps_b.len() {
         let (ba, sa) = aps_a[i];
         let (bb, sb) = aps_b[j];
         match ba.cmp(&bb) {
-            std::cmp::Ordering::Less => {
-                norm_a += sa * sa;
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                norm_b += sb * sb;
-                j += 1;
-            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 dot += sa * sb;
-                norm_a += sa * sa;
-                norm_b += sb * sb;
                 i += 1;
                 j += 1;
             }
         }
     }
-    for &(_, s) in &aps_a[i..] {
-        norm_a += s * s;
-    }
-    for &(_, s) in &aps_b[j..] {
-        norm_b += s * s;
-    }
-    if norm_a == 0.0 || norm_b == 0.0 {
-        return 0.0;
-    }
-    dot / (norm_a.sqrt() * norm_b.sqrt())
+    dot / (norm_a * norm_b)
 }
 
 /// Cosine *distance*: `1 − cosine(a, b)`, in `[0, 1]`.
+#[inline]
 pub fn cosine_distance(a: &Scan, b: &Scan) -> f64 {
     1.0 - cosine(a, b)
 }

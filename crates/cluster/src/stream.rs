@@ -32,6 +32,15 @@ use std::collections::VecDeque;
 use crate::scan::{Bssid, Scan};
 use crate::similarity::{cosine, cosine_distance};
 
+/// `(lowest, highest)` BSSID of a scan, or a reversed sentinel for an
+/// empty scan so that it overlaps nothing.
+fn bssid_range(scan: &Scan) -> (Bssid, Bssid) {
+    match (scan.aps().first(), scan.aps().last()) {
+        (Some(&(lo, _)), Some(&(hi, _))) => (lo, hi),
+        _ => (Bssid::new((1 << 48) - 1), Bssid::new(0)),
+    }
+}
+
 /// Parameters of the streaming clusterer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
@@ -101,6 +110,21 @@ pub struct StreamClusterer {
     window: VecDeque<Scan>,
     members: Vec<Scan>,
     emitted: u64,
+    /// Run-length-encoded `(lowest, highest, run length)` BSSID ranges of
+    /// the window scans, in window order. The seeding pass sweeps this
+    /// compact array first and computes a cosine only for scans whose
+    /// BSSID range overlaps the new sample's: range-disjoint scans share
+    /// no AP, so their cosine is exactly 0 and they cannot be neighbours
+    /// for `eps < 1` (the same observation the cosine fast path
+    /// exploits). Consecutive scans at one place see the same BSSID range
+    /// — the premise of the whole clusterer — so a dwell collapses to a
+    /// single run and a transit sample skips it with one comparison. The
+    /// filter is conservative: a false positive just falls through to the
+    /// exact cosine, so clustering output is bit-identical either way.
+    ranges: VecDeque<(Bssid, Bssid, u32)>,
+    /// Reusable neighbour-index buffer for the seeding pass, so scans
+    /// that don't join a cluster (every transit sample) allocate nothing.
+    scratch: Vec<usize>,
 }
 
 impl StreamClusterer {
@@ -117,6 +141,8 @@ impl StreamClusterer {
             window: VecDeque::with_capacity(cfg.window),
             members: Vec::new(),
             emitted: 0,
+            ranges: VecDeque::with_capacity(cfg.window),
+            scratch: Vec::with_capacity(cfg.window),
         }
     }
 
@@ -143,11 +169,21 @@ impl StreamClusterer {
         if let Some(last) = self.window.back() {
             if scan.timestamp_ms.saturating_sub(last.timestamp_ms) > self.cfg.max_gap_ms {
                 gap_closed = self.close();
-                self.window.clear();
+                self.clear_window();
             }
         }
         if self.window.len() == self.cfg.window {
             self.window.pop_front();
+            let front = self.ranges.front_mut().expect("ranges track the window");
+            front.2 -= 1;
+            if front.2 == 0 {
+                self.ranges.pop_front();
+            }
+        }
+        let (lo, hi) = bssid_range(&scan);
+        match self.ranges.back_mut() {
+            Some(run) if run.0 == lo && run.1 == hi => run.2 += 1,
+            _ => self.ranges.push_back((lo, hi, 1)),
         }
         self.window.push_back(scan.clone());
 
@@ -159,18 +195,43 @@ impl StreamClusterer {
             }
             closed = self.close();
         }
-        // No cluster open (or just closed): try to seed a new one.
-        if self.is_core(&scan) {
-            self.members = self
-                .window
-                .iter()
-                .filter(|other| cosine_distance(&scan, other) <= self.cfg.eps)
-                .cloned()
-                .collect();
+        // No cluster open (or just closed): try to seed a new one. One
+        // pass over the window computes the distance row once; it serves
+        // both the core-object test and member seeding (these used to be
+        // two separate O(window) cosine sweeps). The range prefilter
+        // sweeps the compact `ranges` array, so a transit sample amid
+        // unfamiliar APs never dereferences the window scans at all.
+        // `eps >= 1.0` disables the prefilter: at that degenerate radius
+        // even disjoint scans (cosine 0, distance 1) are neighbours.
+        let all = self.cfg.eps >= 1.0;
+        let (probe_lo, probe_hi) = bssid_range(&scan);
+        let mut neighbours = std::mem::take(&mut self.scratch);
+        neighbours.clear();
+        let mut base = 0usize;
+        for &(lo, hi, n) in &self.ranges {
+            let n = n as usize;
+            if all || (probe_lo <= hi && lo <= probe_hi) {
+                for i in base..base + n {
+                    if cosine_distance(&scan, &self.window[i]) <= self.cfg.eps {
+                        neighbours.push(i);
+                    }
+                }
+            }
+            base += n;
         }
+        if neighbours.len() >= self.cfg.min_pts {
+            self.members = neighbours.iter().map(|&i| self.window[i].clone()).collect();
+        }
+        self.scratch = neighbours;
         // At most one of the two can be Some: a gap reset empties the
         // window, so the ordinary close path has nothing open.
         gap_closed.or(closed)
+    }
+
+    /// Empties the sliding window and its range array.
+    fn clear_window(&mut self) {
+        self.window.clear();
+        self.ranges.clear();
     }
 
     /// Closes any open cluster (end of trace / script shutdown).
@@ -182,7 +243,7 @@ impl StreamClusterer {
     /// (§5.3 observed exactly this data loss; the window and any
     /// half-built cluster vanish).
     pub fn reset(&mut self) {
-        self.window.clear();
+        self.clear_window();
         self.members.clear();
     }
 
@@ -192,15 +253,6 @@ impl StreamClusterer {
             .rev()
             .take(self.cfg.reach_depth)
             .any(|m| cosine_distance(scan, m) <= self.cfg.eps)
-    }
-
-    fn is_core(&self, scan: &Scan) -> bool {
-        let hits = self
-            .window
-            .iter()
-            .filter(|other| cosine_distance(scan, other) <= self.cfg.eps)
-            .count();
-        hits >= self.cfg.min_pts
     }
 
     fn close(&mut self) -> Option<ClusterSummary> {
@@ -224,23 +276,40 @@ impl StreamClusterer {
 /// of all members (footnote 6 of the paper).
 fn nearest_to_mean(members: &[Scan]) -> Scan {
     let mean = mean_scan(members);
-    let best = members
-        .iter()
-        .enumerate()
-        .max_by(|(i, a), (j, b)| {
-            cosine(a, &mean)
-                .partial_cmp(&cosine(b, &mean))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                // Stable tie-break: earliest member wins.
-                .then(j.cmp(i))
-        })
-        .map(|(_, s)| s.clone())
-        .expect("members is non-empty");
-    best
+    // One cosine per member (the old max_by recomputed both sides on
+    // every comparison); strict `>` keeps the earliest member on ties.
+    let mut best = 0;
+    let mut best_sim = f64::NEG_INFINITY;
+    for (i, s) in members.iter().enumerate() {
+        let sim = cosine(s, &mean);
+        if sim > best_sim {
+            best_sim = sim;
+            best = i;
+        }
+    }
+    members[best].clone()
 }
 
 /// Component-wise mean of scans as sparse vectors (absent APs count as 0).
 fn mean_scan(members: &[Scan]) -> Scan {
+    let first = &members[0];
+    // Consecutive scans at one place usually see the identical AP set, so
+    // the mean is a per-slot average with no binary searches. Per-AP
+    // strengths accumulate in member order either way, so the result is
+    // bit-identical to the sparse merge below.
+    if members[1..].iter().all(|s| same_layout(first, s)) {
+        let mut sums = first.aps().to_vec();
+        for scan in &members[1..] {
+            for (slot, &(_, s)) in sums.iter_mut().zip(scan.aps()) {
+                slot.1 += s;
+            }
+        }
+        let n = members.len() as f64;
+        for (_, s) in &mut sums {
+            *s /= n;
+        }
+        return Scan::from_parts(first.timestamp_ms, sums);
+    }
     let mut sums: Vec<(Bssid, f64)> = Vec::new();
     for scan in members {
         for &(bssid, s) in scan.aps() {
@@ -254,7 +323,12 @@ fn mean_scan(members: &[Scan]) -> Scan {
     for (_, s) in &mut sums {
         *s /= n;
     }
-    Scan::from_parts(members[0].timestamp_ms, sums)
+    Scan::from_parts(first.timestamp_ms, sums)
+}
+
+/// True if both scans report exactly the same BSSIDs in the same order.
+fn same_layout(a: &Scan, b: &Scan) -> bool {
+    a.len() == b.len() && a.aps().iter().zip(b.aps()).all(|(x, y)| x.0 == y.0)
 }
 
 #[cfg(test)]

@@ -1,3 +1,5 @@
+#![cfg(feature = "heavy-tests")]
+
 //! Property-based tests for the clustering substrate.
 
 use proptest::prelude::*;

@@ -12,6 +12,7 @@
 //!   based on this information").
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::value::Msg;
@@ -35,20 +36,80 @@ type Sink = Rc<dyn Fn(&str, &Msg, Option<&str>)>;
 type ChangeListener = Rc<dyn Fn(&str, &[SubscriptionInfo])>;
 
 struct Subscription {
-    id: SubscriptionId,
-    channel: String,
+    /// Interned channel name, shared with the channel-index key.
+    channel: Rc<str>,
     params: Msg,
     active: bool,
     sink: Sink,
 }
 
-#[derive(Default)]
+/// Per-channel routing state. `members` keeps every subscription (active
+/// and released) in insertion order; `delivery` is a copy-on-write
+/// snapshot of just the *active* sinks in that order, rebuilt on
+/// subscription changes so that publishing clones one `Rc` instead of
+/// allocating a `Vec` per message.
+struct Channel {
+    members: Vec<SubscriptionId>,
+    delivery: Rc<[Sink]>,
+}
+
+impl Channel {
+    fn new() -> Self {
+        Channel {
+            members: Vec::new(),
+            delivery: Rc::from([] as [Sink; 0]),
+        }
+    }
+}
+
 struct Inner {
-    subs: Vec<Subscription>,
-    listeners: Vec<(String, ChangeListener)>,
-    taps: Vec<Sink>,
+    /// Subscription storage, keyed by id (ids are never reused).
+    subs: HashMap<SubscriptionId, Subscription>,
+    /// The channel index: interned name → routing state.
+    channels: HashMap<Rc<str>, Channel>,
+    listeners: Vec<(Rc<str>, ChangeListener)>,
+    /// Copy-on-write snapshot of the taps, same trick as `Channel::delivery`.
+    taps: Rc<[Sink]>,
     next_id: u64,
     published: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            subs: HashMap::new(),
+            channels: HashMap::new(),
+            listeners: Vec::new(),
+            taps: Rc::from([] as [Sink; 0]),
+            next_id: 0,
+            published: 0,
+        }
+    }
+}
+
+impl Inner {
+    /// Interns a channel name, reusing the index key when present.
+    fn intern(&self, channel: &str) -> Rc<str> {
+        match self.channels.get_key_value(channel) {
+            Some((name, _)) => name.clone(),
+            None => Rc::from(channel),
+        }
+    }
+
+    /// Rebuilds one channel's active-sink snapshot after a change.
+    fn rebuild_delivery(&mut self, channel: &str) {
+        let Some(ch) = self.channels.get_mut(channel) else {
+            return;
+        };
+        let subs = &self.subs;
+        ch.delivery = ch
+            .members
+            .iter()
+            .filter_map(|id| subs.get(id))
+            .filter(|s| s.active)
+            .map(|s| s.sink.clone())
+            .collect();
+    }
 }
 
 /// A message broker. Cheap to clone; clones share state.
@@ -100,20 +161,30 @@ impl Broker {
         params: Msg,
         sink: impl Fn(&str, &Msg, Option<&str>) + 'static,
     ) -> SubscriptionId {
-        let id = {
+        let (id, name) = {
             let mut inner = self.inner.borrow_mut();
             let id = SubscriptionId(inner.next_id);
             inner.next_id += 1;
-            inner.subs.push(Subscription {
+            let name = inner.intern(channel);
+            inner.subs.insert(
                 id,
-                channel: channel.to_owned(),
-                params,
-                active: true,
-                sink: Rc::new(sink),
-            });
-            id
+                Subscription {
+                    channel: name.clone(),
+                    params,
+                    active: true,
+                    sink: Rc::new(sink),
+                },
+            );
+            inner
+                .channels
+                .entry(name.clone())
+                .or_insert_with(Channel::new)
+                .members
+                .push(id);
+            inner.rebuild_delivery(&name);
+            (id, name)
         };
-        self.notify_change(channel);
+        self.notify_change(&name);
         id
     }
 
@@ -121,10 +192,23 @@ impl Broker {
     pub fn unsubscribe(&self, id: SubscriptionId) {
         let channel = {
             let mut inner = self.inner.borrow_mut();
-            let Some(pos) = inner.subs.iter().position(|s| s.id == id) else {
+            let Some(sub) = inner.subs.remove(&id) else {
                 return;
             };
-            inner.subs.remove(pos).channel
+            let name = sub.channel;
+            let empty = match inner.channels.get_mut(&*name) {
+                Some(ch) => {
+                    ch.members.retain(|m| *m != id);
+                    ch.members.is_empty()
+                }
+                None => false,
+            };
+            if empty {
+                inner.channels.remove(&*name);
+            } else {
+                inner.rebuild_delivery(&name);
+            }
+            name
         };
         self.notify_change(&channel);
     }
@@ -136,14 +220,16 @@ impl Broker {
     pub fn set_active(&self, id: SubscriptionId, active: bool) {
         let channel = {
             let mut inner = self.inner.borrow_mut();
-            let Some(sub) = inner.subs.iter_mut().find(|s| s.id == id) else {
+            let Some(sub) = inner.subs.get_mut(&id) else {
                 return;
             };
             if sub.active == active {
                 return;
             }
             sub.active = active;
-            sub.channel.clone()
+            let name = sub.channel.clone();
+            inner.rebuild_delivery(&name);
+            name
         };
         self.notify_change(&channel);
     }
@@ -157,23 +243,26 @@ impl Broker {
     /// Like [`Broker::publish`] but attributing the message to a remote
     /// origin (the collector's multi-broker fanning in device data).
     pub fn publish_from(&self, channel: &str, msg: &Msg, from: Option<&str>) -> usize {
-        let (sinks, taps): (Vec<Sink>, Vec<Sink>) = {
+        // One channel-index lookup and two Rc clones: the snapshots keep
+        // this round's delivery set stable even if a sink mutates the
+        // subscription table mid-publish (same semantics as the old
+        // collect-then-invoke Vec, without the per-publish allocation).
+        let (sinks, taps): (Rc<[Sink]>, Rc<[Sink]>) = {
             let mut inner = self.inner.borrow_mut();
             inner.published += 1;
             (
                 inner
-                    .subs
-                    .iter()
-                    .filter(|s| s.active && s.channel == channel)
-                    .map(|s| s.sink.clone())
-                    .collect(),
+                    .channels
+                    .get(channel)
+                    .map(|ch| ch.delivery.clone())
+                    .unwrap_or_else(|| Rc::from([] as [Sink; 0])),
                 inner.taps.clone(),
             )
         };
-        for sink in &sinks {
+        for sink in sinks.iter() {
             sink(channel, msg, from);
         }
-        for tap in &taps {
+        for tap in taps.iter() {
             tap(channel, msg, from);
         }
         sinks.len()
@@ -183,7 +272,10 @@ impl Broker {
     /// targeted [`Broker::publish_to`] deliveries). The collector context
     /// uses this as its multi-broker fan-out hook (§4.2).
     pub fn on_publish(&self, tap: impl Fn(&str, &Msg, Option<&str>) + 'static) {
-        self.inner.borrow_mut().taps.push(Rc::new(tap));
+        let mut inner = self.inner.borrow_mut();
+        let mut taps: Vec<Sink> = inner.taps.iter().cloned().collect();
+        taps.push(Rc::new(tap));
+        inner.taps = taps.into();
     }
 
     /// Delivers to one specific subscription (sensors honouring
@@ -199,8 +291,8 @@ impl Broker {
             let inner = self.inner.borrow();
             inner
                 .subs
-                .iter()
-                .find(|s| s.id == id && s.active)
+                .get(&id)
+                .filter(|s| s.active)
                 .map(|s| (s.channel.clone(), s.sink.clone()))
         };
         match hit {
@@ -212,15 +304,18 @@ impl Broker {
         }
     }
 
-    /// Snapshot of the subscriptions on `channel` (active and released).
+    /// Snapshot of the subscriptions on `channel` (active and released),
+    /// in subscribe order.
     pub fn subscriptions_on(&self, channel: &str) -> Vec<SubscriptionInfo> {
-        self.inner
-            .borrow()
-            .subs
+        let inner = self.inner.borrow();
+        let Some(ch) = inner.channels.get(channel) else {
+            return Vec::new();
+        };
+        ch.members
             .iter()
-            .filter(|s| s.channel == channel)
-            .map(|s| SubscriptionInfo {
-                id: s.id,
+            .filter_map(|id| inner.subs.get(id).map(|s| (id, s)))
+            .map(|(id, s)| SubscriptionInfo {
+                id: *id,
                 params: s.params.clone(),
                 active: s.active,
             })
@@ -232,9 +327,9 @@ impl Broker {
     pub fn has_active_subscribers(&self, channel: &str) -> bool {
         self.inner
             .borrow()
-            .subs
-            .iter()
-            .any(|s| s.active && s.channel == channel)
+            .channels
+            .get(channel)
+            .is_some_and(|ch| !ch.delivery.is_empty())
     }
 
     /// Registers a listener for subscription-set changes on `channel`.
@@ -246,10 +341,13 @@ impl Broker {
         channel: &str,
         listener: impl Fn(&str, &[SubscriptionInfo]) + 'static,
     ) {
-        self.inner
-            .borrow_mut()
-            .listeners
-            .push((channel.to_owned(), Rc::new(listener)));
+        let mut inner = self.inner.borrow_mut();
+        let name = if channel.is_empty() {
+            Rc::from("")
+        } else {
+            inner.intern(channel)
+        };
+        inner.listeners.push((name, Rc::new(listener)));
     }
 
     /// Total publish calls (diagnostics).
@@ -263,7 +361,7 @@ impl Broker {
             .borrow()
             .listeners
             .iter()
-            .filter(|(c, _)| c == channel || c.is_empty())
+            .filter(|(c, _)| &**c == channel || c.is_empty())
             .map(|(_, l)| l.clone())
             .collect();
         if listeners.is_empty() {

@@ -384,11 +384,13 @@ impl ScriptHost {
         {
             let state = state.clone();
             interp.register_native("publish", move |_, args| {
+                // Script strings are already `Rc<str>`; clone the handle
+                // instead of allocating a `String` per publish.
                 let (channel, message) = match (args.first(), args.get(1)) {
                     (Some(Value::Str(ch)), msg) => {
-                        (ch.to_string(), msg.cloned().unwrap_or(Value::Null))
+                        (ch.clone(), msg.cloned().unwrap_or(Value::Null))
                     }
-                    (Some(msg), Some(Value::Str(ch))) => (ch.to_string(), msg.clone()),
+                    (Some(msg), Some(Value::Str(ch))) => (ch.clone(), msg.clone()),
                     _ => return Err(ScriptError::host("publish: expected (channel, message)")),
                 };
                 if let Some(state) = state.upgrade() {

@@ -10,7 +10,6 @@
 //! radio energy model and the Table 4 data-reduction figure), so it is
 //! implemented here.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use pogo_script::{ObjMap, Value};
@@ -42,8 +41,8 @@ impl Msg {
     }
 
     /// Builds an object from key/value pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Msg)>) -> Msg {
-        Msg::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Msg)>) -> Msg {
+        Msg::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
     /// Looks up a key if this is an object.
@@ -81,14 +80,16 @@ impl Msg {
     /// Serializes to compact JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        write_json(self, &mut out);
+        let _ = write_json(self, &mut out);
         out
     }
 
     /// Size in bytes of the JSON serialization (what travels the wire;
     /// computed without allocating for hot paths).
     pub fn json_size(&self) -> u64 {
-        self.to_json().len() as u64
+        let mut counter = ByteCounter(0);
+        let _ = write_json(self, &mut counter);
+        counter.0
     }
 
     /// Parses JSON text.
@@ -154,11 +155,24 @@ impl Msg {
         match self {
             Msg::Arr(items) => Msg::Arr(items.iter().map(Msg::canonicalize).collect()),
             Msg::Obj(pairs) => {
-                let sorted: BTreeMap<String, Msg> = pairs
+                let mut sorted: Vec<(String, Msg)> = pairs
                     .iter()
                     .map(|(k, v)| (k.clone(), v.canonicalize()))
                     .collect();
-                Msg::Obj(sorted.into_iter().collect())
+                sorted.sort_by(|(a, _), (b, _)| a.cmp(b));
+                // Duplicate keys: keep the last occurrence, matching the
+                // previous BTreeMap-based behaviour (stable sort keeps
+                // duplicates in insertion order, so swap the later value
+                // into the survivor before dropping it).
+                sorted.dedup_by(|later, kept| {
+                    if later.0 == kept.0 {
+                        std::mem::swap(later, kept);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                Msg::Obj(sorted)
             }
             other => other.clone(),
         }
@@ -191,60 +205,108 @@ impl From<&str> for Msg {
 
 // ---- serialization -----------------------------------------------------------
 
-fn write_json(msg: &Msg, out: &mut String) {
-    match msg {
-        Msg::Null => out.push_str("null"),
-        Msg::Bool(true) => out.push_str("true"),
-        Msg::Bool(false) => out.push_str("false"),
-        Msg::Num(n) => {
-            if !n.is_finite() {
-                out.push_str("null");
-            } else if n.fract() == 0.0 && n.abs() < 1e15 {
-                out.push_str(&format!("{}", *n as i64));
-            } else {
-                out.push_str(&format!("{n}"));
-            }
-        }
-        Msg::Str(s) => write_json_string(s, out),
-        Msg::Arr(items) => {
-            out.push('[');
-            for (i, item) in items.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                write_json(item, out);
-            }
-            out.push(']');
-        }
-        Msg::Obj(pairs) => {
-            out.push('{');
-            for (i, (k, v)) in pairs.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                write_json_string(k, out);
-                out.push(':');
-                write_json(v, out);
-            }
-            out.push('}');
-        }
+/// `fmt::Write` sink that only counts bytes — `json_size` serializes
+/// into this instead of materializing a `String`.
+struct ByteCounter(u64);
+
+impl fmt::Write for ByteCounter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0 += s.len() as u64;
+        Ok(())
     }
 }
 
-fn write_json_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+fn write_json<W: fmt::Write>(msg: &Msg, out: &mut W) -> fmt::Result {
+    match msg {
+        Msg::Null => out.write_str("null")?,
+        Msg::Bool(true) => out.write_str("true")?,
+        Msg::Bool(false) => out.write_str("false")?,
+        Msg::Num(n) => {
+            if !n.is_finite() {
+                out.write_str("null")?;
+            } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                write_json_int(*n as i64, out)?;
+            } else {
+                // Writes digits straight into the sink — no intermediate
+                // `format!` String.
+                write!(out, "{n}")?;
+            }
+        }
+        Msg::Str(s) => write_json_string(s, out)?,
+        Msg::Arr(items) => {
+            out.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_json(item, out)?;
+            }
+            out.write_char(']')?;
+        }
+        Msg::Obj(pairs) => {
+            out.write_char('{')?;
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_json_string(k, out)?;
+                out.write_char(':')?;
+                write_json(v, out)?;
+            }
+            out.write_char('}')?;
         }
     }
-    out.push('"');
+    Ok(())
+}
+
+/// Formats an integer into a stack buffer and writes it in one call,
+/// bypassing the general `Display` machinery on the hottest number path
+/// (timestamps, counters, sensor readings are all integral).
+fn write_json_int<W: fmt::Write>(value: i64, out: &mut W) -> fmt::Result {
+    let mut buf = [0u8; 20]; // i64::MIN is 20 bytes with the sign
+    let mut pos = buf.len();
+    let negative = value < 0;
+    // Work in negative space so i64::MIN doesn't overflow on negation.
+    let mut rest = if negative { value } else { -value };
+    loop {
+        pos -= 1;
+        buf[pos] = (b'0' as i64 - rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    if negative {
+        pos -= 1;
+        buf[pos] = b'-';
+    }
+    out.write_str(std::str::from_utf8(&buf[pos..]).expect("ASCII digits"))
+}
+
+fn write_json_string<W: fmt::Write>(s: &str, out: &mut W) -> fmt::Result {
+    out.write_char('"')?;
+    // Fast path: runs of characters that need no escaping go out as one
+    // `write_str` slice instead of char-by-char pushes.
+    let mut plain_start = 0;
+    for (i, c) in s.char_indices() {
+        let escape: Option<&str> = match c {
+            '"' => Some("\\\""),
+            '\\' => Some("\\\\"),
+            '\n' => Some("\\n"),
+            '\t' => Some("\\t"),
+            '\r' => Some("\\r"),
+            c if (c as u32) < 0x20 => None, // \uXXXX, handled below
+            _ => continue,
+        };
+        out.write_str(&s[plain_start..i])?;
+        match escape {
+            Some(esc) => out.write_str(esc)?,
+            None => write!(out, "\\u{:04x}", c as u32)?,
+        }
+        plain_start = i + c.len_utf8();
+    }
+    out.write_str(&s[plain_start..])?;
+    out.write_char('"')
 }
 
 // ---- parsing ---------------------------------------------------------------
@@ -567,5 +629,39 @@ mod tests {
     fn json_size_matches_serialization() {
         let m = Msg::obj([("k", Msg::str("value"))]);
         assert_eq!(m.json_size(), m.to_json().len() as u64);
+        // Exercise every writer path: ints, floats, non-finite, escapes.
+        let m = Msg::Arr(vec![
+            Msg::Num(-987_654_321_012_345.0),
+            Msg::Num(0.0),
+            Msg::Num(1.5e-7),
+            Msg::Num(f64::INFINITY),
+            Msg::str("tab\there \"and\" \u{2} déjà"),
+            Msg::obj([("nested", Msg::Bool(false))]),
+        ]);
+        assert_eq!(m.json_size(), m.to_json().len() as u64);
+    }
+
+    #[test]
+    fn integer_formatting_edges() {
+        assert_eq!(Msg::Num(-1.0).to_json(), "-1");
+        assert_eq!(Msg::Num(-0.0).to_json(), "0");
+        assert_eq!(Msg::Num(999_999_999_999_999.0).to_json(), "999999999999999");
+        assert_eq!(
+            Msg::Num(-999_999_999_999_999.0).to_json(),
+            "-999999999999999"
+        );
+    }
+
+    #[test]
+    fn canonicalize_keeps_last_duplicate_key() {
+        let m = Msg::Obj(vec![
+            ("k".to_owned(), Msg::Num(1.0)),
+            ("a".to_owned(), Msg::Null),
+            ("k".to_owned(), Msg::Num(2.0)),
+        ]);
+        assert_eq!(
+            m.canonicalize(),
+            Msg::obj([("a", Msg::Null), ("k", Msg::Num(2.0))])
+        );
     }
 }

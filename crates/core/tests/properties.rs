@@ -1,3 +1,5 @@
+#![cfg(feature = "heavy-tests")]
+
 //! Property-based tests for the middleware's message model and broker.
 
 use proptest::prelude::*;

@@ -1,3 +1,5 @@
+#![cfg(feature = "heavy-tests")]
+
 //! Property-based tests for the messaging substrate: exactly-once
 //! delivery under random handover loss, store/ack invariants, and dedup
 //! correctness.

@@ -1,3 +1,5 @@
+#![cfg(feature = "heavy-tests")]
+
 //! Property-based tests for the phone platform: exact energy
 //! integration, radio state-machine invariants, and CPU power ordering.
 

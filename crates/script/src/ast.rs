@@ -6,15 +6,16 @@ use std::rc::Rc;
 /// for runtime error reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
-    /// `var a = 1, b;`
+    /// `var a = 1, b;` — names are interned `Rc<str>` so declaring them
+    /// at runtime clones a pointer, not the text.
     Var {
-        decls: Vec<(String, Option<Expr>)>,
+        decls: Vec<(Rc<str>, Option<Expr>)>,
         line: u32,
     },
     /// `function name(params) { body }`
     Func {
-        name: String,
-        params: Vec<String>,
+        name: Rc<str>,
+        params: Vec<Rc<str>>,
         body: Rc<Vec<Stmt>>,
         line: u32,
     },
@@ -42,7 +43,7 @@ pub enum Stmt {
     /// `for (var name in object) body` — iterates object keys (as
     /// strings) or array indices (as numbers).
     ForIn {
-        name: String,
+        name: Rc<str>,
         object: Expr,
         body: Box<Stmt>,
         line: u32,
@@ -143,17 +144,19 @@ pub enum UnaryOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     Number(f64),
-    Str(String),
+    /// String literal, pre-interned so evaluation clones an `Rc`.
+    Str(Rc<str>),
     Bool(bool),
     Null,
-    Ident(String),
+    /// Identifier reference, interned for cheap scope lookups.
+    Ident(Rc<str>),
     /// `[a, b, c]`
     Array(Vec<Expr>),
     /// `{ key: value, ... }` — keys are identifiers or string literals.
     Object(Vec<(String, Expr)>),
     /// `function (params) { body }`
     Func {
-        params: Vec<String>,
+        params: Vec<Rc<str>>,
         body: Rc<Vec<Stmt>>,
     },
     Unary {
@@ -196,7 +199,7 @@ pub enum Expr {
     /// `obj.name`
     Member {
         object: Box<Expr>,
-        name: String,
+        name: Rc<str>,
     },
     /// `obj[index]`
     Index {

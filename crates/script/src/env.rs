@@ -8,7 +8,9 @@ use crate::value::Value;
 
 #[derive(Debug, Default)]
 struct Scope {
-    vars: HashMap<String, Value>,
+    /// Keyed by interned names: declaring an AST identifier clones an
+    /// `Rc`, and `&str` lookups work through `Borrow<str>`.
+    vars: HashMap<Rc<str>, Value>,
     parent: Option<Env>,
 }
 
@@ -35,31 +37,45 @@ impl Env {
     }
 
     /// Declares (or redeclares) a variable in *this* scope.
-    pub fn declare(&self, name: impl Into<String>, value: Value) {
+    pub fn declare(&self, name: impl Into<Rc<str>>, value: Value) {
         self.scope.borrow_mut().vars.insert(name.into(), value);
     }
 
     /// Looks a name up through the scope chain.
     pub fn get(&self, name: &str) -> Option<Value> {
-        let scope = self.scope.borrow();
-        if let Some(v) = scope.vars.get(name) {
-            return Some(v.clone());
+        // Iterative walk: deep scope chains (recursion-heavy scripts)
+        // should not grow the host stack per level.
+        let mut current = self.scope.clone();
+        loop {
+            let parent = {
+                let scope = current.borrow();
+                if let Some(v) = scope.vars.get(name) {
+                    return Some(v.clone());
+                }
+                scope.parent.as_ref()?.scope.clone()
+            };
+            current = parent;
         }
-        scope.parent.as_ref().and_then(|p| p.get(name))
     }
 
     /// Assigns to an existing variable somewhere in the chain. Returns
     /// `false` if the name is not declared anywhere (PogoScript has no
     /// implicit globals — §4.4's sandbox would not want them).
     pub fn assign(&self, name: &str, value: Value) -> bool {
-        let mut scope = self.scope.borrow_mut();
-        if let Some(slot) = scope.vars.get_mut(name) {
-            *slot = value;
-            return true;
-        }
-        match &scope.parent {
-            Some(parent) => parent.assign(name, value),
-            None => false,
+        let mut current = self.scope.clone();
+        loop {
+            let parent = {
+                let mut scope = current.borrow_mut();
+                if let Some(slot) = scope.vars.get_mut(name) {
+                    *slot = value;
+                    return true;
+                }
+                match &scope.parent {
+                    Some(parent) => parent.scope.clone(),
+                    None => return false,
+                }
+            };
+            current = parent;
         }
     }
 

@@ -419,7 +419,7 @@ impl Interpreter {
                 params: params.clone(),
                 body: body.clone(),
                 env: env.clone(),
-                name: "<anonymous>".to_owned(),
+                name: Rc::from("<anonymous>"),
             }))),
             Expr::Unary { op, expr } => {
                 let v = self.eval_expr(expr, env)?;
@@ -610,7 +610,7 @@ impl Interpreter {
                 let obj = self.eval_expr(object, env)?;
                 match obj {
                     Value::Object(map) => {
-                        map.borrow_mut().insert(name.clone(), value);
+                        map.borrow_mut().insert(&**name, value);
                         Ok(())
                     }
                     other => Err(self.rt_err(

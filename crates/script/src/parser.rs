@@ -82,11 +82,11 @@ impl Parser {
         ScriptError::new(ErrorKind::Parse, msg, self.line())
     }
 
-    fn expect_ident(&mut self, context: &str) -> Result<String, ScriptError> {
+    fn expect_ident(&mut self, context: &str) -> Result<Rc<str>, ScriptError> {
         match self.peek().kind.clone() {
             TokenKind::Ident(name) => {
                 self.advance();
-                Ok(name)
+                Ok(name.into())
             }
             other => Err(self.err(format!("expected identifier {context}, found `{other}`"))),
         }
@@ -170,7 +170,7 @@ impl Parser {
     }
 
     /// Parses `(params) { body }` shared by declarations and expressions.
-    fn func_rest(&mut self) -> Result<(Vec<String>, Rc<Vec<Stmt>>), ScriptError> {
+    fn func_rest(&mut self) -> Result<(Vec<Rc<str>>, Rc<Vec<Stmt>>), ScriptError> {
         self.expect(&TokenKind::LParen, "before parameter list")?;
         let mut params = Vec::new();
         if !self.check(&TokenKind::RParen) {
@@ -255,7 +255,7 @@ impl Parser {
                 self.expect(&TokenKind::RParen, "after for-in object")?;
                 let body = Box::new(self.statement()?);
                 return Ok(Stmt::ForIn {
-                    name,
+                    name: name.into(),
                     object,
                     body,
                     line,
@@ -554,11 +554,11 @@ impl Parser {
         let tok = self.advance();
         match tok.kind {
             TokenKind::Number(n) => Ok(Expr::Number(n)),
-            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Str(s) => Ok(Expr::Str(s.into())),
             TokenKind::True => Ok(Expr::Bool(true)),
             TokenKind::False => Ok(Expr::Bool(false)),
             TokenKind::Null | TokenKind::Undefined => Ok(Expr::Null),
-            TokenKind::Ident(name) => Ok(Expr::Ident(name)),
+            TokenKind::Ident(name) => Ok(Expr::Ident(name.into())),
             TokenKind::LParen => {
                 let expr = self.expression()?;
                 self.expect(&TokenKind::RParen, "after parenthesized expression")?;
@@ -637,7 +637,7 @@ mod tests {
         match &p[0] {
             Stmt::Var { decls, .. } => {
                 assert_eq!(decls.len(), 3);
-                assert_eq!(decls[0].0, "a");
+                assert_eq!(&*decls[0].0, "a");
                 assert!(decls[1].1.is_none());
             }
             other => panic!("unexpected {other:?}"),

@@ -81,14 +81,14 @@ impl FromIterator<(String, Value)> for ObjMap {
 /// A script-visible function defined in PogoScript.
 #[derive(Debug)]
 pub struct Closure {
-    /// Parameter names.
-    pub params: Vec<String>,
+    /// Parameter names (interned, shared with the AST).
+    pub params: Vec<Rc<str>>,
     /// Function body (shared with the AST).
     pub body: Rc<Vec<Stmt>>,
     /// Captured environment.
     pub env: Env,
     /// Name for diagnostics (`<anonymous>` for function expressions).
-    pub name: String,
+    pub name: Rc<str>,
 }
 
 /// Signature of a host-registered native function.

@@ -1,3 +1,5 @@
+#![cfg(feature = "heavy-tests")]
+
 //! Property-based tests for PogoScript: pretty-print round-trips,
 //! arithmetic agreement with a Rust reference model, and watchdog
 //! monotonicity.

@@ -1,3 +1,5 @@
+#![cfg(feature = "heavy-tests")]
+
 //! Property-based tests for the simulation kernel: the deterministic
 //! total order of events.
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the perf regression gate.
+#
+#   scripts/ci.sh              build + tests + perf check vs BENCH_pr1.json
+#   scripts/ci.sh --no-perf    build + tests only (e.g. on a loaded box)
+#
+# The perf gate re-runs `perf_smoke` and fails if any bench regressed by
+# more than 25% per op against the committed baseline. The baseline was
+# recorded with the release profile in the workspace Cargo.toml (thin
+# LTO); absolute numbers vary per machine, which is why the tolerance is
+# generous — the gate catches "someone reintroduced the linear scan",
+# not single-digit drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" != "--no-perf" ]]; then
+    ./target/release/perf_smoke --check BENCH_pr1.json --tolerance 0.25
+fi

@@ -1,0 +1,96 @@
+//! Offline mini-criterion.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! resolves `criterion` to this path crate. It implements the small API
+//! surface the `micro` bench target uses — `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple median-of-batches timer
+//! instead of criterion's full statistics. Good enough to eyeball hot
+//! paths; the committed perf trajectory uses `perf_smoke` instead.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier, forwarding to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing a median-of-batches nanoseconds-per-iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size the batch so one batch is ~1 ms.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed().as_millis() < 20 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per = start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let batch = ((1_000_000.0 / per.max(1.0)) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(15);
+        for _ in 0..15 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Benchmark registry/runner, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Sample-count knob — accepted and ignored (fixed batches here).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter", b.ns_per_iter);
+        self
+    }
+}
+
+/// Declares a benchmark group; supports both the plain and the
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,12 @@
+//! Offline placeholder for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! resolves `proptest` here. The proptest-based test files are gated
+//! behind each crate's `heavy-tests` feature and therefore never compile
+//! against this placeholder; enabling `heavy-tests` requires restoring
+//! the real dependency (remove the `vendor/proptest` path override in the
+//! workspace `Cargo.toml` on a machine with network access).
+//!
+//! Default-on randomized property tests live next to the gated files and
+//! use `pogo_sim::SimRng` instead — see e.g.
+//! `crates/core/tests/broker_equivalence.rs`.
