@@ -79,13 +79,16 @@ pub fn measure_policy(policy: FlushPolicy, label: &str) -> BatchingRow {
             }
         },
     );
-    testbed.collector().deploy(
-        &pogo::core::ExperimentSpec {
-            id: "power".into(),
-            scripts: vec![],
-        },
-        &[device.jid()],
-    );
+    testbed
+        .collector()
+        .deploy(
+            &pogo::core::ExperimentSpec {
+                id: "power".into(),
+                scripts: vec![],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
     let _email = PeriodicNetApp::install(&phone, NetAppConfig::email());
 
     let settle = SimDuration::from_millis(630_000);

@@ -40,7 +40,10 @@ fn main() -> ExitCode {
 
     let records = perf::run_all();
 
-    println!("{}", report::banner("perf_smoke — hot-path microbenchmarks"));
+    println!(
+        "{}",
+        report::banner("perf_smoke — hot-path microbenchmarks")
+    );
     let rows: Vec<Vec<String>> = records
         .iter()
         .map(|r| {
@@ -73,7 +76,10 @@ fn main() -> ExitCode {
             };
             match perf::regressions(&records, &baseline, tolerance) {
                 Ok(regs) if regs.is_empty() => {
-                    println!("check: no regression beyond {:.0}% vs {path}", tolerance * 100.0);
+                    println!(
+                        "check: no regression beyond {:.0}% vs {path}",
+                        tolerance * 100.0
+                    );
                     ExitCode::SUCCESS
                 }
                 Ok(regs) => {

@@ -60,13 +60,16 @@ pub fn run() -> Figure4 {
         Msg::obj([("interval", Msg::Num(60_000.0))]),
         |_, _, _| {},
     );
-    testbed.collector().deploy(
-        &pogo::core::ExperimentSpec {
-            id: "power".into(),
-            scripts: vec![],
-        },
-        &[device.jid()],
-    );
+    testbed
+        .collector()
+        .deploy(
+            &pogo::core::ExperimentSpec {
+                id: "power".into(),
+                scripts: vec![],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
     let _email = PeriodicNetApp::install(&phone, NetAppConfig::email());
 
     // Steady state first; then capture 15 minutes.

@@ -161,7 +161,9 @@ impl LinearBroker {
 /// 1k subscriptions across 100 channels, publishes round-robin; indexed
 /// broker vs. the linear scan.
 pub fn bench_broker_fanout() -> BenchRecord {
-    let channels: Vec<String> = (0..BROKER_CHANNELS).map(|i| format!("sensor-{i:03}")).collect();
+    let channels: Vec<String> = (0..BROKER_CHANNELS)
+        .map(|i| format!("sensor-{i:03}"))
+        .collect();
     let msg = Msg::Num(42.0);
     let fanout = (BROKER_SUBS / BROKER_CHANNELS) as u64;
     let per_run = BROKER_PUBLISHES as u64 * fanout;
@@ -196,10 +198,23 @@ pub fn bench_broker_fanout() -> BenchRecord {
             }
         },
     );
-    assert_eq!(hits.get(), (RUNS as u64 + 1) * per_run, "indexed broker delivery checksum");
-    assert_eq!(linear_hits.get(), (RUNS as u64 + 1) * per_run, "linear broker delivery checksum");
+    assert_eq!(
+        hits.get(),
+        (RUNS as u64 + 1) * per_run,
+        "indexed broker delivery checksum"
+    );
+    assert_eq!(
+        linear_hits.get(),
+        (RUNS as u64 + 1) * per_run,
+        "linear broker delivery checksum"
+    );
 
-    record("broker_fanout", BROKER_PUBLISHES as u64, wall, Some(linear_wall))
+    record(
+        "broker_fanout",
+        BROKER_PUBLISHES as u64,
+        wall,
+        Some(linear_wall),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +251,11 @@ pub fn wifi_scan_msg() -> Msg {
 pub fn bench_json_codec() -> BenchRecord {
     let msg = wifi_scan_msg();
     let json = msg.to_json();
-    assert_eq!(msg.json_size(), json.len() as u64, "json_size must match serialization");
+    assert_eq!(
+        msg.json_size(),
+        json.len() as u64,
+        "json_size must match serialization"
+    );
     assert_eq!(Msg::from_json(&json).expect("round-trip parses"), msg);
 
     let wall = best_wall_ns(|| {
@@ -625,10 +644,7 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             })
             .collect(),
     );
-    let doc = Msg::obj([
-        ("schema", Msg::str("pogo-perf/1")),
-        ("benches", benches),
-    ]);
+    let doc = Msg::obj([("schema", Msg::str("pogo-perf/1")), ("benches", benches)]);
     doc.to_json()
 }
 
@@ -650,7 +666,10 @@ pub fn regressions(
         .ok_or_else(|| "baseline has no `benches` object".to_owned())?;
     let mut out = Vec::new();
     for r in current {
-        let Some(base) = benches.get(r.name).and_then(|b| b.get("ns_per_op")).and_then(Msg::as_num)
+        let Some(base) = benches
+            .get(r.name)
+            .and_then(|b| b.get("ns_per_op"))
+            .and_then(Msg::as_num)
         else {
             continue;
         };
@@ -713,12 +732,24 @@ mod tests {
         let broker = Broker::new();
         for i in 0..10 {
             let h = hits.clone();
-            linear.subscribe(&format!("ch-{}", i % 3), Rc::new(move |_, _, _| h.set(h.get() + 1)));
+            linear.subscribe(
+                &format!("ch-{}", i % 3),
+                Rc::new(move |_, _, _| h.set(h.get() + 1)),
+            );
             broker.subscribe(&format!("ch-{}", i % 3), Msg::Null, |_, _, _| {});
         }
-        assert_eq!(linear.publish("ch-0", &Msg::Null), broker.publish("ch-0", &Msg::Null));
-        assert_eq!(linear.publish("ch-2", &Msg::Null), broker.publish("ch-2", &Msg::Null));
-        assert_eq!(linear.publish("nope", &Msg::Null), broker.publish("nope", &Msg::Null));
+        assert_eq!(
+            linear.publish("ch-0", &Msg::Null),
+            broker.publish("ch-0", &Msg::Null)
+        );
+        assert_eq!(
+            linear.publish("ch-2", &Msg::Null),
+            broker.publish("ch-2", &Msg::Null)
+        );
+        assert_eq!(
+            linear.publish("nope", &Msg::Null),
+            broker.publish("nope", &Msg::Null)
+        );
     }
 
     #[test]

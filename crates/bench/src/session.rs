@@ -110,7 +110,10 @@ pub fn run_session(spec: &UserSpec, days: u64, seed: u64, use_freeze: bool) -> S
     if use_freeze {
         experiment.scripts[1].source = glue::clustering_js_with_freeze();
     }
-    testbed.collector().deploy(&experiment, &[device.jid()]);
+    testbed
+        .collector()
+        .deploy(&experiment, &[device.jid()])
+        .expect("scripts pass pre-deployment analysis");
 
     // Run the window plus slack for the final uploads.
     sim.run_until(SimTime::from_millis(spec.end_day * DAY) + SimDuration::from_hours(2));
@@ -236,7 +239,9 @@ fn schedule_disruptions(
             experiment.scripts[1].source = glue::clustering_js_with_freeze();
         }
         sim.schedule_at(SimTime::from_millis(t), move || {
-            collector.redeploy(&experiment);
+            collector
+                .redeploy(&experiment)
+                .expect("scripts pass pre-deployment analysis");
         });
     }
 }

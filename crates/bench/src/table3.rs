@@ -82,13 +82,16 @@ pub fn measure(carrier: CarrierProfile, with_pogo: bool) -> (f64, u64, u64) {
             Msg::obj([("interval", Msg::Num(60_000.0))]),
             |_, _, _| {},
         );
-        testbed.collector().deploy(
-            &pogo::core::ExperimentSpec {
-                id: "power".into(),
-                scripts: vec![],
-            },
-            &[device.jid()],
-        );
+        testbed
+            .collector()
+            .deploy(
+                &pogo::core::ExperimentSpec {
+                    id: "power".into(),
+                    scripts: vec![],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
     } else {
         phone = Phone::new(&sim, phone_config);
     }

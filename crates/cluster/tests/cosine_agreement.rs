@@ -71,7 +71,12 @@ fn random_scans_agree_with_reference() {
         let shape = rng.gen_range(0..6usize);
         let len_a = rng.gen_range(0..8usize);
         let a: Vec<(u64, f64)> = (0..len_a)
-            .map(|_| (rng.gen_range(1..40u64), rng.gen_range(0..1_000u64) as f64 / 1_000.0))
+            .map(|_| {
+                (
+                    rng.gen_range(1..40u64),
+                    rng.gen_range(0..1_000u64) as f64 / 1_000.0,
+                )
+            })
             .collect();
         let b: Vec<(u64, f64)> = match shape {
             // Same BSSIDs, different strengths: the aligned fast path.
@@ -81,20 +86,35 @@ fn random_scans_agree_with_reference() {
                 .collect(),
             // Strictly above a's range: the range-disjoint fast path.
             1 => (0..rng.gen_range(0..8usize))
-                .map(|_| (rng.gen_range(100..140u64), rng.gen_range(0..1_000u64) as f64 / 1_000.0))
+                .map(|_| {
+                    (
+                        rng.gen_range(100..140u64),
+                        rng.gen_range(0..1_000u64) as f64 / 1_000.0,
+                    )
+                })
                 .collect(),
             // Empty versus whatever a is.
             2 => Vec::new(),
             // Same length but different BSSIDs: aligned-path bail-out
             // into the merge join.
             3 => (0..len_a)
-                .map(|_| (rng.gen_range(1..40u64), rng.gen_range(0..1_000u64) as f64 / 1_000.0))
+                .map(|_| {
+                    (
+                        rng.gen_range(1..40u64),
+                        rng.gen_range(0..1_000u64) as f64 / 1_000.0,
+                    )
+                })
                 .collect(),
             // Identical scan (similarity 1 unless empty).
             4 => a.clone(),
             // Unrelated length and range, overlapping a's.
             _ => (0..rng.gen_range(0..12usize))
-                .map(|_| (rng.gen_range(1..60u64), rng.gen_range(0..1_000u64) as f64 / 1_000.0))
+                .map(|_| {
+                    (
+                        rng.gen_range(1..60u64),
+                        rng.gen_range(0..1_000u64) as f64 / 1_000.0,
+                    )
+                })
                 .collect(),
         };
         assert_agrees(&a, &b, &format!("case {case} shape {shape}"));
@@ -119,5 +139,9 @@ fn edge_shapes_agree_with_reference() {
     assert_agrees(zeros, low, "zero-norm strengths");
     // Same length, one shared endpoint: touches the aligned bail-out and
     // the merge join's tail handling.
-    assert_agrees(&[(1, 0.5), (7, 0.5)], &[(7, 0.5), (9, 0.5)], "shared endpoint");
+    assert_agrees(
+        &[(1, 0.5), (7, 0.5)],
+        &[(7, 0.5), (9, 0.5)],
+        "shared endpoint",
+    );
 }

@@ -26,6 +26,34 @@ use crate::scheduler::Scheduler;
 /// fast path; this covers acks lost in flight).
 const RETRY_PERIOD: SimDuration = SimDuration::from_secs(60);
 
+/// A deployment rejected by the pre-flight static analyzer: the bundle
+/// contains at least one error-severity finding, so no device was sent
+/// anything.
+#[derive(Debug, Clone)]
+pub struct DeployError {
+    /// The experiment whose deployment was rejected.
+    pub experiment: String,
+    /// `(script name, diagnostic)` for every error-severity finding.
+    pub errors: Vec<(String, pogo_script::Diagnostic)>,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "experiment `{}` rejected by pre-deployment analysis ({} error(s))",
+            self.experiment,
+            self.errors.len()
+        )?;
+        for (script, diag) in &self.errors {
+            write!(f, "\n  {script}: {diag}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeployError {}
+
 struct Inner {
     jid: Jid,
     server: Switchboard,
@@ -189,7 +217,28 @@ impl CollectorNode {
     /// device scripts to `devices`, adding them as context members. This
     /// is §3.2's push-based deployment: devices receive and run the
     /// scripts with no user interaction.
-    pub fn deploy(&self, spec: &ExperimentSpec, devices: &[Jid]) {
+    ///
+    /// Before anything is sent, the script bundle goes through the
+    /// static analyzer ([`pogo_script::analyze_bundle`]): a script a
+    /// phone would only reject at runtime — after burning energy
+    /// receiving and loading it — is rejected here instead. Warnings
+    /// don't block; they are forwarded to the collector's `pogo-lint`
+    /// log. Use [`CollectorNode::deploy_unchecked`] to bypass the gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns every error-severity diagnostic when the bundle fails
+    /// analysis; no device receives anything in that case.
+    pub fn deploy(&self, spec: &ExperimentSpec, devices: &[Jid]) -> Result<(), DeployError> {
+        self.lint_spec(spec)?;
+        self.deploy_unchecked(spec, devices);
+        Ok(())
+    }
+
+    /// [`CollectorNode::deploy`] without the pre-flight lint gate — the
+    /// escape hatch for deliberately shipping scripts the analyzer
+    /// rejects (e.g. ones that need extension natives it cannot see).
+    pub fn deploy_unchecked(&self, spec: &ExperimentSpec, devices: &[Jid]) {
         let ctx = self.create_experiment(&spec.id);
         let version = {
             let mut inner = self.inner.borrow_mut();
@@ -213,8 +262,21 @@ impl CollectorNode {
     }
 
     /// Pushes an updated script set to every member (quick redeployment,
-    /// the §3.2 motivation).
-    pub fn redeploy(&self, spec: &ExperimentSpec) {
+    /// the §3.2 motivation). Runs the same pre-flight lint gate as
+    /// [`CollectorNode::deploy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns every error-severity diagnostic when the bundle fails
+    /// analysis; no device receives anything in that case.
+    pub fn redeploy(&self, spec: &ExperimentSpec) -> Result<(), DeployError> {
+        self.lint_spec(spec)?;
+        self.redeploy_unchecked(spec);
+        Ok(())
+    }
+
+    /// [`CollectorNode::redeploy`] without the pre-flight lint gate.
+    pub fn redeploy_unchecked(&self, spec: &ExperimentSpec) {
         let Some(ctx) = self.context(&spec.id) else {
             return;
         };
@@ -238,6 +300,34 @@ impl CollectorNode {
                     scripts: spec.scripts.clone(),
                 },
             );
+        }
+    }
+
+    /// Runs the static analyzer over the spec's script bundle: errors
+    /// reject the deployment, warnings go to the collector's
+    /// `pogo-lint` log.
+    fn lint_spec(&self, spec: &ExperimentSpec) -> Result<(), DeployError> {
+        let bundle: Vec<(&str, &str)> = spec
+            .scripts
+            .iter()
+            .map(|s| (s.name.as_str(), s.source.as_str()))
+            .collect();
+        let mut errors = Vec::new();
+        let logs = self.logs();
+        for (script, diag) in pogo_script::analyze_bundle(&bundle) {
+            if diag.is_error() {
+                errors.push((script, diag));
+            } else {
+                logs.append("pogo-lint", format!("{script}: {diag}"));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(DeployError {
+                experiment: spec.id.clone(),
+                errors,
+            })
         }
     }
 
@@ -420,16 +510,18 @@ mod tests {
     #[test]
     fn deploy_runs_scripts_on_device() {
         let (sim, _server, collector, device, _phone) = testbed();
-        collector.deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "hello.js".into(),
-                    source: "print('deployed');".into(),
-                }],
-            },
-            &[device.jid()],
-        );
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "hello.js".into(),
+                        source: "print('deployed');".into(),
+                    }],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         let ctx = device.context("exp").expect("deployed");
         assert_eq!(ctx.scripts()[0].prints(), vec!["deployed"]);
@@ -449,16 +541,18 @@ mod tests {
                  });",
             )
             .unwrap();
-        collector.deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "send.js".into(),
-                    source: "publish('readings', { value: 42 });".into(),
-                }],
-            },
-            &[device.jid()],
-        );
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "send.js".into(),
+                        source: "publish('readings', { value: 42 });".into(),
+                    }],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(2));
         let host = &collector.context("exp").unwrap().scripts()[0];
         assert_eq!(host.prints(), vec!["device-1@pogo says 42"]);
@@ -472,13 +566,15 @@ mod tests {
         collector.on_data("exp", "battery", move |msg, from| {
             r.borrow_mut().push((from.to_owned(), msg.clone()));
         });
-        collector.deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![],
-            },
-            &[device.jid()],
-        );
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         assert!(
             device.sensors().is_sampling("battery"),
@@ -506,16 +602,18 @@ mod tests {
         server.befriend(&col_jid, &dev_jid).unwrap();
         let collector = CollectorNode::new(&sim, &server, &col_jid);
         // Deploy while the device does not exist yet.
-        collector.deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "s.js".into(),
-                    source: "print('late boot');".into(),
-                }],
-            },
-            std::slice::from_ref(&dev_jid),
-        );
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "s.js".into(),
+                        source: "print('late boot');".into(),
+                    }],
+                },
+                std::slice::from_ref(&dev_jid),
+            )
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(5));
         // Device comes online much later; presence triggers retransmit.
         let phone = Phone::new(&sim, PhoneConfig::default());
@@ -534,24 +632,28 @@ mod tests {
     #[test]
     fn redeploy_restarts_device_scripts_with_new_version() {
         let (sim, _server, collector, device, _phone) = testbed();
-        collector.deploy(
-            &ExperimentSpec {
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "v.js".into(),
+                        source: "print('v1');".into(),
+                    }],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
+        sim.run_for(SimDuration::from_mins(1));
+        collector
+            .redeploy(&ExperimentSpec {
                 id: "exp".into(),
                 scripts: vec![ScriptSpec {
                     name: "v.js".into(),
-                    source: "print('v1');".into(),
+                    source: "print('v2');".into(),
                 }],
-            },
-            &[device.jid()],
-        );
-        sim.run_for(SimDuration::from_mins(1));
-        collector.redeploy(&ExperimentSpec {
-            id: "exp".into(),
-            scripts: vec![ScriptSpec {
-                name: "v.js".into(),
-                source: "print('v2');".into(),
-            }],
-        });
+            })
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         let ctx = device.context("exp").unwrap();
         assert_eq!(ctx.version(), 2);
@@ -561,13 +663,15 @@ mod tests {
     #[test]
     fn undeploy_removes_context() {
         let (sim, _server, collector, device, _phone) = testbed();
-        collector.deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![],
-            },
-            &[device.jid()],
-        );
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         assert!(device.context("exp").is_some());
         collector.undeploy("exp", &[device.jid()]);
@@ -578,17 +682,20 @@ mod tests {
     #[test]
     fn collector_publish_fans_out_to_device_scripts() {
         let (sim, _server, collector, device, _phone) = testbed();
-        collector.deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "listen.js".into(),
-                    source: "subscribe('config', function (m, from) { print('cfg ' + m.rate); });"
-                        .into(),
-                }],
-            },
-            &[device.jid()],
-        );
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "listen.js".into(),
+                        source:
+                            "subscribe('config', function (m, from) { print('cfg ' + m.rate); });"
+                                .into(),
+                    }],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         // A collector script publishes configuration.
         collector
@@ -597,5 +704,109 @@ mod tests {
         sim.run_for(SimDuration::from_mins(1));
         let ctx = device.context("exp").unwrap();
         assert_eq!(ctx.scripts()[0].prints(), vec!["cfg 9"]);
+    }
+
+    #[test]
+    fn deploy_rejects_broken_script_before_any_phone_receives_it() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        let err = collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "broken.js".into(),
+                        source: "publish('ch', missing_variable);".into(),
+                    }],
+                },
+                &[device.jid()],
+            )
+            .expect_err("scope error must reject the deployment");
+        assert_eq!(err.experiment, "exp");
+        assert_eq!(err.errors.len(), 1);
+        assert_eq!(err.errors[0].0, "broken.js");
+        assert_eq!(err.errors[0].1.rule.code(), "P001");
+        // Nothing was sent: the device never hears about the experiment.
+        sim.run_for(SimDuration::from_mins(5));
+        assert!(device.context("exp").is_none());
+        assert_eq!(collector.data_received(), 0);
+    }
+
+    #[test]
+    fn deploy_unchecked_bypasses_the_lint_gate() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        // Same broken script, shipped deliberately: the device installs
+        // it and the error surfaces at runtime instead.
+        collector.deploy_unchecked(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "broken.js".into(),
+                    source: "publish('ch', missing_variable);".into(),
+                }],
+            },
+            &[device.jid()],
+        );
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(
+            device.context("exp").is_some(),
+            "script was deployed anyway"
+        );
+    }
+
+    #[test]
+    fn deploy_forwards_warnings_to_collector_log() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "warny.js".into(),
+                        // Subscribes a channel nothing publishes → P103
+                        // warning: deploys fine, but leaves a log trail.
+                        source: "subscribe('nonexistent-feed', function (m) { print(m); });".into(),
+                    }],
+                },
+                &[device.jid()],
+            )
+            .expect("warnings do not block deployment");
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(device.context("exp").is_some());
+        let lint_log = collector.logs().lines("pogo-lint").join("\n");
+        assert!(
+            lint_log.contains("P103") && lint_log.contains("nonexistent-feed"),
+            "lint log records the warning: {lint_log:?}"
+        );
+    }
+
+    #[test]
+    fn redeploy_rejects_broken_script_set() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
+            .deploy(
+                &ExperimentSpec {
+                    id: "exp".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "v.js".into(),
+                        source: "print('v1');".into(),
+                    }],
+                },
+                &[device.jid()],
+            )
+            .expect("scripts pass pre-deployment analysis");
+        sim.run_for(SimDuration::from_mins(1));
+        collector
+            .redeploy(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "v.js".into(),
+                    source: "print(v2_counter); var v2_counter = 0;".into(),
+                }],
+            })
+            .expect_err("use-before-declaration rejects the redeploy");
+        sim.run_for(SimDuration::from_mins(1));
+        // The old version keeps running.
+        let ctx = device.context("exp").unwrap();
+        assert_eq!(ctx.version(), 1);
     }
 }

@@ -45,7 +45,7 @@ pub mod value;
 
 pub use assignment::{Admin, DeviceProfile, DeviceRequest};
 pub use broker::{Broker, SubscriptionId};
-pub use collector::CollectorNode;
+pub use collector::{CollectorNode, DeployError};
 pub use device::{DeviceConfig, DeviceNode};
 pub use host::{ScriptHost, WATCHDOG_BUDGET};
 pub use privacy::PrivacyPolicy;

@@ -712,4 +712,16 @@ mod tests {
         sim.run_for(SimDuration::from_secs(10));
         assert_eq!(log.borrow().len(), 10, "clamped to 1 Hz, not 1 kHz");
     }
+
+    #[test]
+    fn analyzer_sensor_channels_match_sensor_kinds() {
+        // pogo-script sits below pogo-core, so the static analyzer pins
+        // its own copy of the sensor channel list; keep them in lock
+        // step here.
+        let mut expected: Vec<&str> = Kind::ALL.iter().map(|k| k.channel()).collect();
+        let mut actual: Vec<&str> = pogo_script::analyze::SENSOR_CHANNELS.to_vec();
+        expected.sort_unstable();
+        actual.sort_unstable();
+        assert_eq!(expected, actual);
+    }
 }

@@ -135,16 +135,18 @@ mod tests {
             r.borrow_mut().push((from.to_owned(), msg.clone()));
         });
         let device_jids: Vec<Jid> = tb.devices().iter().map(DeviceNode::jid).collect();
-        tb.collector().deploy(
-            &ExperimentSpec {
-                id: "smoke".into(),
-                scripts: vec![ScriptSpec {
-                    name: "ping.js".into(),
-                    source: "publish('pings', { hello: true });".into(),
-                }],
-            },
-            &device_jids,
-        );
+        tb.collector()
+            .deploy(
+                &ExperimentSpec {
+                    id: "smoke".into(),
+                    scripts: vec![ScriptSpec {
+                        name: "ping.js".into(),
+                        source: "publish('pings', { hello: true });".into(),
+                    }],
+                },
+                &device_jids,
+            )
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(3));
         let received = received.borrow();
         assert_eq!(received.len(), 3, "one ping per device");

@@ -152,7 +152,11 @@ fn publish_snapshot_ignores_mid_publish_subscriptions() {
     });
 
     assert_eq!(broker.publish("ch", &Msg::Null), 1);
-    assert_eq!(count.get(), 1, "the mid-publish subscriber sat this round out");
+    assert_eq!(
+        count.get(),
+        1,
+        "the mid-publish subscriber sat this round out"
+    );
     assert_eq!(broker.publish("ch", &Msg::Null), 2);
     assert_eq!(count.get(), 102, "and joined the next one");
 }

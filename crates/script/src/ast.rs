@@ -152,8 +152,10 @@ pub enum Expr {
     Ident(Rc<str>),
     /// `[a, b, c]`
     Array(Vec<Expr>),
-    /// `{ key: value, ... }` — keys are identifiers or string literals.
-    Object(Vec<(String, Expr)>),
+    /// `{ key: value, ... }` — keys are identifiers or string literals,
+    /// interned like every other name in the AST so the interpreter and
+    /// the static analyzer share the same cheap `Rc` clones.
+    Object(Vec<(Rc<str>, Expr)>),
     /// `function (params) { body }`
     Func {
         params: Vec<Rc<str>>,

@@ -1,0 +1,263 @@
+//! `pogo-lint` — lint PogoScript files before they ever reach a phone.
+//!
+//! ```text
+//! pogo-lint [FLAGS] FILE...
+//!
+//! FILE                 .js PogoScript sources (linted individually and
+//!                      as one deployment bundle for channel analysis)
+//! --rust-embedded      treat FILEs as Rust sources; extract string
+//!                      literals that look like embedded PogoScript and
+//!                      lint each standalone (no bundle pass)
+//! --no-bundle          skip the cross-script channel analysis
+//! --allow-native NAME  treat NAME as a registered extension native
+//!                      (repeatable)
+//! --deny-warnings      exit nonzero on warnings too
+//! ```
+//!
+//! Exit status: 0 clean (or warnings only), 1 errors found (or any
+//! finding under `--deny-warnings`), 2 usage/IO failure.
+
+use std::process::ExitCode;
+
+use pogo_script::{analyze_bundle_with, analyze_with, AnalyzeOptions, Diagnostic, Severity};
+
+struct Options {
+    files: Vec<String>,
+    rust_embedded: bool,
+    bundle: bool,
+    deny_warnings: bool,
+    analyze: AnalyzeOptions,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pogo-lint [--rust-embedded] [--no-bundle] [--allow-native NAME]... \
+         [--deny-warnings] FILE..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        files: Vec::new(),
+        rust_embedded: false,
+        bundle: true,
+        deny_warnings: false,
+        analyze: AnalyzeOptions::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rust-embedded" => opts.rust_embedded = true,
+            "--no-bundle" => opts.bundle = false,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--allow-native" => match args.next() {
+                Some(name) => opts.analyze.extra_natives.push(name),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("pogo-lint: unknown flag `{other}`");
+                return usage();
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return usage();
+    }
+
+    let mut sources: Vec<(String, String, u32)> = Vec::new(); // (label, source, line offset)
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pogo-lint: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if opts.rust_embedded {
+            for (line, script) in extract_embedded_scripts(&text) {
+                sources.push((path.clone(), script, line));
+            }
+        } else {
+            sources.push((path.clone(), text, 0));
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut report = |label: &str, offset: u32, source: &str, d: &Diagnostic| {
+        match d.severity() {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+        let mut rendered = d.render(source);
+        if offset > 0 {
+            // Re-anchor to the embedding .rs file so the location is
+            // clickable; keep the script-relative excerpt.
+            rendered = rendered.replacen(
+                &format!("line {}", d.line),
+                &format!("line {}", d.line + offset),
+                1,
+            );
+        }
+        println!("{label}: {rendered}");
+    };
+
+    if opts.rust_embedded || !opts.bundle {
+        // Embedded scripts are fragments wired together by Rust code;
+        // cross-script channel analysis over them would only guess.
+        for (label, source, offset) in &sources {
+            for d in analyze_with(source, &opts.analyze) {
+                report(label, *offset, source, &d);
+            }
+        }
+    } else {
+        let bundle: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(label, source, _)| (label.as_str(), source.as_str()))
+            .collect();
+        for (label, d) in analyze_bundle_with(&bundle, &opts.analyze) {
+            let source = sources
+                .iter()
+                .find(|(l, _, _)| *l == label)
+                .map(|(_, s, _)| s.as_str())
+                .unwrap_or("");
+            report(&label, 0, source, &d);
+        }
+    }
+
+    let scanned = sources.len();
+    let what = if opts.rust_embedded {
+        "embedded script(s)"
+    } else {
+        "file(s)"
+    };
+    println!("pogo-lint: {scanned} {what}, {errors} error(s), {warnings} warning(s)");
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Pulls string literals that look like PogoScript out of a Rust
+/// source file. Returns `(line_of_literal_start, script_text)`.
+///
+/// Handles `r"..."`/`r#"..."#`-style raw strings and plain `"..."`
+/// literals (with escapes), and skips `//` and `/* */` comments. A
+/// literal counts as a script when it calls one of the Pogo API
+/// methods — ordinary strings never match.
+fn extract_embedded_scripts(rust_src: &str) -> Vec<(u32, String)> {
+    const MARKERS: &[&str] = &[
+        "subscribe(",
+        "publish(",
+        "setDescription(",
+        "setTimeout(",
+        "freeze(",
+        "thaw(",
+        "logTo(",
+    ];
+    let bytes = rust_src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue; // the '\n' itself is handled by the default path
+        }
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i < bytes.len() && !(bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/')) {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        if b == b'r' && matches!(bytes.get(i + 1), Some(b'"' | b'#')) {
+            // Raw string: r"..." or r#"..."# (any number of #).
+            let start_line = line;
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b'"') {
+                i += 1;
+                continue;
+            }
+            j += 1;
+            let body_start = j;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat(b'#').take(hashes))
+                .collect();
+            while j < bytes.len() && !bytes[j..].starts_with(&closer) {
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            let body = &rust_src[body_start..j.min(rust_src.len())];
+            if MARKERS.iter().any(|m| body.contains(m)) {
+                out.push((start_line.saturating_sub(1), body.to_string()));
+            }
+            i = (j + closer.len()).min(bytes.len());
+            continue;
+        }
+        if b == b'"' {
+            let start_line = line;
+            let mut j = i + 1;
+            let body_start = j;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1; // skip the escaped byte
+                } else if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            let raw = &rust_src[body_start..j.min(rust_src.len())];
+            if MARKERS.iter().any(|m| raw.contains(m)) {
+                // Unescape the subset that matters for PogoScript.
+                let body = raw
+                    .replace("\\n", "\n")
+                    .replace("\\t", "\t")
+                    .replace("\\'", "'")
+                    .replace("\\\"", "\"")
+                    .replace("\\\\", "\\");
+                out.push((start_line.saturating_sub(1), body));
+            }
+            i = (j + 1).min(bytes.len());
+            continue;
+        }
+        if b == b'\'' {
+            // Char literal or lifetime; skip a possible escaped char
+            // so '"' inside one doesn't open a bogus string.
+            if bytes.get(i + 1) == Some(&b'\\') {
+                i += 4; // '\x'
+            } else if bytes.get(i + 2) == Some(&b'\'') {
+                i += 3; // 'x'
+            } else {
+                i += 1; // lifetime
+            }
+            continue;
+        }
+        if b == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,257 @@
+//! Structured diagnostics produced by the static analyzer.
+//!
+//! Every finding carries a stable [`Rule`] code (`P001`-style), a
+//! [`Severity`], the 1-based source line it anchors to, and a rendered
+//! message. Rule codes are append-only: tooling (CI grep filters,
+//! editor integrations) may key on them, so existing codes never change
+//! meaning.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error`s predict a runtime `ScriptError` (or code that can never
+/// work) and block deployment; `Warning`s flag suspicious-but-legal
+/// code and are forwarded to the collector log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable rule codes. The numeric bands group the analyzer passes:
+/// P0xx scope resolution, P1xx API contracts, P2xx flow, P4xx
+/// purity/sandbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// P000 — the script does not parse at all.
+    ParseError,
+    /// P001 — read of a variable that is never declared in any
+    /// enclosing scope.
+    UndeclaredRead,
+    /// P002 — a variable is used before the `var` statement that
+    /// declares it executes (PogoScript does not hoist `var`).
+    UseBeforeDecl,
+    /// P003 — assignment to a variable that is never declared
+    /// (PogoScript has no implicit globals).
+    UndeclaredWrite,
+    /// P004 — the same name is declared twice in one scope.
+    DuplicateDecl,
+    /// P005 — a declaration shadows a binding in an enclosing scope.
+    Shadowing,
+    /// P101 — a known API/builtin function is called with the wrong
+    /// number of arguments.
+    WrongArity,
+    /// P102 — the callee can never be a function (a literal, or a
+    /// known non-callable builtin such as `Math.PI`).
+    NotCallable,
+    /// P103 — bundle analysis: a subscribed channel is never published
+    /// by any script in the deployment and is not a sensor channel.
+    UnpublishedChannel,
+    /// P104 — a literal argument to a known API has the wrong type
+    /// (e.g. a numeric channel name passed to `subscribe`).
+    BadArgType,
+    /// P201 — statement is unreachable: every path through the
+    /// preceding code returns, breaks, or continues.
+    UnreachableCode,
+    /// P202 — a condition is a constant literal, so one branch can
+    /// never run.
+    ConstantCondition,
+    /// P203 — a loop whose condition is a truthy literal contains no
+    /// `break` or `return`: it will spin until the instruction budget
+    /// kills the callback.
+    InfiniteLoop,
+    /// P204 — an assignment appears inside a condition (`=` where `==`
+    /// was probably meant).
+    AssignInCondition,
+    /// P205 — a variable is declared but never read or written.
+    UnusedVariable,
+    /// P206 — a function is declared but never referenced.
+    UnusedFunction,
+    /// P207 — a named function's parameter is never used in its body.
+    UnusedParam,
+    /// P401 — a call to a name that is neither declared in the script
+    /// nor part of the Pogo API: it only works if the host registers
+    /// an extension native with that name.
+    UnknownNative,
+    /// P402 — a global is written but never read: the script spends
+    /// budget maintaining state nothing observes.
+    WriteOnlyGlobal,
+}
+
+impl Rule {
+    /// The stable `Pxxx` code for this rule.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::ParseError => "P000",
+            Rule::UndeclaredRead => "P001",
+            Rule::UseBeforeDecl => "P002",
+            Rule::UndeclaredWrite => "P003",
+            Rule::DuplicateDecl => "P004",
+            Rule::Shadowing => "P005",
+            Rule::WrongArity => "P101",
+            Rule::NotCallable => "P102",
+            Rule::UnpublishedChannel => "P103",
+            Rule::BadArgType => "P104",
+            Rule::UnreachableCode => "P201",
+            Rule::ConstantCondition => "P202",
+            Rule::InfiniteLoop => "P203",
+            Rule::AssignInCondition => "P204",
+            Rule::UnusedVariable => "P205",
+            Rule::UnusedFunction => "P206",
+            Rule::UnusedParam => "P207",
+            Rule::UnknownNative => "P401",
+            Rule::WriteOnlyGlobal => "P402",
+        }
+    }
+
+    /// The fixed severity of this rule. Errors are exactly the rules
+    /// that predict a guaranteed runtime fault.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::ParseError
+            | Rule::UndeclaredRead
+            | Rule::UseBeforeDecl
+            | Rule::UndeclaredWrite
+            | Rule::WrongArity
+            | Rule::NotCallable
+            | Rule::BadArgType => Severity::Error,
+            Rule::DuplicateDecl
+            | Rule::Shadowing
+            | Rule::UnpublishedChannel
+            | Rule::UnreachableCode
+            | Rule::ConstantCondition
+            | Rule::InfiniteLoop
+            | Rule::AssignInCondition
+            | Rule::UnusedVariable
+            | Rule::UnusedFunction
+            | Rule::UnusedParam
+            | Rule::UnknownNative
+            | Rule::WriteOnlyGlobal => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// 1-based source line the finding anchors to.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(rule: Rule, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Severity is a property of the rule, not the individual finding.
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+
+    /// Renders the diagnostic with a source excerpt:
+    ///
+    /// ```text
+    /// error[P001] line 3: `x` is not defined
+    ///   3 | publish(x, 'telemetry');
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = self.to_string();
+        if let Some(text) = source.lines().nth(self.line.saturating_sub(1) as usize) {
+            let trimmed = text.trim_end();
+            if !trimmed.trim().is_empty() {
+                out.push_str(&format!("\n  {} | {}", self.line, trimmed));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] line {}: {}",
+            self.severity(),
+            self.rule,
+            self.line,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let rules = [
+            Rule::ParseError,
+            Rule::UndeclaredRead,
+            Rule::UseBeforeDecl,
+            Rule::UndeclaredWrite,
+            Rule::DuplicateDecl,
+            Rule::Shadowing,
+            Rule::WrongArity,
+            Rule::NotCallable,
+            Rule::UnpublishedChannel,
+            Rule::BadArgType,
+            Rule::UnreachableCode,
+            Rule::ConstantCondition,
+            Rule::InfiniteLoop,
+            Rule::AssignInCondition,
+            Rule::UnusedVariable,
+            Rule::UnusedFunction,
+            Rule::UnusedParam,
+            Rule::UnknownNative,
+            Rule::WriteOnlyGlobal,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for r in rules {
+            assert!(seen.insert(r.code()), "duplicate code {}", r.code());
+            assert!(r.code().starts_with('P') && r.code().len() == 4);
+        }
+    }
+
+    #[test]
+    fn errors_outrank_warnings() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Rule::UndeclaredRead.severity() == Severity::Error);
+        assert!(Rule::Shadowing.severity() == Severity::Warning);
+    }
+
+    #[test]
+    fn render_includes_source_excerpt() {
+        let d = Diagnostic::new(Rule::UndeclaredRead, 2, "`x` is not defined");
+        let src = "var a = 1;\npublish(x, 'ch');\n";
+        let rendered = d.render(src);
+        assert!(rendered.contains("error[P001] line 2"));
+        assert!(rendered.contains("2 | publish(x, 'ch');"));
+    }
+}

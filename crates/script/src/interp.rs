@@ -411,7 +411,7 @@ impl Interpreter {
                 let mut map = crate::value::ObjMap::new();
                 for (key, value) in props {
                     let v = self.eval_expr(value, env)?;
-                    map.insert(key.clone(), v);
+                    map.insert(&**key, v);
                 }
                 Ok(Value::object(map))
             }

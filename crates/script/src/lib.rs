@@ -45,8 +45,10 @@
 //! # }
 //! ```
 
+pub mod analyze;
 pub mod ast;
 pub mod builtins;
+pub mod diag;
 pub mod env;
 pub mod error;
 pub mod interp;
@@ -57,6 +59,8 @@ pub mod sloc;
 pub mod token;
 pub mod value;
 
+pub use analyze::{analyze, analyze_bundle, analyze_bundle_with, analyze_with, AnalyzeOptions};
+pub use diag::{Diagnostic, Rule, Severity};
 pub use error::{ErrorKind, ScriptError};
 pub use interp::Interpreter;
 pub use parser::parse;

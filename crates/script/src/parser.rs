@@ -37,6 +37,9 @@ struct Parser {
     pos: usize,
 }
 
+/// Parameter list and body shared by function declarations and expressions.
+type FuncRest = (Vec<Rc<str>>, Rc<Vec<Stmt>>);
+
 impl Parser {
     fn peek(&self) -> &Token {
         &self.tokens[self.pos]
@@ -170,7 +173,7 @@ impl Parser {
     }
 
     /// Parses `(params) { body }` shared by declarations and expressions.
-    fn func_rest(&mut self) -> Result<(Vec<Rc<str>>, Rc<Vec<Stmt>>), ScriptError> {
+    fn func_rest(&mut self) -> Result<FuncRest, ScriptError> {
         self.expect(&TokenKind::LParen, "before parameter list")?;
         let mut params = Vec::new();
         if !self.check(&TokenKind::RParen) {
@@ -602,7 +605,7 @@ impl Parser {
                         };
                         self.expect(&TokenKind::Colon, "after object key")?;
                         let value = self.assignment()?;
-                        props.push((key, value));
+                        props.push((key.into(), value));
                         if !self.eat(&TokenKind::Comma) {
                             break;
                         }
@@ -723,8 +726,8 @@ mod tests {
         match &p[0] {
             Stmt::Var { decls, .. } => match &decls[0].1 {
                 Some(Expr::Object(props)) => {
-                    assert_eq!(props[0].0, "interval");
-                    assert_eq!(props[1].0, "provider");
+                    assert_eq!(&*props[0].0, "interval");
+                    assert_eq!(&*props[1].0, "provider");
                 }
                 other => panic!("unexpected {other:?}"),
             },

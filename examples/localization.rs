@@ -57,7 +57,8 @@ fn main() {
     // Deploy scan.js + clustering.js to the device.
     testbed
         .collector()
-        .deploy(&glue::localization_experiment("loc"), &[device.jid()]);
+        .deploy(&glue::localization_experiment("loc"), &[device.jid()])
+        .expect("scripts pass pre-deployment analysis");
 
     println!("running 2 simulated days of commuting ...");
     sim.run_for(SimDuration::from_hours(49));

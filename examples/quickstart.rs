@@ -53,16 +53,19 @@ fn main() {
 
     // 4. Push-deploy to every device (no user interaction, §3.2).
     let devices: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "quickstart".into(),
-            scripts: vec![ScriptSpec {
-                name: "battery-watch.js".into(),
-                source: script.into(),
-            }],
-        },
-        &devices,
-    );
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "quickstart".into(),
+                scripts: vec![ScriptSpec {
+                    name: "battery-watch.js".into(),
+                    source: script.into(),
+                }],
+            },
+            &devices,
+        )
+        .expect("scripts pass pre-deployment analysis");
 
     // 5. Run two simulated hours.
     sim.run_for(SimDuration::from_hours(2));

@@ -56,16 +56,19 @@ fn main() {
         });
 
     // Deploy Listing 2.
-    testbed.collector().deploy(
-        &pogo::core::ExperimentSpec {
-            id: "rogue".into(),
-            scripts: vec![pogo::core::proto::ScriptSpec {
-                name: "roguefinder.js".into(),
-                source: glue::ROGUEFINDER_JS.into(),
-            }],
-        },
-        &[device.jid()],
-    );
+    testbed
+        .collector()
+        .deploy(
+            &pogo::core::ExperimentSpec {
+                id: "rogue".into(),
+                scripts: vec![pogo::core::proto::ScriptSpec {
+                    name: "roguefinder.js".into(),
+                    source: glue::ROGUEFINDER_JS.into(),
+                }],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
 
     println!("walking across the city for 2 simulated hours ...");
     sim.run_for(SimDuration::from_hours(2));

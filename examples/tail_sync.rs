@@ -30,13 +30,16 @@ fn run(policy: FlushPolicy, label: &str) -> (f64, u64) {
         Msg::obj([("interval", Msg::Num(60_000.0))]),
         |_, _, _| {},
     );
-    testbed.collector().deploy(
-        &pogo::core::ExperimentSpec {
-            id: "power".into(),
-            scripts: vec![],
-        },
-        &[device.jid()],
-    );
+    testbed
+        .collector()
+        .deploy(
+            &pogo::core::ExperimentSpec {
+                id: "power".into(),
+                scripts: vec![],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
 
     // The e-mail app whose tails Pogo piggybacks on (checks every 5 min).
     let _email = PeriodicNetApp::install(&phone, NetAppConfig::email());

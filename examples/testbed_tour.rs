@@ -36,43 +36,52 @@ fn main() {
     testbed.collector().on_data("exp-b", "pings", |_msg, from| {
         println!("[exp-b] LEAK from {from}! (this must never print)");
     });
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "exp-a".into(),
-            scripts: vec![ScriptSpec {
-                name: "ping.js".into(),
-                source: "publish('pings', { from: 'A' });".into(),
-            }],
-        },
-        &[device.jid()],
-    );
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "exp-b".into(),
-            scripts: vec![ScriptSpec {
-                name: "quiet.js".into(),
-                source: "setDescription('listens, never speaks');".into(),
-            }],
-        },
-        &[device.jid()],
-    );
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "exp-a".into(),
+                scripts: vec![ScriptSpec {
+                    name: "ping.js".into(),
+                    source: "publish('pings', { from: 'A' });".into(),
+                }],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "exp-b".into(),
+                scripts: vec![ScriptSpec {
+                    name: "quiet.js".into(),
+                    source: "setDescription('listens, never speaks');".into(),
+                }],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
 
     // --- Hot redeployment (§3.2: "quick redeployment ... is essential") --
     println!("\nresearcher pushes v2 of exp-a ...");
-    testbed.collector().redeploy(&ExperimentSpec {
-        id: "exp-a".into(),
-        scripts: vec![ScriptSpec {
-            name: "ping.js".into(),
-            source: r#"
+    testbed
+        .collector()
+        .redeploy(&ExperimentSpec {
+            id: "exp-a".into(),
+            scripts: vec![ScriptSpec {
+                name: "ping.js".into(),
+                source: r#"
                 var state = thaw();
                 var n = state == null ? 1 : state.n + 1;
                 freeze({ n: n });
                 publish('pings', { from: 'A v2', boot: n });
             "#
-            .into(),
-        }],
-    });
+                .into(),
+            }],
+        })
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
 
     // --- Reboot: scripts restart, frozen state survives ------------------

@@ -107,16 +107,19 @@ fn main() {
                     .unwrap_or(0.0),
             );
         });
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "mode".into(),
-            scripts: vec![ScriptSpec {
-                name: "classifier.js".into(),
-                source: CLASSIFIER_JS.into(),
-            }],
-        },
-        &[device.jid()],
-    );
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "mode".into(),
+                scripts: vec![ScriptSpec {
+                    name: "classifier.js".into(),
+                    source: CLASSIFIER_JS.into(),
+                }],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
 
     println!("one simulated day of a commuter (mode transitions as detected):\n");
     sim.run_for(SimDuration::from_hours(24));

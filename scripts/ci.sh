@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the perf regression gate.
+# Tier-1 verification plus the lint and perf regression gates.
 #
-#   scripts/ci.sh              build + tests + perf check vs BENCH_pr1.json
-#   scripts/ci.sh --no-perf    build + tests only (e.g. on a loaded box)
+#   scripts/ci.sh              build + tests + lint gates + perf check
+#   scripts/ci.sh --no-perf    skip the perf_smoke regression gate
+#   scripts/ci.sh --no-lint    skip fmt/clippy/pogo-lint (e.g. older toolchain)
+#
+# Lint gates (Rust- and script-side static analysis):
+#   * cargo fmt --check and cargo clippy -D warnings over the workspace;
+#   * pogo-lint over every deployable script in assets/scripts/ (as one
+#     bundle, so cross-script channel typos are caught) — `geolocate` is
+#     allowed because collect.js expects the collector to register it as
+#     an extension native;
+#   * pogo-lint --rust-embedded over the inline scripts in examples/.
 #
 # The perf gate re-runs `perf_smoke` and fails if any bench regressed by
 # more than 25% per op against the committed baseline. The baseline was
@@ -13,9 +22,29 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+run_perf=1
+run_lint=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-perf) run_perf=0 ;;
+        --no-lint) run_lint=0 ;;
+        *)
+            echo "ci.sh: unknown flag $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+cargo build --release --workspace
 cargo test -q
 
-if [[ "${1:-}" != "--no-perf" ]]; then
+if [[ "$run_lint" == 1 ]]; then
+    cargo fmt --check
+    cargo clippy --all-targets -- -D warnings
+    ./target/release/pogo-lint --allow-native geolocate assets/scripts/*.js
+    ./target/release/pogo-lint --rust-embedded examples/*.rs
+fi
+
+if [[ "$run_perf" == 1 ]]; then
     ./target/release/perf_smoke --check BENCH_pr1.json --tolerance 0.25
 fi

@@ -34,7 +34,7 @@
 //!         }],
 //!     },
 //!     &[testbed.devices()[0].jid()],
-//! );
+//! ).expect("scripts pass pre-deployment analysis");
 //! sim.run_for(SimDuration::from_mins(90));
 //! ```
 

@@ -94,7 +94,8 @@ fn deploy_localization(setup: &Setup) {
     setup
         .testbed
         .collector()
-        .deploy(&glue::localization_experiment("loc"), &jids);
+        .deploy(&glue::localization_experiment("loc"), &jids)
+        .expect("scripts pass pre-deployment analysis");
 }
 
 #[test]

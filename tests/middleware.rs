@@ -56,7 +56,8 @@ fn identical_seeds_replay_identically() {
             .unwrap();
         testbed
             .collector()
-            .deploy(&glue::localization_experiment("exp"), &[device.jid()]);
+            .deploy(&glue::localization_experiment("exp"), &[device.jid()])
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_hours(3));
         testbed.collector().logs().lines("out").join("\n")
     };
@@ -78,12 +79,14 @@ fn offline_device_buffers_and_recovers_without_loss() {
         r.borrow_mut()
             .push(msg.get("n").and_then(pogo::core::Msg::as_num).unwrap());
     });
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "exp".into(),
-            scripts: vec![ScriptSpec {
-                name: "tick.js".into(),
-                source: r#"
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "tick.js".into(),
+                    source: r#"
                     var n = 0;
                     function tick() {
                         n = n + 1;
@@ -92,11 +95,12 @@ fn offline_device_buffers_and_recovers_without_loss() {
                     }
                     tick();
                 "#
-                .into(),
-            }],
-        },
-        &[device.jid()],
-    );
+                    .into(),
+                }],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(25)); // ticks 1, 2, 3 delivered
     phone.connectivity().set_active(None); // tunnel / airplane mode
     sim.run_for(SimDuration::from_hours(2)); // ticks pile up in the store
@@ -122,20 +126,23 @@ fn wifi_to_cellular_handover_loses_nothing_end_to_end() {
     testbed
         .collector()
         .on_data("exp", "ticks", move |_, _| *c.borrow_mut() += 1);
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "exp".into(),
-            scripts: vec![ScriptSpec {
-                name: "tick.js".into(),
-                source: r#"
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "tick.js".into(),
+                    source: r#"
                     function tick() { publish('ticks', {}); setTimeout(tick, 60 * 1000); }
                     tick();
                 "#
-                .into(),
-            }],
-        },
-        &[device.jid()],
-    );
+                    .into(),
+                }],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
     // Flip the bearer every 7 minutes for 2 hours.
     for i in 1..=17u64 {
         let conn = phone.connectivity().clone();
@@ -164,20 +171,23 @@ fn message_expiry_drops_exactly_the_stale_window() {
     let (device, phone) =
         testbed.add_device("phone", PhoneConfig::default(), immediate, home_sources());
     testbed.collector().on_data("exp", "ticks", |_, _| {});
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "exp".into(),
-            scripts: vec![ScriptSpec {
-                name: "tick.js".into(),
-                source: r#"
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "tick.js".into(),
+                    source: r#"
                     function tick() { publish('ticks', {}); setTimeout(tick, 60 * 60 * 1000); }
                     tick();
                 "#
-                .into(),
-            }],
-        },
-        &[device.jid()],
-    );
+                    .into(),
+                }],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
     // The user-2a scenario: abroad with data off for 3 days.
     phone.connectivity().set_active(None);
@@ -215,16 +225,19 @@ fn many_devices_fan_in_with_attribution() {
             *s.borrow_mut().entry(from.to_owned()).or_default() += 1;
         });
     let jids: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "exp".into(),
-            scripts: vec![ScriptSpec {
-                name: "hello.js".into(),
-                source: "publish('hello', { hi: 1 });".into(),
-            }],
-        },
-        &jids,
-    );
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "hello.js".into(),
+                    source: "publish('hello', { hi: 1 });".into(),
+                }],
+            },
+            &jids,
+        )
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
     let seen = seen.borrow();
     assert_eq!(seen.len(), 8, "all devices reported: {seen:?}");
@@ -285,7 +298,10 @@ fn freeze_fix_preserves_clusters_across_reboots() {
         if use_freeze {
             spec.scripts[1].source = glue::clustering_js_with_freeze();
         }
-        testbed.collector().deploy(&spec, &[device.jid()]);
+        testbed
+            .collector()
+            .deploy(&spec, &[device.jid()])
+            .expect("scripts pass pre-deployment analysis");
         // Dwell 0–3h with a reboot at 2h, then an hour of walking: the
         // dissimilar transit scans close the home cluster.
         let d = device.clone();
@@ -338,22 +354,26 @@ fn watchdog_errors_are_contained_per_script() {
     testbed
         .collector()
         .on_data("exp", "ok", move |_, _| *g.borrow_mut() += 1);
-    testbed.collector().deploy(
-        &ExperimentSpec {
-            id: "exp".into(),
-            scripts: vec![
-                ScriptSpec {
-                    name: "evil.js".into(),
-                    source: "subscribe('wifi-scan', function (m) { while (true) {} });".into(),
-                },
-                ScriptSpec {
-                    name: "good.js".into(),
-                    source: "subscribe('wifi-scan', function (m) { publish('ok', {}); });".into(),
-                },
-            ],
-        },
-        &[device.jid()],
-    );
+    testbed
+        .collector()
+        .deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![
+                    ScriptSpec {
+                        name: "evil.js".into(),
+                        source: "subscribe('wifi-scan', function (m) { while (true) {} });".into(),
+                    },
+                    ScriptSpec {
+                        name: "good.js".into(),
+                        source: "subscribe('wifi-scan', function (m) { publish('ok', {}); });"
+                            .into(),
+                    },
+                ],
+            },
+            &[device.jid()],
+        )
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(10));
     let ctx = device.context("exp").unwrap();
     let evil = &ctx.scripts()[0];

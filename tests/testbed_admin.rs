@@ -86,16 +86,18 @@ fn two_researchers_share_a_pool_without_crosstalk() {
     alice.on_data("alice-exp", "pings", move |_msg, from| {
         a.borrow_mut().push(from.to_owned());
     });
-    alice.deploy(
-        &ExperimentSpec {
-            id: "alice-exp".into(),
-            scripts: vec![ScriptSpec {
-                name: "ping.js".into(),
-                source: "publish('pings', { who: 'alice' });".into(),
-            }],
-        },
-        &alice_devices,
-    );
+    alice
+        .deploy(
+            &ExperimentSpec {
+                id: "alice-exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "ping.js".into(),
+                    source: "publish('pings', { who: 'alice' });".into(),
+                }],
+            },
+            &alice_devices,
+        )
+        .expect("scripts pass pre-deployment analysis");
 
     let bob_seen: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let b = bob_seen.clone();
@@ -111,7 +113,8 @@ fn two_researchers_share_a_pool_without_crosstalk() {
             }],
         },
         &bob_devices,
-    );
+    )
+    .expect("scripts pass pre-deployment analysis");
 
     sim.run_for(SimDuration::from_mins(5));
 
@@ -148,29 +151,33 @@ fn released_devices_stop_accepting_researcher_traffic() {
         )
         .unwrap();
     let collector = CollectorNode::new(&sim, &server, &researcher);
-    collector.deploy(
-        &ExperimentSpec {
-            id: "exp".into(),
-            scripts: vec![],
-        },
-        &granted,
-    );
+    collector
+        .deploy(
+            &ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![],
+            },
+            &granted,
+        )
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(1));
 
     // The assignment ends; the roster association is revoked.
     admin.release(&researcher, &granted);
     // Further deployments are refused by the switchboard's authorization
     // (the control messages queue but never authorize through).
-    collector.deploy(
-        &ExperimentSpec {
-            id: "exp2".into(),
-            scripts: vec![ScriptSpec {
-                name: "late.js".into(),
-                source: "publish('x', 1);".into(),
-            }],
-        },
-        &granted,
-    );
+    collector
+        .deploy(
+            &ExperimentSpec {
+                id: "exp2".into(),
+                scripts: vec![ScriptSpec {
+                    name: "late.js".into(),
+                    source: "publish('x', 1);".into(),
+                }],
+            },
+            &granted,
+        )
+        .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(2));
     let device = _device;
     assert!(

@@ -220,7 +220,10 @@ mod tests {
             seed
         });
         let first: Vec<u64> = (0..4).map(|_| rng.gen::<u64>()).collect();
-        assert_eq!(first, vec![41943041, 58720359, 3588806011781223, 3591011842654386]);
+        assert_eq!(
+            first,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
     }
 
     #[test]
