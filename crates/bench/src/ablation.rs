@@ -15,11 +15,10 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use pogo::cluster::{match_clusters, MatchParams};
-use pogo::core::sensor::SensorSources;
 use pogo::core::{Msg, Testbed};
 use pogo::mobility::{Archetype, UserSpec};
 use pogo::net::FlushPolicy;
-use pogo_platform::{NetAppConfig, PeriodicNetApp, PhoneConfig};
+use pogo_platform::{NetAppConfig, PeriodicNetApp};
 use pogo_sim::{SimDuration, SimTime};
 
 use crate::report;
@@ -52,14 +51,9 @@ pub struct BatchingRow {
 pub fn measure_policy(policy: FlushPolicy, label: &str) -> BatchingRow {
     let sim = pogo_sim::Sim::new();
     let mut testbed = Testbed::new(&sim);
-    let (device, phone) = testbed.add_device(
-        "galaxy-nexus",
-        PhoneConfig::default(),
-        |mut c| {
-            c.flush_policy = policy;
-            c
-        },
-        SensorSources::default(),
+    let (device, phone) = testbed.add(
+        pogo::core::DeviceSetup::named("galaxy-nexus")
+            .configure(move |c| c.with_flush_policy(policy)),
     );
     let delivered = Rc::new(Cell::new(0u64));
     let latencies: Rc<std::cell::RefCell<Vec<f64>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
@@ -81,13 +75,12 @@ pub fn measure_policy(policy: FlushPolicy, label: &str) -> BatchingRow {
     );
     testbed
         .collector()
-        .deploy(
-            &pogo::core::ExperimentSpec {
-                id: "power".into(),
-                scripts: vec![],
-            },
-            &[device.jid()],
-        )
+        .deployment(&pogo::core::ExperimentSpec {
+            id: "power".into(),
+            scripts: vec![],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     let _email = PeriodicNetApp::install(&phone, NetAppConfig::email());
 

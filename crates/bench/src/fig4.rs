@@ -6,9 +6,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use pogo::core::sensor::SensorSources;
-use pogo::core::{Msg, Testbed};
-use pogo_platform::{NetAppConfig, PeriodicNetApp, PhoneConfig, RadioState};
+use pogo::core::{DeviceSetup, Msg, Obs, ObsConfig, Testbed};
+use pogo_platform::{NetAppConfig, PeriodicNetApp, RadioState};
 use pogo_sim::{Sim, SimDuration, SimTime};
 
 use crate::report;
@@ -46,14 +45,20 @@ pub struct Figure4 {
 
 /// Captures a 15-minute slice of the Table 3 "with Pogo" scenario.
 pub fn run() -> Figure4 {
+    run_with(ObsConfig::off()).0
+}
+
+/// Same workload, with the observability layer recording: returns the
+/// figure plus the testbed-wide [`Obs`] handle so the structured trace
+/// can be exported (`pogo-trace --workload fig4`).
+pub fn run_traced() -> (Figure4, Obs) {
+    run_with(ObsConfig::on())
+}
+
+fn run_with(obs_config: ObsConfig) -> (Figure4, Obs) {
     let sim = Sim::new();
-    let mut testbed = Testbed::new(&sim);
-    let (device, phone) = testbed.add_device(
-        "galaxy-nexus",
-        PhoneConfig::default(),
-        |c| c,
-        SensorSources::default(),
-    );
+    let mut testbed = Testbed::with_obs(&sim, obs_config);
+    let (device, phone) = testbed.add(DeviceSetup::named("galaxy-nexus"));
     let ctx = testbed.collector().create_experiment("power");
     ctx.broker().subscribe(
         "battery",
@@ -62,13 +67,12 @@ pub fn run() -> Figure4 {
     );
     testbed
         .collector()
-        .deploy(
-            &pogo::core::ExperimentSpec {
-                id: "power".into(),
-                scripts: vec![],
-            },
-            &[device.jid()],
-        )
+        .deployment(&pogo::core::ExperimentSpec {
+            id: "power".into(),
+            scripts: vec![],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     let _email = PeriodicNetApp::install(&phone, NetAppConfig::email());
 
@@ -128,13 +132,17 @@ pub fn run() -> Figure4 {
     }
 
     sim.run_until(slice_start + SimDuration::from_mins(15));
+    let obs = testbed.obs().clone();
     let mut events = events.borrow().clone();
     events.retain(|e| e.at_secs >= 0.0);
     let batch_sizes = batches.borrow().clone();
-    Figure4 {
-        events,
-        batch_sizes,
-    }
+    (
+        Figure4 {
+            events,
+            batch_sizes,
+        },
+        obs,
+    )
 }
 
 /// Renders the timeline.
@@ -199,5 +207,51 @@ mod tests {
             .filter(|e| e.actor == Actor::Cpu && e.what == "sleeps")
             .count();
         assert!(sleeps >= 10, "CPU sleeps after every wake: {sleeps}");
+    }
+
+    #[test]
+    fn traced_run_matches_the_figure() {
+        let (fig, obs) = run_traced();
+        let trace = obs.events();
+
+        // Every radio transition the figure saw in its slice appears in
+        // the structured trace at the same instant.
+        let slice_start_ms = SimDuration::from_mins(12).as_millis() as f64;
+        let radio_ms: Vec<f64> = trace
+            .iter()
+            .filter(|e| e.category.as_ref() == "radio")
+            .map(|e| e.at.as_millis() as f64 - slice_start_ms)
+            .collect();
+        for email in fig.events.iter().filter(|e| e.actor == Actor::Email) {
+            let want_ms = email.at_secs * 1_000.0;
+            assert!(
+                radio_ms.iter().any(|&t| (t - want_ms).abs() < 1.0),
+                "figure radio event at {:.1}s missing from obs trace",
+                email.at_secs
+            );
+        }
+
+        // One pogo/flush trace event per batch the figure recorded.
+        let flushes = trace
+            .iter()
+            .filter(|e| e.category.as_ref() == "pogo" && e.name.as_ref() == "flush")
+            .filter(|e| e.at.as_millis() as f64 >= slice_start_ms)
+            .count();
+        assert_eq!(flushes, fig.batch_sizes.len());
+
+        // The Chrome trace built from the same events is valid JSON with
+        // complete slices covering the radio dwells.
+        let chrome = pogo::obs::export::to_chrome_trace(&trace);
+        let parsed = Msg::from_json(&chrome).expect("chrome trace is valid JSON");
+        let entries = match parsed.get("traceEvents") {
+            Some(Msg::Arr(items)) => items.clone(),
+            other => panic!("traceEvents array missing: {other:?}"),
+        };
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.get("ph").and_then(Msg::as_str) == Some("X")),
+            "chrome trace has complete (ph=X) slices"
+        );
     }
 }

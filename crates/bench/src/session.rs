@@ -6,13 +6,12 @@ use std::cell::RefCell;
 
 use pogo::cluster::{ClusterSummary, StreamConfig};
 use pogo::core::sensor::SensorSources;
-use pogo::core::Testbed;
+use pogo::core::{Obs, ObsConfig, Testbed};
 use pogo::glue;
 use pogo::mobility::{
     GeolocationService, ScanSynthesizer, UserScenario, UserSpec, Whereabouts, World,
 };
 use pogo::platform::Bearer;
-use pogo::platform::PhoneConfig;
 use pogo::sim::{Sim, SimDuration, SimRng, SimTime};
 use pogo_platform::{NetAppConfig, PeriodicNetApp};
 
@@ -46,6 +45,28 @@ pub struct SessionResult {
 /// disruption days scale with the session's own window. `use_freeze`
 /// enables the §5.3 freeze/thaw fix (off in the paper's deployment).
 pub fn run_session(spec: &UserSpec, days: u64, seed: u64, use_freeze: bool) -> SessionResult {
+    run_session_with(spec, days, seed, use_freeze, ObsConfig::off()).0
+}
+
+/// [`run_session`] with the observability layer recording; returns the
+/// testbed-wide [`Obs`] handle alongside the measurements so callers
+/// can cross-check the session against the metrics registry.
+pub fn run_session_traced(
+    spec: &UserSpec,
+    days: u64,
+    seed: u64,
+    use_freeze: bool,
+) -> (SessionResult, Obs) {
+    run_session_with(spec, days, seed, use_freeze, ObsConfig::on())
+}
+
+fn run_session_with(
+    spec: &UserSpec,
+    days: u64,
+    seed: u64,
+    use_freeze: bool,
+    obs_config: ObsConfig,
+) -> (SessionResult, Obs) {
     let mut spec = spec.clone();
     spec.end_day = spec.end_day.min(days);
     spec.start_day = spec.start_day.min(spec.end_day);
@@ -69,7 +90,7 @@ pub fn run_session(spec: &UserSpec, days: u64, seed: u64, use_freeze: bool) -> S
     let mut world = World::new(600, &mut rng);
     let scenario = spec.build(&mut world, &mut rng);
 
-    let mut testbed = Testbed::new(&sim);
+    let mut testbed = Testbed::with_obs(&sim, obs_config);
     let trace = scenario.trace.clone();
     let world2 = world.clone();
     let synth = RefCell::new(ScanSynthesizer::new(rng.fork(spec.seed_salt)));
@@ -89,7 +110,7 @@ pub fn run_session(spec: &UserSpec, days: u64, seed: u64, use_freeze: bool) -> S
         ..SensorSources::default()
     };
     let node_name = spec.name.to_lowercase().replace(' ', "-");
-    let (device, phone) = testbed.add_device(&node_name, PhoneConfig::default(), |c| c, sources);
+    let (device, phone) = testbed.add(pogo::core::DeviceSetup::named(&node_name).sensors(sources));
 
     // Background e-mail traffic for tail synchronization, like the §5.2
     // measurement phones.
@@ -112,7 +133,9 @@ pub fn run_session(spec: &UserSpec, days: u64, seed: u64, use_freeze: bool) -> S
     }
     testbed
         .collector()
-        .deploy(&experiment, &[device.jid()])
+        .deployment(&experiment)
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
 
     // Run the window plus slack for the final uploads.
@@ -128,17 +151,21 @@ pub fn run_session(spec: &UserSpec, days: u64, seed: u64, use_freeze: bool) -> S
             .collect();
     let raw_bytes = raw_lines.iter().map(String::len).sum();
     let location_bytes = truth.iter().map(summary_bytes).sum::<usize>();
-    SessionResult {
-        name: spec.name.clone(),
-        scans: raw_lines.len(),
-        raw_bytes,
-        locations: truth.len(),
-        location_bytes,
-        collected,
-        truth,
-        purged: device.purged(),
-        reboots: device.reboots(),
-    }
+    let obs = testbed.obs().clone();
+    (
+        SessionResult {
+            name: spec.name.clone(),
+            scans: raw_lines.len(),
+            raw_bytes,
+            locations: truth.len(),
+            location_bytes,
+            collected,
+            truth,
+            purged: device.purged(),
+            reboots: device.reboots(),
+        },
+        obs,
+    )
 }
 
 /// Serialized size of one location summary (for the Size column), as
@@ -240,8 +267,43 @@ fn schedule_disruptions(
         }
         sim.schedule_at(SimTime::from_millis(t), move || {
             collector
-                .redeploy(&experiment)
+                .deployment(&experiment)
+                .send()
                 .expect("scripts pass pre-deployment analysis");
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo::mobility::paper_cohort;
+
+    #[test]
+    fn traced_session_metrics_agree_with_the_harvest() {
+        let spec = &paper_cohort()[0];
+        let (result, obs) = run_session_traced(spec, 1, 42, false);
+        let metrics = obs.metrics();
+        let jid = format!("{}@pogo", spec.name.to_lowercase().replace(' ', "-"));
+        let dev = Some(jid.as_str());
+
+        assert_eq!(metrics.counter_for(dev, "pogo.reboots"), result.reboots);
+        // Every raw scan the clustering script logged was a sensor sample.
+        assert!(
+            metrics.counter_for(dev, "sensor.samples.wifi-scan") >= result.scans as u64,
+            "samples {} < scans {}",
+            metrics.counter_for(dev, "sensor.samples.wifi-scan"),
+            result.scans
+        );
+        assert!(metrics.counter_for(dev, "net.messages_sent") > 0);
+        assert!(metrics.counter_for(dev, "script.callbacks") > 0);
+        // The collector heard from the device.
+        let coll = Some("collector@pogo");
+        assert!(metrics.counter_for(coll, "net.messages_received") > 0);
+        // The raw-scans log the harvest reads is also in the trace.
+        assert!(obs
+            .events()
+            .iter()
+            .any(|e| e.category.as_ref() == "log" && e.device.as_deref() == dev));
     }
 }

@@ -11,7 +11,6 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use pogo::core::sensor::SensorSources;
 use pogo::core::{Msg, Testbed};
 use pogo_platform::{CarrierProfile, NetAppConfig, PeriodicNetApp, Phone, PhoneConfig};
 use pogo_sim::{Sim, SimDuration, SimTime};
@@ -67,12 +66,8 @@ pub fn measure(carrier: CarrierProfile, with_pogo: bool) -> (f64, u64, u64) {
     let phone: Phone;
     if with_pogo {
         let mut testbed = Testbed::new(&sim);
-        let (device, ph) = testbed.add_device(
-            "galaxy-nexus",
-            phone_config,
-            |c| c,
-            SensorSources::default(),
-        );
+        let (device, ph) =
+            testbed.add(pogo::core::DeviceSetup::named("galaxy-nexus").phone(phone_config));
         phone = ph;
         // The researcher's side: one subscription to battery voltage,
         // sampled once per minute, across the experiment's devices.
@@ -84,13 +79,12 @@ pub fn measure(carrier: CarrierProfile, with_pogo: bool) -> (f64, u64, u64) {
         );
         testbed
             .collector()
-            .deploy(
-                &pogo::core::ExperimentSpec {
-                    id: "power".into(),
-                    scripts: vec![],
-                },
-                &[device.jid()],
-            )
+            .deployment(&pogo::core::ExperimentSpec {
+                id: "power".into(),
+                scripts: vec![],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
     } else {
         phone = Phone::new(&sim, phone_config);
@@ -210,6 +204,53 @@ mod tests {
             "T-Mobile increase {increase:.2}%"
         );
         assert_eq!(ramps_with, 12, "Pogo never generates its own tail");
+    }
+
+    #[test]
+    fn with_pogo_metrics_agree_with_the_meters() {
+        use pogo::core::{DeviceSetup, ObsConfig, Testbed};
+
+        // The Table 3 "with Pogo" scenario, observability on: the
+        // metrics registry must agree with the platform's own meters.
+        let sim = Sim::new();
+        let mut testbed = Testbed::with_obs(&sim, ObsConfig::on());
+        let (device, phone) = testbed.add(DeviceSetup::named("galaxy-nexus"));
+        let ctx = testbed.collector().create_experiment("power");
+        ctx.broker().subscribe(
+            "battery",
+            Msg::obj([("interval", Msg::Num(60_000.0))]),
+            |_, _, _| {},
+        );
+        testbed
+            .collector()
+            .deployment(&pogo::core::ExperimentSpec {
+                id: "power".into(),
+                scripts: vec![],
+            })
+            .to(&[device.jid()])
+            .send()
+            .expect("scripts pass pre-deployment analysis");
+        let _email = PeriodicNetApp::install(&phone, NetAppConfig::email());
+        sim.run_until(SimTime::ZERO + SETTLE + WINDOW);
+
+        let metrics = testbed.obs().metrics();
+        let jid = device.jid();
+        let dev = Some(jid.as_str());
+        assert_eq!(metrics.counter_for(dev, "net.flushes"), device.flushes());
+        assert_eq!(
+            metrics.counter_for(dev, "radio.ramp_ups"),
+            phone.modem().ramp_ups()
+        );
+        assert_eq!(
+            metrics.counter_for(dev, "sensor.samples.battery"),
+            device.sensors().sample_count("battery") as u64
+        );
+        // Every flush is classified; in steady state they ride tails.
+        let hits = metrics.counter_for(dev, "tail.sync.hits");
+        let misses = metrics.counter_for(dev, "tail.sync.misses");
+        assert_eq!(hits + misses, device.flushes());
+        assert!(hits >= misses, "hits {hits} misses {misses}");
+        assert!(metrics.counter_for(dev, "cpu.wakeups") > 0);
     }
 
     #[test]

@@ -132,6 +132,8 @@ impl Inner {
 #[derive(Clone, Default)]
 pub struct Broker {
     inner: Rc<RefCell<Inner>>,
+    /// Metrics handle (off by default; a two-variant match per publish).
+    obs: pogo_obs::Metrics,
 }
 
 impl std::fmt::Debug for Broker {
@@ -148,6 +150,16 @@ impl Broker {
     /// Creates an empty broker.
     pub fn new() -> Self {
         Broker::default()
+    }
+
+    /// Creates an empty broker whose publish counts and fan-out sizes
+    /// feed `obs` (`broker.published` counter, `broker.fanout`
+    /// histogram), attributed to the obs handle's device scope.
+    pub fn with_obs(obs: &pogo_obs::Obs) -> Self {
+        Broker {
+            inner: Rc::default(),
+            obs: obs.metrics().clone(),
+        }
     }
 
     /// Subscribes `sink` to `channel` with a parameter object. The sink
@@ -259,6 +271,8 @@ impl Broker {
                 inner.taps.clone(),
             )
         };
+        self.obs.inc("broker.published", 1);
+        self.obs.observe("broker.fanout", sinks.len() as f64);
         for sink in sinks.iter() {
             sink(channel, msg, from);
         }

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use pogo_net::{DedupFilter, Envelope, Jid, MessageStore, Payload, Session, Switchboard};
+use pogo_obs::{field, Obs};
 use pogo_platform::{Cpu, CpuConfig, EnergyMeter};
 use pogo_script::ScriptError;
 use pogo_sim::{Sim, SimDuration};
@@ -54,6 +55,78 @@ impl std::fmt::Display for DeployError {
 
 impl std::error::Error for DeployError {}
 
+/// What the pre-flight static analyzer is allowed to do to a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Error-severity findings reject the deployment; warnings go to the
+    /// collector's `pogo-lint` log. The default, matching the paper's
+    /// "never burn a phone's energy on a script that cannot run".
+    #[default]
+    Enforce,
+    /// Everything — errors included — is logged to `pogo-lint` but
+    /// nothing blocks. For deliberately shipping scripts the analyzer
+    /// cannot fully see through (e.g. extension natives).
+    WarnOnly,
+    /// The analyzer does not run at all.
+    Skip,
+}
+
+/// A staged deployment, built with [`CollectorNode::deployment`].
+///
+/// Replaces the old `deploy` / `deploy_unchecked` / `redeploy` /
+/// `redeploy_unchecked` quadruplet with one builder:
+///
+/// - `.to(devices)` adds explicit targets (deploy). With **no** targets,
+///   [`Deployment::send`] pushes to the experiment's existing members
+///   (redeploy) — a no-op if the experiment has none.
+/// - `.lint(LintPolicy::Skip)` replaces the `_unchecked` variants;
+///   [`LintPolicy::WarnOnly`] logs errors without blocking.
+#[must_use = "a Deployment does nothing until .send() is called"]
+pub struct Deployment<'a> {
+    collector: CollectorNode,
+    spec: &'a ExperimentSpec,
+    targets: Vec<Jid>,
+    lint: LintPolicy,
+}
+
+impl Deployment<'_> {
+    /// Adds explicit target devices. May be called repeatedly; targets
+    /// accumulate.
+    pub fn to(mut self, devices: &[Jid]) -> Self {
+        self.targets.extend_from_slice(devices);
+        self
+    }
+
+    /// Sets the static-analysis policy (default: [`LintPolicy::Enforce`]).
+    pub fn lint(mut self, policy: LintPolicy) -> Self {
+        self.lint = policy;
+        self
+    }
+
+    /// Runs the lint gate and pushes the scripts out.
+    ///
+    /// # Errors
+    ///
+    /// Under [`LintPolicy::Enforce`], returns every error-severity
+    /// diagnostic when the bundle fails analysis; no device receives
+    /// anything in that case.
+    pub fn send(self) -> Result<(), DeployError> {
+        match self.lint {
+            LintPolicy::Enforce => self.collector.lint_spec(self.spec, true)?,
+            LintPolicy::WarnOnly => {
+                let _ = self.collector.lint_spec(self.spec, false);
+            }
+            LintPolicy::Skip => {}
+        }
+        if self.targets.is_empty() {
+            self.collector.push_to_members(self.spec);
+        } else {
+            self.collector.push_to(self.spec, &self.targets);
+        }
+        Ok(())
+    }
+}
+
 struct Inner {
     jid: Jid,
     server: Switchboard,
@@ -68,6 +141,8 @@ struct Inner {
     versions: HashMap<String, u64>,
     data_received: u64,
     retry_armed: bool,
+    /// JID-scoped observability handle (off unless configured).
+    obs: Obs,
 }
 
 /// A Pogo collector node. Cheap to clone; clones share state.
@@ -96,6 +171,18 @@ impl CollectorNode {
     /// Panics if the JID is unknown to the server (a deployment
     /// configuration error).
     pub fn new(sim: &Sim, server: &Switchboard, jid: &Jid) -> Self {
+        Self::with_obs(sim, server, jid, &Obs::off())
+    }
+
+    /// Like [`CollectorNode::new`], additionally recording into `obs`
+    /// (scoped to the collector's JID).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the JID is unknown to the server (a deployment
+    /// configuration error).
+    pub fn with_obs(sim: &Sim, server: &Switchboard, jid: &Jid, obs: &Obs) -> Self {
+        let obs = obs.scoped(jid.as_str());
         // The collector's machine: always-on, not energy-metered (mains).
         let meter = EnergyMeter::new(sim);
         let cpu = Cpu::new(
@@ -109,10 +196,12 @@ impl CollectorNode {
         );
         // Never let the PC sleep.
         std::mem::forget(cpu.acquire_wake_lock());
-        let scheduler = Scheduler::new(&cpu);
+        let scheduler = Scheduler::with_obs(&cpu, &obs);
         let session = server
             .connect(jid, SimDuration::from_millis(5))
             .expect("collector JID must be registered");
+        let logs = LogStore::new();
+        logs.wire_obs(&obs);
         let node = CollectorNode {
             inner: Rc::new(RefCell::new(Inner {
                 jid: jid.clone(),
@@ -123,10 +212,11 @@ impl CollectorNode {
                 contexts: HashMap::new(),
                 outstores: HashMap::new(),
                 dedup: DedupFilter::new(),
-                logs: LogStore::new(),
+                logs,
                 versions: HashMap::new(),
                 data_received: 0,
                 retry_armed: false,
+                obs,
             })),
         };
         let me = node.clone();
@@ -155,6 +245,12 @@ impl CollectorNode {
         self.inner.borrow().data_received
     }
 
+    /// This node's observability handle (scoped to its JID; off unless
+    /// constructed via [`CollectorNode::with_obs`]).
+    pub fn obs(&self) -> Obs {
+        self.inner.borrow().obs.clone()
+    }
+
     /// The context for an experiment, if created.
     pub fn context(&self, exp: &str) -> Option<CollectorContext> {
         self.inner.borrow().contexts.get(exp).cloned()
@@ -168,10 +264,15 @@ impl CollectorNode {
             return ctx;
         }
         let me = self.clone();
-        let ctx = CollectorContext::new(exp, move |device, ctl| {
-            let Ok(jid) = Jid::new(device) else { return };
-            me.send_reliable(&jid, &ctl);
-        });
+        let obs = self.inner.borrow().obs.clone();
+        let ctx = CollectorContext::with_obs(
+            exp,
+            move |device, ctl| {
+                let Ok(jid) = Jid::new(device) else { return };
+                me.send_reliable(&jid, &ctl);
+            },
+            &obs,
+        );
         self.inner
             .borrow_mut()
             .contexts
@@ -213,39 +314,74 @@ impl CollectorNode {
         self.install_collector_script(exp, name, source, |_| {})
     }
 
-    /// Deploys (or re-deploys, with a bumped version) the experiment's
-    /// device scripts to `devices`, adding them as context members. This
-    /// is §3.2's push-based deployment: devices receive and run the
-    /// scripts with no user interaction.
+    /// Starts a [`Deployment`] of `spec`'s device scripts — §3.2's
+    /// push-based deployment: devices receive and run the scripts with
+    /// no user interaction.
     ///
-    /// Before anything is sent, the script bundle goes through the
-    /// static analyzer ([`pogo_script::analyze_bundle`]): a script a
-    /// phone would only reject at runtime — after burning energy
-    /// receiving and loading it — is rejected here instead. Warnings
-    /// don't block; they are forwarded to the collector's `pogo-lint`
-    /// log. Use [`CollectorNode::deploy_unchecked`] to bypass the gate.
+    /// Chain `.to(devices)` to add targets, `.lint(policy)` to adjust
+    /// the pre-flight analyzer gate, then `.send()`:
+    ///
+    /// ```ignore
+    /// collector.deployment(&spec).to(&[device.jid()]).send()?;   // deploy
+    /// collector.deployment(&spec).send()?;                       // redeploy to members
+    /// collector.deployment(&spec).lint(LintPolicy::Skip).send(); // unchecked
+    /// ```
+    pub fn deployment<'a>(&self, spec: &'a ExperimentSpec) -> Deployment<'a> {
+        Deployment {
+            collector: self.clone(),
+            spec,
+            targets: Vec::new(),
+            lint: LintPolicy::default(),
+        }
+    }
+
+    /// Deploys the experiment's device scripts to `devices` with the
+    /// lint gate enforced.
     ///
     /// # Errors
     ///
     /// Returns every error-severity diagnostic when the bundle fails
     /// analysis; no device receives anything in that case.
+    #[deprecated(note = "use `collector.deployment(spec).to(devices).send()`")]
     pub fn deploy(&self, spec: &ExperimentSpec, devices: &[Jid]) -> Result<(), DeployError> {
-        self.lint_spec(spec)?;
-        self.deploy_unchecked(spec, devices);
-        Ok(())
+        self.deployment(spec).to(devices).send()
     }
 
-    /// [`CollectorNode::deploy`] without the pre-flight lint gate — the
-    /// escape hatch for deliberately shipping scripts the analyzer
-    /// rejects (e.g. ones that need extension natives it cannot see).
+    /// Deploys without the pre-flight lint gate.
+    #[deprecated(
+        note = "use `collector.deployment(spec).to(devices).lint(LintPolicy::Skip).send()`"
+    )]
     pub fn deploy_unchecked(&self, spec: &ExperimentSpec, devices: &[Jid]) {
+        let _ = self
+            .deployment(spec)
+            .to(devices)
+            .lint(LintPolicy::Skip)
+            .send();
+    }
+
+    /// Pushes an updated script set to every member with the lint gate
+    /// enforced.
+    ///
+    /// # Errors
+    ///
+    /// Returns every error-severity diagnostic when the bundle fails
+    /// analysis; no device receives anything in that case.
+    #[deprecated(note = "use `collector.deployment(spec).send()`")]
+    pub fn redeploy(&self, spec: &ExperimentSpec) -> Result<(), DeployError> {
+        self.deployment(spec).send()
+    }
+
+    /// Redeploys without the pre-flight lint gate.
+    #[deprecated(note = "use `collector.deployment(spec).lint(LintPolicy::Skip).send()`")]
+    pub fn redeploy_unchecked(&self, spec: &ExperimentSpec) {
+        let _ = self.deployment(spec).lint(LintPolicy::Skip).send();
+    }
+
+    /// Sends `spec` (with a bumped version) to explicit `devices`,
+    /// adding them as context members.
+    fn push_to(&self, spec: &ExperimentSpec, devices: &[Jid]) {
         let ctx = self.create_experiment(&spec.id);
-        let version = {
-            let mut inner = self.inner.borrow_mut();
-            let v = inner.versions.entry(spec.id.clone()).or_insert(0);
-            *v += 1;
-            *v
-        };
+        let version = self.bump_version(&spec.id);
         for device in devices {
             // Sync existing collector subscriptions FIRST so they are in
             // place before any deployed script's load-time publishes.
@@ -261,22 +397,10 @@ impl CollectorNode {
         }
     }
 
-    /// Pushes an updated script set to every member (quick redeployment,
-    /// the §3.2 motivation). Runs the same pre-flight lint gate as
-    /// [`CollectorNode::deploy`].
-    ///
-    /// # Errors
-    ///
-    /// Returns every error-severity diagnostic when the bundle fails
-    /// analysis; no device receives anything in that case.
-    pub fn redeploy(&self, spec: &ExperimentSpec) -> Result<(), DeployError> {
-        self.lint_spec(spec)?;
-        self.redeploy_unchecked(spec);
-        Ok(())
-    }
-
-    /// [`CollectorNode::redeploy`] without the pre-flight lint gate.
-    pub fn redeploy_unchecked(&self, spec: &ExperimentSpec) {
+    /// Sends `spec` (with a bumped version) to the experiment's existing
+    /// members — quick redeployment, the §3.2 motivation. A no-op when
+    /// the experiment has no context yet.
+    fn push_to_members(&self, spec: &ExperimentSpec) {
         let Some(ctx) = self.context(&spec.id) else {
             return;
         };
@@ -285,12 +409,7 @@ impl CollectorNode {
             .iter()
             .filter_map(|d| Jid::new(d).ok())
             .collect();
-        let version = {
-            let mut inner = self.inner.borrow_mut();
-            let v = inner.versions.entry(spec.id.clone()).or_insert(0);
-            *v += 1;
-            *v
-        };
+        let version = self.bump_version(&spec.id);
         for device in devices {
             self.send_reliable(
                 &device,
@@ -303,10 +422,25 @@ impl CollectorNode {
         }
     }
 
-    /// Runs the static analyzer over the spec's script bundle: errors
-    /// reject the deployment, warnings go to the collector's
-    /// `pogo-lint` log.
-    fn lint_spec(&self, spec: &ExperimentSpec) -> Result<(), DeployError> {
+    fn bump_version(&self, exp: &str) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let v = inner.versions.entry(exp.to_owned()).or_insert(0);
+        *v += 1;
+        let version = *v;
+        inner.obs.event(
+            "pogo",
+            "deploy",
+            vec![field("exp", exp.to_owned()), field("version", version)],
+        );
+        version
+    }
+
+    /// Runs the static analyzer over the spec's script bundle. With
+    /// `enforce`, errors reject the deployment; otherwise they are
+    /// logged like warnings. All non-blocking findings go to the
+    /// collector's `pogo-lint` log — the same [`LogStore`] stream the
+    /// scripts write to, so `pogo-trace` sees one unified log.
+    fn lint_spec(&self, spec: &ExperimentSpec, enforce: bool) -> Result<(), DeployError> {
         let bundle: Vec<(&str, &str)> = spec
             .scripts
             .iter()
@@ -315,7 +449,7 @@ impl CollectorNode {
         let mut errors = Vec::new();
         let logs = self.logs();
         for (script, diag) in pogo_script::analyze_bundle(&bundle) {
-            if diag.is_error() {
+            if diag.is_error() && enforce {
                 errors.push((script, diag));
             } else {
                 logs.append("pogo-lint", format!("{script}: {diag}"));
@@ -353,14 +487,26 @@ impl CollectorNode {
             let mut inner = self.inner.borrow_mut();
             let store = inner.outstores.entry(device.clone()).or_default().clone();
             store.enqueue(device, ctl.to_json(), now);
+            if inner.obs.is_enabled() {
+                inner.obs.metrics().inc("net.enqueued", 1);
+                let depth: usize = inner.outstores.values().map(MessageStore::len).sum();
+                inner.obs.metrics().gauge("net.store_depth", depth as f64);
+            }
         }
-        self.retransmit_to(device);
+        self.transmit_pending(device, false);
         self.arm_retry();
     }
 
     /// (Re)sends everything pending for one device.
     fn retransmit_to(&self, device: &Jid) {
-        let (session, pending, online) = {
+        self.transmit_pending(device, true);
+    }
+
+    /// Sends everything pending for one device. `retry` marks the
+    /// presence/backstop paths (as opposed to the first transmission on
+    /// enqueue) for the `net.retransmits` metric.
+    fn transmit_pending(&self, device: &Jid, retry: bool) {
+        let (session, pending, online, obs) = {
             let inner = self.inner.borrow();
             let pending = inner
                 .outstores
@@ -371,10 +517,23 @@ impl CollectorNode {
                 inner.session.clone(),
                 pending,
                 inner.server.is_online(device),
+                inner.obs.clone(),
             )
         };
         if !online {
             return;
+        }
+        if obs.is_enabled() && !pending.is_empty() {
+            let metrics = obs.metrics();
+            metrics.inc("net.messages_sent", pending.len() as u64);
+            if retry {
+                metrics.inc("net.retransmits", pending.len() as u64);
+            }
+            let bytes: u64 = pending
+                .iter()
+                .map(|m| m.data.len() as u64 + pogo_net::wire::ENVELOPE_OVERHEAD_BYTES)
+                .sum();
+            metrics.inc("net.bytes_up", bytes);
         }
         for msg in pending {
             let _ = session.send(device, msg.seq, Payload::Data(msg.data));
@@ -431,6 +590,21 @@ impl CollectorNode {
                 // Ack immediately (mains-powered, no batching).
                 let session = self.inner.borrow().session.clone();
                 let _ = session.send(&envelope.from, 0, Payload::Ack(vec![envelope.seq]));
+                {
+                    let inner = self.inner.borrow();
+                    if inner.obs.is_enabled() {
+                        inner.obs.metrics().inc("net.acks_sent", 1);
+                        if !fresh {
+                            inner.obs.metrics().inc("net.dedup_drops", 1);
+                        } else {
+                            inner.obs.metrics().inc("net.messages_received", 1);
+                            inner
+                                .obs
+                                .metrics()
+                                .inc("net.bytes_down", envelope.wire_size());
+                        }
+                    }
+                }
                 if !fresh {
                     return;
                 }
@@ -441,7 +615,11 @@ impl CollectorNode {
                         msg,
                         sub_ref,
                     }) => {
-                        self.inner.borrow_mut().data_received += 1;
+                        {
+                            let mut inner = self.inner.borrow_mut();
+                            inner.data_received += 1;
+                            inner.obs.metrics().inc("pogo.data_received", 1);
+                        }
                         if let Some(ctx) = self.context(&exp) {
                             ctx.handle_data(envelope.from.as_str(), &channel, &msg, sub_ref);
                         }
@@ -511,16 +689,15 @@ mod tests {
     fn deploy_runs_scripts_on_device() {
         let (sim, _server, collector, device, _phone) = testbed();
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "hello.js".into(),
-                        source: "print('deployed');".into(),
-                    }],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "hello.js".into(),
+                    source: "print('deployed');".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         let ctx = device.context("exp").expect("deployed");
@@ -542,16 +719,15 @@ mod tests {
             )
             .unwrap();
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "send.js".into(),
-                        source: "publish('readings', { value: 42 });".into(),
-                    }],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "send.js".into(),
+                    source: "publish('readings', { value: 42 });".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(2));
         let host = &collector.context("exp").unwrap().scripts()[0];
@@ -567,13 +743,12 @@ mod tests {
             r.borrow_mut().push((from.to_owned(), msg.clone()));
         });
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         assert!(
@@ -603,16 +778,15 @@ mod tests {
         let collector = CollectorNode::new(&sim, &server, &col_jid);
         // Deploy while the device does not exist yet.
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "s.js".into(),
-                        source: "print('late boot');".into(),
-                    }],
-                },
-                std::slice::from_ref(&dev_jid),
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "s.js".into(),
+                    source: "print('late boot');".into(),
+                }],
+            })
+            .to(std::slice::from_ref(&dev_jid))
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(5));
         // Device comes online much later; presence triggers retransmit.
@@ -633,26 +807,26 @@ mod tests {
     fn redeploy_restarts_device_scripts_with_new_version() {
         let (sim, _server, collector, device, _phone) = testbed();
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "v.js".into(),
-                        source: "print('v1');".into(),
-                    }],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "v.js".into(),
+                    source: "print('v1');".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         collector
-            .redeploy(&ExperimentSpec {
+            .deployment(&ExperimentSpec {
                 id: "exp".into(),
                 scripts: vec![ScriptSpec {
                     name: "v.js".into(),
                     source: "print('v2');".into(),
                 }],
             })
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         let ctx = device.context("exp").unwrap();
@@ -664,13 +838,12 @@ mod tests {
     fn undeploy_removes_context() {
         let (sim, _server, collector, device, _phone) = testbed();
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         assert!(device.context("exp").is_some());
@@ -683,18 +856,16 @@ mod tests {
     fn collector_publish_fans_out_to_device_scripts() {
         let (sim, _server, collector, device, _phone) = testbed();
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "listen.js".into(),
-                        source:
-                            "subscribe('config', function (m, from) { print('cfg ' + m.rate); });"
-                                .into(),
-                    }],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "listen.js".into(),
+                    source: "subscribe('config', function (m, from) { print('cfg ' + m.rate); });"
+                        .into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
         // A collector script publishes configuration.
@@ -710,16 +881,15 @@ mod tests {
     fn deploy_rejects_broken_script_before_any_phone_receives_it() {
         let (sim, _server, collector, device, _phone) = testbed();
         let err = collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "broken.js".into(),
-                        source: "publish('ch', missing_variable);".into(),
-                    }],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "broken.js".into(),
+                    source: "publish('ch', missing_variable);".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect_err("scope error must reject the deployment");
         assert_eq!(err.experiment, "exp");
         assert_eq!(err.errors.len(), 1);
@@ -736,16 +906,18 @@ mod tests {
         let (sim, _server, collector, device, _phone) = testbed();
         // Same broken script, shipped deliberately: the device installs
         // it and the error surfaces at runtime instead.
-        collector.deploy_unchecked(
-            &ExperimentSpec {
+        collector
+            .deployment(&ExperimentSpec {
                 id: "exp".into(),
                 scripts: vec![ScriptSpec {
                     name: "broken.js".into(),
                     source: "publish('ch', missing_variable);".into(),
                 }],
-            },
-            &[device.jid()],
-        );
+            })
+            .to(&[device.jid()])
+            .lint(LintPolicy::Skip)
+            .send()
+            .expect("lint gate skipped");
         sim.run_for(SimDuration::from_mins(1));
         assert!(
             device.context("exp").is_some(),
@@ -757,18 +929,17 @@ mod tests {
     fn deploy_forwards_warnings_to_collector_log() {
         let (sim, _server, collector, device, _phone) = testbed();
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "warny.js".into(),
-                        // Subscribes a channel nothing publishes → P103
-                        // warning: deploys fine, but leaves a log trail.
-                        source: "subscribe('nonexistent-feed', function (m) { print(m); });".into(),
-                    }],
-                },
-                &[device.jid()],
-            )
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "warny.js".into(),
+                    // Subscribes a channel nothing publishes → P103
+                    // warning: deploys fine, but leaves a log trail.
+                    source: "subscribe('nonexistent-feed', function (m) { print(m); });".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
             .expect("warnings do not block deployment");
         sim.run_for(SimDuration::from_mins(1));
         assert!(device.context("exp").is_some());
@@ -783,6 +954,76 @@ mod tests {
     fn redeploy_rejects_broken_script_set() {
         let (sim, _server, collector, device, _phone) = testbed();
         collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "v.js".into(),
+                    source: "print('v1');".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
+            .expect("scripts pass pre-deployment analysis");
+        sim.run_for(SimDuration::from_mins(1));
+        collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "v.js".into(),
+                    source: "print(v2_counter); var v2_counter = 0;".into(),
+                }],
+            })
+            .send()
+            .expect_err("use-before-declaration rejects the redeploy");
+        sim.run_for(SimDuration::from_mins(1));
+        // The old version keeps running.
+        let ctx = device.context("exp").unwrap();
+        assert_eq!(ctx.version(), 1);
+    }
+
+    #[test]
+    fn warn_only_lint_policy_logs_errors_without_blocking() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "broken.js".into(),
+                    source: "publish('ch', missing_variable);".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .lint(LintPolicy::WarnOnly)
+            .send()
+            .expect("WarnOnly never blocks");
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(device.context("exp").is_some(), "deployed despite errors");
+        let lint_log = collector.logs().lines("pogo-lint").join("\n");
+        assert!(
+            lint_log.contains("broken.js"),
+            "error was logged instead: {lint_log:?}"
+        );
+    }
+
+    #[test]
+    fn redeploy_with_no_targets_and_no_context_is_a_noop() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
+            .deployment(&ExperimentSpec {
+                id: "ghost".into(),
+                scripts: vec![],
+            })
+            .send()
+            .expect("nothing to lint away");
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(device.context("ghost").is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_deploy_shims_still_work() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
             .deploy(
                 &ExperimentSpec {
                     id: "exp".into(),
@@ -793,20 +1034,20 @@ mod tests {
                 },
                 &[device.jid()],
             )
-            .expect("scripts pass pre-deployment analysis");
+            .expect("shim delegates to the builder");
         sim.run_for(SimDuration::from_mins(1));
         collector
             .redeploy(&ExperimentSpec {
                 id: "exp".into(),
                 scripts: vec![ScriptSpec {
                     name: "v.js".into(),
-                    source: "print(v2_counter); var v2_counter = 0;".into(),
+                    source: "print('v2');".into(),
                 }],
             })
-            .expect_err("use-before-declaration rejects the redeploy");
+            .expect("shim delegates to the builder");
         sim.run_for(SimDuration::from_mins(1));
-        // The old version keeps running.
         let ctx = device.context("exp").unwrap();
-        assert_eq!(ctx.version(), 1);
+        assert_eq!(ctx.version(), 2);
+        assert_eq!(ctx.scripts()[0].prints(), vec!["v2"]);
     }
 }

@@ -22,6 +22,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use pogo_obs::Obs;
 use pogo_script::ScriptError;
 
 use crate::broker::{Broker, SubscriptionId};
@@ -47,6 +48,7 @@ struct DeviceCtxInner {
     scripts: Vec<ScriptHost>,
     /// collector sub_ref → mirrored local subscription.
     mirrors: HashMap<u64, SubscriptionId>,
+    obs: Obs,
 }
 
 /// The device-side half of an experiment.
@@ -76,16 +78,30 @@ impl DeviceContext {
         logs: &LogStore,
         outbound: Outbound,
     ) -> Self {
+        Self::with_obs(exp, version, scheduler, logs, outbound, &Obs::off())
+    }
+
+    /// Like [`DeviceContext::new`], additionally recording broker and
+    /// script activity into `obs`.
+    pub fn with_obs(
+        exp: &str,
+        version: u64,
+        scheduler: &Scheduler,
+        logs: &LogStore,
+        outbound: Outbound,
+        obs: &Obs,
+    ) -> Self {
         DeviceContext {
             inner: Rc::new(RefCell::new(DeviceCtxInner {
                 exp: exp.to_owned(),
                 version,
-                broker: Broker::new(),
+                broker: Broker::with_obs(obs),
                 scheduler: scheduler.clone(),
                 logs: logs.clone(),
                 outbound,
                 scripts: Vec::new(),
                 mirrors: HashMap::new(),
+                obs: obs.clone(),
             })),
         }
     }
@@ -119,12 +135,13 @@ impl DeviceContext {
         scripts: &[ScriptSpec],
         frozen_for: impl Fn(&str) -> FrozenSlot,
     ) -> Vec<(String, ScriptError)> {
-        let (broker, scheduler, logs) = {
+        let (broker, scheduler, logs, obs) = {
             let inner = self.inner.borrow();
             (
                 inner.broker.clone(),
                 inner.scheduler.clone(),
                 inner.logs.clone(),
+                inner.obs.clone(),
             )
         };
         let mut errors = Vec::new();
@@ -136,6 +153,7 @@ impl DeviceContext {
                 frozen_for(&spec.name),
                 logs.clone(),
             );
+            host.set_obs(&obs);
             if let Err(e) = host.load(&spec.source) {
                 errors.push((spec.name.clone(), e));
             }
@@ -244,6 +262,7 @@ struct CollectorCtxInner {
     outbound: DeviceOutbound,
     /// Subscription ids already synced to devices, with last-known state.
     synced: HashMap<u64, (String, bool)>,
+    obs: Obs,
 }
 
 /// The collector-side half of an experiment: scripts plus the
@@ -268,14 +287,21 @@ impl CollectorContext {
     /// Creates the collector half of experiment `exp`. `outbound` sends a
     /// control message to one device (reliably).
     pub fn new(exp: &str, outbound: impl Fn(&str, ControlMsg) + 'static) -> Self {
+        Self::with_obs(exp, outbound, &Obs::off())
+    }
+
+    /// Like [`CollectorContext::new`], additionally recording broker and
+    /// script activity into `obs`.
+    pub fn with_obs(exp: &str, outbound: impl Fn(&str, ControlMsg) + 'static, obs: &Obs) -> Self {
         let ctx = CollectorContext {
             inner: Rc::new(RefCell::new(CollectorCtxInner {
                 exp: exp.to_owned(),
-                broker: Broker::new(),
+                broker: Broker::with_obs(obs),
                 scripts: Vec::new(),
                 devices: Vec::new(),
                 outbound: Rc::new(outbound),
                 synced: HashMap::new(),
+                obs: obs.clone(),
             })),
         };
         ctx.wire_multi_broker();
@@ -366,6 +392,7 @@ impl CollectorContext {
     ) -> Result<ScriptHost, ScriptError> {
         let broker = self.broker();
         let host = ScriptHost::new(name, &broker, scheduler, FrozenSlot::new(), logs.clone());
+        host.set_obs(&self.inner.borrow().obs);
         customize(&host);
         host.load(source)?;
         self.inner.borrow_mut().scripts.push(host.clone());

@@ -14,7 +14,8 @@ use std::rc::Rc;
 use pogo_net::{
     DedupFilter, Envelope, FlushPolicy, Jid, MessageStore, Payload, Session, Switchboard,
 };
-use pogo_platform::{Bearer, Phone};
+use pogo_obs::{field, Obs};
+use pogo_platform::{Bearer, Phone, RadioState};
 use pogo_sim::{SimDuration, SimTime};
 
 use crate::context::DeviceContext;
@@ -50,6 +51,9 @@ pub struct DeviceConfig {
     /// The owner's sharing preferences (§3.3). Shared handle: toggling a
     /// channel in the "settings UI" applies immediately.
     pub privacy: PrivacyPolicy,
+    /// Observability handle; [`Obs::off`] (the default) records nothing.
+    /// The node scopes it to its own JID at construction.
+    pub obs: Obs,
 }
 
 impl DeviceConfig {
@@ -66,7 +70,68 @@ impl DeviceConfig {
             retransmit_timeout: SimDuration::from_secs(60),
             boot_delay: SimDuration::from_secs(45),
             privacy: PrivacyPolicy::allow_all(),
+            obs: Obs::off(),
         }
+    }
+
+    /// Sets the flush policy (§4.7; default: tail-sync).
+    pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.flush_policy = policy;
+        self
+    }
+
+    /// Sets the buffered-message age limit (§5.3; default 24 h).
+    pub fn with_max_msg_age(mut self, age: SimDuration) -> Self {
+        self.max_msg_age = age;
+        self
+    }
+
+    /// Sets the one-way cellular latency.
+    pub fn with_cellular_latency(mut self, latency: SimDuration) -> Self {
+        self.cellular_latency = latency;
+        self
+    }
+
+    /// Sets the one-way Wi-Fi latency.
+    pub fn with_wifi_latency(mut self, latency: SimDuration) -> Self {
+        self.wifi_latency = latency;
+        self
+    }
+
+    /// Sets the tail-detector poll period (§4.7; default 1 s).
+    pub fn with_tail_poll(mut self, poll: SimDuration) -> Self {
+        self.tail_poll = poll;
+        self
+    }
+
+    /// Sets the post-interface-change reconnect delay.
+    pub fn with_reconnect_delay(mut self, delay: SimDuration) -> Self {
+        self.reconnect_delay = delay;
+        self
+    }
+
+    /// Sets the unacked-data retransmit timeout.
+    pub fn with_retransmit_timeout(mut self, timeout: SimDuration) -> Self {
+        self.retransmit_timeout = timeout;
+        self
+    }
+
+    /// Sets the reboot-to-running delay.
+    pub fn with_boot_delay(mut self, delay: SimDuration) -> Self {
+        self.boot_delay = delay;
+        self
+    }
+
+    /// Sets the owner's privacy policy (§3.3).
+    pub fn with_privacy(mut self, privacy: PrivacyPolicy) -> Self {
+        self.privacy = privacy;
+        self
+    }
+
+    /// Attaches an observability handle; the node scopes it to its JID.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
     }
 }
 
@@ -115,6 +180,8 @@ struct Inner {
     last_flush: Option<SimTime>,
     flush_listeners: Vec<Rc<dyn Fn(SimTime, usize)>>,
     stats: Stats,
+    /// JID-scoped observability handle (off unless configured).
+    obs: Obs,
 }
 
 /// A Pogo device node. Cheap to clone; clones share state.
@@ -144,8 +211,11 @@ impl DeviceNode {
         cfg: DeviceConfig,
         sources: SensorSources,
     ) -> Self {
-        let scheduler = Scheduler::new(phone.cpu());
-        let sensors = SensorManager::new(phone, &scheduler, sources);
+        let obs = cfg.obs.scoped(cfg.jid.as_str());
+        let scheduler = Scheduler::with_obs(phone.cpu(), &obs);
+        let sensors = SensorManager::with_obs(phone, &scheduler, sources, &obs);
+        let logs = LogStore::new();
+        logs.wire_obs(&obs);
         let node = DeviceNode {
             inner: Rc::new(RefCell::new(Inner {
                 cfg,
@@ -155,7 +225,7 @@ impl DeviceNode {
                 session: None,
                 store: MessageStore::new(),
                 dedup: DedupFilter::new(),
-                logs: LogStore::new(),
+                logs,
                 frozen: HashMap::new(),
                 installed: HashMap::new(),
                 mirror_specs: HashMap::new(),
@@ -169,11 +239,69 @@ impl DeviceNode {
                 last_flush: None,
                 flush_listeners: Vec::new(),
                 stats: Stats::default(),
+                obs,
             })),
         };
         node.wire_connectivity();
         node.wire_privacy();
+        node.wire_obs();
         node
+    }
+
+    /// This node's observability handle (scoped to its JID; off unless
+    /// configured via [`DeviceConfig::with_obs`]).
+    pub fn obs(&self) -> Obs {
+        self.inner.borrow().obs.clone()
+    }
+
+    /// Subscribes the CPU and radio state machines into the trace: `cpu`
+    /// wake/sleep events with awake-dwell (wake-lock hold) histograms,
+    /// `radio` RRC transitions with per-state dwell histograms and a
+    /// ramp-up counter.
+    fn wire_obs(&self) {
+        let (obs, phone) = {
+            let inner = self.inner.borrow();
+            (inner.obs.clone(), inner.phone.clone())
+        };
+        if !obs.is_enabled() {
+            return;
+        }
+        {
+            let obs = obs.clone();
+            let awake_since: std::cell::Cell<Option<SimTime>> = std::cell::Cell::new(None);
+            phone.cpu().on_state_change(move |awake| {
+                let now = obs.now();
+                if awake {
+                    obs.event("cpu", "wake", vec![]);
+                    obs.metrics().inc("cpu.wakeups", 1);
+                    awake_since.set(Some(now));
+                } else {
+                    obs.event("cpu", "sleep", vec![]);
+                    if let Some(since) = awake_since.take() {
+                        obs.metrics().observe(
+                            "cpu.awake_ms",
+                            now.saturating_duration_since(since).as_millis() as f64,
+                        );
+                    }
+                }
+            });
+        }
+        {
+            let obs = obs.clone();
+            let last: std::cell::Cell<Option<(RadioState, SimTime)>> = std::cell::Cell::new(None);
+            phone.modem().on_state_change(move |state, at| {
+                if let Some((prev, since)) = last.replace(Some((state, at))) {
+                    obs.metrics().observe(
+                        radio_dwell_metric(prev),
+                        at.saturating_duration_since(since).as_millis() as f64,
+                    );
+                }
+                if state == RadioState::RampUp {
+                    obs.metrics().inc("radio.ramp_ups", 1);
+                }
+                obs.event_at(at, "radio", radio_state_name(state), vec![]);
+            });
+        }
     }
 
     /// This device's JID.
@@ -252,6 +380,7 @@ impl DeviceNode {
             }
             inner.booted = true;
         }
+        self.inner.borrow().obs.event("pogo", "boot", vec![]);
         self.connect();
         self.start_tail_detector();
         // Reinstall persisted experiments (empty on first boot).
@@ -274,6 +403,11 @@ impl DeviceNode {
     /// the session — then the node boots again after
     /// [`DeviceConfig::boot_delay`].
     pub fn reboot(&self) {
+        {
+            let inner = self.inner.borrow();
+            inner.obs.event("pogo", "reboot", vec![]);
+            inner.obs.metrics().inc("pogo.reboots", 1);
+        }
         let (contexts, session, tail) = {
             let mut inner = self.inner.borrow_mut();
             inner.booted = false;
@@ -319,9 +453,13 @@ impl DeviceNode {
             let sensors = self.inner.borrow().sensors.clone();
             sensors.detach_context(exp);
         }
-        let (scheduler, logs) = {
+        let (scheduler, logs, obs) = {
             let inner = self.inner.borrow();
-            (inner.scheduler.clone(), inner.logs.clone())
+            (
+                inner.scheduler.clone(),
+                inner.logs.clone(),
+                inner.obs.clone(),
+            )
         };
         let me = self.clone();
         let collector = collector.clone();
@@ -332,7 +470,7 @@ impl DeviceNode {
                 me.enqueue(&collector, &ctl);
             })
         };
-        let ctx = DeviceContext::new(exp, version, &scheduler, &logs, outbound);
+        let ctx = DeviceContext::with_obs(exp, version, &scheduler, &logs, outbound, &obs);
         // Re-apply persisted collector-side subscriptions before any
         // script body runs, so load-time publishes are not lost.
         let mirrors: Vec<(u64, (String, Msg, bool))> = self
@@ -523,9 +661,18 @@ impl DeviceNode {
                 // Always ack — the previous ack may have been lost.
                 self.send_ack(&envelope.from, envelope.seq);
                 if !fresh {
+                    self.inner.borrow().obs.metrics().inc("net.dedup_drops", 1);
                     return;
                 }
-                self.inner.borrow_mut().stats.messages_received += 1;
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.messages_received += 1;
+                    inner.obs.metrics().inc("net.messages_received", 1);
+                    inner
+                        .obs
+                        .metrics()
+                        .inc("net.bytes_down", envelope.wire_size());
+                }
                 match ControlMsg::from_json(json) {
                     Ok(ctl) => self.handle_control(ctl, &envelope.from),
                     Err(e) => self.inner.borrow().logs.append(
@@ -548,7 +695,11 @@ impl DeviceNode {
         if !session.is_connected() {
             return;
         }
-        self.inner.borrow_mut().stats.acks_sent += 1;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.acks_sent += 1;
+            inner.obs.metrics().inc("net.acks_sent", 1);
+        }
         let to = to.clone();
         let ack = Envelope {
             from: session.jid(),
@@ -702,6 +853,11 @@ impl DeviceNode {
             let mut inner = self.inner.borrow_mut();
             inner.store.enqueue(to, ctl.to_json(), now);
             inner.dirty = true;
+            inner.obs.metrics().inc("net.enqueued", 1);
+            inner
+                .obs
+                .metrics()
+                .gauge("net.store_depth", inner.store.len() as f64);
         }
         self.arm_deadline();
         self.maybe_flush();
@@ -742,7 +898,9 @@ impl DeviceNode {
         let phone = self.inner.borrow().phone.clone();
         let poll = self.inner.borrow().cfg.tail_poll;
         let me = self.clone();
+        let obs = self.inner.borrow().obs.clone();
         let detector = TailDetector::new(&phone, poll, move |_delta| {
+            obs.metrics().inc("tail.detections", 1);
             me.maybe_flush_on_tail();
         });
         detector.start();
@@ -768,10 +926,10 @@ impl DeviceNode {
 
     fn maybe_flush_inner(&self, traffic_detected: bool) {
         let now = self.now();
-        let do_flush = {
+        let reason: Option<&'static str> = {
             let inner = self.inner.borrow();
             if !inner.booted || inner.flushing {
-                false
+                None
             } else if !inner.dirty
                 && inner.last_flush.is_some_and(|t| {
                     now.saturating_duration_since(t) < inner.cfg.retransmit_timeout
@@ -780,7 +938,7 @@ impl DeviceNode {
                 // Everything pending was already sent recently; wait for
                 // acks (or the retransmit timeout) instead of re-sending
                 // on every tail we detect — including our own.
-                false
+                None
             } else {
                 // The fateful expiry purge (§5.3).
                 inner.store.purge_older_than(now, inner.cfg.max_msg_age);
@@ -789,22 +947,37 @@ impl DeviceNode {
                     && inner.phone.connectivity().active() == Some(Bearer::Cellular);
                 let on_wifi = inner.phone.connectivity().active() == Some(Bearer::Wifi);
                 let charging = inner.phone.battery().is_charging();
-                inner.phone.connectivity().is_online()
+                let should = inner.phone.connectivity().is_online()
                     && inner.cfg.flush_policy.should_flush(
                         tail_open,
                         inner.store.oldest_age(now),
                         charging,
                         on_wifi,
-                    )
+                    );
+                if should {
+                    Some(if tail_open {
+                        "tail"
+                    } else if charging {
+                        "charger"
+                    } else if on_wifi {
+                        "wifi"
+                    } else {
+                        "deadline"
+                    })
+                } else {
+                    None
+                }
             }
         };
-        if do_flush {
-            self.flush();
+        if let Some(reason) = reason {
+            self.flush(reason);
         }
     }
 
-    /// Pushes every pending message out over the active bearer.
-    fn flush(&self) {
+    /// Pushes every pending message out over the active bearer. `reason`
+    /// names the policy trigger ("tail", "deadline", "wifi", "charger")
+    /// for the trace.
+    fn flush(&self, reason: &'static str) {
         self.connect(); // ensure a session exists
         let (phone, session, pending) = {
             let mut inner = self.inner.borrow_mut();
@@ -825,6 +998,35 @@ impl DeviceNode {
             inner.stats.messages_sent += pending.len() as u64;
             (inner.phone.clone(), session, pending)
         };
+        {
+            let inner = self.inner.borrow();
+            if inner.obs.is_enabled() {
+                let bytes: u64 = pending
+                    .iter()
+                    .map(|m| m.data.len() as u64 + pogo_net::wire::ENVELOPE_OVERHEAD_BYTES)
+                    .sum();
+                inner.obs.event(
+                    "pogo",
+                    "flush",
+                    vec![
+                        field("batch", pending.len() as u64),
+                        field("bytes", bytes),
+                        field("reason", reason),
+                    ],
+                );
+                let metrics = inner.obs.metrics();
+                metrics.inc("net.flushes", 1);
+                metrics.inc("net.messages_sent", pending.len() as u64);
+                metrics.inc("net.bytes_up", bytes);
+                if matches!(inner.cfg.flush_policy, FlushPolicy::TailSync { .. }) {
+                    if reason == "tail" {
+                        metrics.inc("tail.sync.hits", 1);
+                    } else {
+                        metrics.inc("tail.sync.misses", 1);
+                    }
+                }
+            }
+        }
         {
             let (listeners, now) = {
                 let inner = self.inner.borrow();
@@ -863,6 +1065,27 @@ impl DeviceNode {
         if result.is_err() {
             self.inner.borrow_mut().flushing = false;
         }
+    }
+}
+
+/// Stable trace-event name for an RRC state (the Figure 4 vocabulary).
+fn radio_state_name(state: RadioState) -> &'static str {
+    match state {
+        RadioState::RampUp => "ramp-up",
+        RadioState::Dch => "dch",
+        RadioState::Fach => "fach",
+        RadioState::Idle => "idle",
+    }
+}
+
+/// Static metric name for dwell time in an RRC state (no allocation on
+/// the hot path).
+fn radio_dwell_metric(state: RadioState) -> &'static str {
+    match state {
+        RadioState::RampUp => "radio.dwell_ms.ramp-up",
+        RadioState::Dch => "radio.dwell_ms.dch",
+        RadioState::Fach => "radio.dwell_ms.fach",
+        RadioState::Idle => "radio.dwell_ms.idle",
     }
 }
 

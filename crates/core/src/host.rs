@@ -61,7 +61,13 @@ impl FrozenSlot {
 /// permanent storage"). Shared per device; survives restarts.
 #[derive(Debug, Clone, Default)]
 pub struct LogStore {
-    inner: Rc<RefCell<HashMap<String, Vec<String>>>>,
+    inner: Rc<RefCell<LogsInner>>,
+}
+
+#[derive(Debug, Default)]
+struct LogsInner {
+    logs: HashMap<String, Vec<String>>,
+    obs: pogo_obs::Obs,
 }
 
 impl LogStore {
@@ -70,23 +76,41 @@ impl LogStore {
         LogStore::default()
     }
 
+    /// Mirrors every appended line into `obs` as a `log`-category event
+    /// (event name = log name, `line` field = the text). Script logs and
+    /// middleware streams like the collector's `pogo-lint` warnings then
+    /// show up in one trace. Shared by every clone of this store.
+    pub fn wire_obs(&self, obs: &pogo_obs::Obs) {
+        self.inner.borrow_mut().obs = obs.clone();
+    }
+
     /// Appends a line to the named log.
     pub fn append(&self, log: &str, line: String) {
-        self.inner
-            .borrow_mut()
-            .entry(log.to_owned())
-            .or_default()
-            .push(line);
+        let mut inner = self.inner.borrow_mut();
+        if inner.obs.is_enabled() {
+            inner.obs.event(
+                "log",
+                log.to_owned(),
+                vec![pogo_obs::field("line", line.clone())],
+            );
+            inner.obs.metrics().inc("log.lines", 1);
+        }
+        inner.logs.entry(log.to_owned()).or_default().push(line);
     }
 
     /// Lines of one log.
     pub fn lines(&self, log: &str) -> Vec<String> {
-        self.inner.borrow().get(log).cloned().unwrap_or_default()
+        self.inner
+            .borrow()
+            .logs
+            .get(log)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Total lines across all logs.
     pub fn total_lines(&self) -> usize {
-        self.inner.borrow().values().map(Vec::len).sum()
+        self.inner.borrow().logs.values().map(Vec::len).sum()
     }
 }
 
@@ -107,6 +131,7 @@ struct HostState {
     publishes: u64,
     published_bytes: u64,
     stopped: bool,
+    obs: pogo_obs::Obs,
 }
 
 /// One running script: interpreter + API bindings.
@@ -160,6 +185,7 @@ impl ScriptHost {
             publishes: 0,
             published_bytes: 0,
             stopped: false,
+            obs: pogo_obs::Obs::off(),
         }));
         let interp = Rc::new(RefCell::new(Interpreter::new()));
         let host = ScriptHost { state, interp };
@@ -170,6 +196,13 @@ impl ScriptHost {
     /// Script name (e.g. `clustering.js`).
     pub fn name(&self) -> String {
         self.state.borrow().name.clone()
+    }
+
+    /// Feeds this host's watchdog trips, callback counts, and step
+    /// consumption into `obs` (`script.*` metrics plus a
+    /// `script`/`watchdog-trip` event per kill).
+    pub fn set_obs(&self, obs: &pogo_obs::Obs) {
+        self.state.borrow_mut().obs = obs.clone();
     }
 
     /// Registers an extra native function (e.g. the collector's
@@ -293,9 +326,20 @@ impl ScriptHost {
         let mut state = self.state.borrow_mut();
         state.callbacks_run += 1;
         state.steps_used += consumed;
+        state.obs.metrics().inc("script.callbacks", 1);
+        state.obs.metrics().inc("script.steps", consumed);
         if let Err(e) = result {
             if e.kind() == ErrorKind::Timeout {
                 state.watchdog_trips += 1;
+                state.obs.metrics().inc("script.watchdog_trips", 1);
+                state.obs.event(
+                    "script",
+                    "watchdog-trip",
+                    vec![
+                        pogo_obs::field("script", state.name.clone()),
+                        pogo_obs::field("steps", consumed),
+                    ],
+                );
             }
             let line = format!("{}: {e}", state.name);
             state.errors.push(line);

@@ -45,12 +45,13 @@ pub mod value;
 
 pub use assignment::{Admin, DeviceProfile, DeviceRequest};
 pub use broker::{Broker, SubscriptionId};
-pub use collector::{CollectorNode, DeployError};
+pub use collector::{CollectorNode, DeployError, Deployment, LintPolicy};
 pub use device::{DeviceConfig, DeviceNode};
 pub use host::{ScriptHost, WATCHDOG_BUDGET};
+pub use pogo_obs::{Obs, ObsConfig};
 pub use privacy::PrivacyPolicy;
 pub use proto::ExperimentSpec;
 pub use scheduler::Scheduler;
 pub use tail::TailDetector;
-pub use testbed::Testbed;
+pub use testbed::{DeviceSetup, Testbed};
 pub use value::Msg;

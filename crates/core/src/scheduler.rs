@@ -25,6 +25,7 @@ use pogo_sim::SimDuration;
 pub struct Scheduler {
     cpu: Cpu,
     tasks_run: Rc<Cell<u64>>,
+    obs: pogo_obs::Metrics,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -41,6 +42,17 @@ impl Scheduler {
         Scheduler {
             cpu: cpu.clone(),
             tasks_run: Rc::new(Cell::new(0)),
+            obs: pogo_obs::Metrics::off(),
+        }
+    }
+
+    /// Like [`Scheduler::new`], also counting executed tasks into the
+    /// `scheduler.tasks` metric of `obs`.
+    pub fn with_obs(cpu: &Cpu, obs: &pogo_obs::Obs) -> Self {
+        Scheduler {
+            cpu: cpu.clone(),
+            tasks_run: Rc::new(Cell::new(0)),
+            obs: obs.metrics().clone(),
         }
     }
 
@@ -52,8 +64,10 @@ impl Scheduler {
     /// Runs `task` after `delay`, waking the CPU if necessary.
     pub fn run_later(&self, delay: SimDuration, task: impl FnOnce() + 'static) -> AlarmId {
         let counter = self.tasks_run.clone();
+        let obs = self.obs.clone();
         self.cpu.set_alarm_in(delay, move || {
             counter.set(counter.get() + 1);
+            obs.inc("scheduler.tasks", 1);
             task();
         })
     }

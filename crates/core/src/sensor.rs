@@ -129,6 +129,29 @@ impl Kind {
         Kind::Accelerometer,
         Kind::CellId,
     ];
+
+    /// Per-kind sample counter metric (static names keep the hot path
+    /// allocation-free).
+    fn samples_metric(self) -> &'static str {
+        match self {
+            Kind::WifiScan => "sensor.samples.wifi-scan",
+            Kind::Battery => "sensor.samples.battery",
+            Kind::Location => "sensor.samples.location",
+            Kind::Accelerometer => "sensor.samples.accelerometer",
+            Kind::CellId => "sensor.samples.cell-id",
+        }
+    }
+
+    /// Per-kind powered-on dwell histogram (duty-cycle numerator).
+    fn on_ms_metric(self) -> &'static str {
+        match self {
+            Kind::WifiScan => "sensor.on_ms.wifi-scan",
+            Kind::Battery => "sensor.on_ms.battery",
+            Kind::Location => "sensor.on_ms.location",
+            Kind::Accelerometer => "sensor.on_ms.accelerometer",
+            Kind::CellId => "sensor.on_ms.cell-id",
+        }
+    }
 }
 
 struct SensorState {
@@ -136,6 +159,8 @@ struct SensorState {
     interval: SimDuration,
     alarm: Option<AlarmId>,
     samples: u64,
+    /// When the sensor powered up (for the duty-cycle dwell metric).
+    on_since: Option<pogo_sim::SimTime>,
 }
 
 struct Inner {
@@ -149,6 +174,36 @@ struct Inner {
     accelerometer: SensorState,
     cell_id: SensorState,
     epoch: u64,
+    obs: pogo_obs::Obs,
+}
+
+impl Inner {
+    /// Marks a sensor powered down, emitting the event + dwell metric if
+    /// it was running.
+    fn power_down(&mut self, kind: Kind) {
+        let now = self.phone.sim().now();
+        let st = self.state_mut(kind);
+        if !st.running {
+            return;
+        }
+        st.running = false;
+        let dwell = st
+            .on_since
+            .take()
+            .map(|since| now.saturating_duration_since(since));
+        if self.obs.is_enabled() {
+            self.obs.event(
+                "sensor",
+                "power-down",
+                vec![pogo_obs::field("channel", kind.channel())],
+            );
+            if let Some(dwell) = dwell {
+                self.obs
+                    .metrics()
+                    .observe(kind.on_ms_metric(), dwell.as_millis() as f64);
+            }
+        }
+    }
 }
 
 impl Inner {
@@ -221,12 +276,25 @@ fn new_state() -> SensorState {
         interval: SimDuration::from_mins(1),
         alarm: None,
         samples: 0,
+        on_since: None,
     }
 }
 
 impl SensorManager {
     /// Creates a manager for `phone`, sampling from `sources`.
     pub fn new(phone: &Phone, scheduler: &Scheduler, sources: SensorSources) -> Self {
+        SensorManager::with_obs(phone, scheduler, sources, &pogo_obs::Obs::off())
+    }
+
+    /// Like [`SensorManager::new`], also reporting power-up/power-down
+    /// duty cycles (`sensor` events, `sensor.on_ms.*` dwell histograms)
+    /// and per-channel sample counts (`sensor.samples.*`) into `obs`.
+    pub fn with_obs(
+        phone: &Phone,
+        scheduler: &Scheduler,
+        sources: SensorSources,
+        obs: &pogo_obs::Obs,
+    ) -> Self {
         SensorManager {
             inner: Rc::new(RefCell::new(Inner {
                 phone: phone.clone(),
@@ -239,6 +307,7 @@ impl SensorManager {
                 accelerometer: new_state(),
                 cell_id: new_state(),
                 epoch: 0,
+                obs: obs.clone(),
             })),
         }
     }
@@ -276,9 +345,9 @@ impl SensorManager {
         inner.brokers.clear();
         inner.epoch += 1;
         for kind in Kind::ALL {
+            inner.power_down(kind);
             let scheduler = inner.scheduler.clone();
             let st = inner.state_mut(kind);
-            st.running = false;
             if let Some(alarm) = st.alarm.take() {
                 scheduler.cancel(alarm);
             }
@@ -319,6 +388,7 @@ impl SensorManager {
             };
             match demanded {
                 Some(interval) if available => {
+                    let now = inner.phone.sim().now();
                     let st_running = inner.state(kind).running;
                     let st = inner.state_mut(kind);
                     st.interval = interval;
@@ -326,13 +396,25 @@ impl SensorManager {
                         false // running loop picks the new interval up next tick
                     } else {
                         st.running = true;
+                        st.on_since = Some(now);
+                        if inner.obs.is_enabled() {
+                            inner.obs.event(
+                                "sensor",
+                                "power-up",
+                                vec![
+                                    pogo_obs::field("channel", kind.channel()),
+                                    pogo_obs::field("interval_ms", interval.as_millis()),
+                                ],
+                            );
+                            inner.obs.metrics().inc("sensor.power_ups", 1);
+                        }
                         true
                     }
                 }
                 _ => {
+                    inner.power_down(kind);
                     let scheduler = inner.scheduler.clone();
                     let st = inner.state_mut(kind);
-                    st.running = false;
                     if let Some(alarm) = st.alarm.take() {
                         scheduler.cancel(alarm);
                     }
@@ -405,6 +487,7 @@ impl SensorManager {
         let (battery, now_ms) = {
             let mut inner = self.inner.borrow_mut();
             inner.battery.samples += 1;
+            inner.obs.metrics().inc(Kind::Battery.samples_metric(), 1);
             (
                 inner.phone.battery().clone(),
                 inner.phone.sim().now().as_millis(),
@@ -424,6 +507,7 @@ impl SensorManager {
             let mut inner = self.inner.borrow_mut();
             let now_ms = inner.phone.sim().now().as_millis();
             inner.location.samples += 1;
+            inner.obs.metrics().inc(Kind::Location.samples_metric(), 1);
             match inner.sources.location.as_mut() {
                 Some(source) => source(now_ms),
                 None => None,
@@ -454,6 +538,10 @@ impl SensorManager {
             let mut inner = self.inner.borrow_mut();
             let now_ms = inner.phone.sim().now().as_millis();
             inner.accelerometer.samples += 1;
+            inner
+                .obs
+                .metrics()
+                .inc(Kind::Accelerometer.samples_metric(), 1);
             match inner.sources.accelerometer.as_mut() {
                 Some(source) => source(now_ms),
                 None => None,
@@ -474,6 +562,7 @@ impl SensorManager {
             let mut inner = self.inner.borrow_mut();
             let now_ms = inner.phone.sim().now().as_millis();
             inner.cell_id.samples += 1;
+            inner.obs.metrics().inc(Kind::CellId.samples_metric(), 1);
             match inner.sources.cell_id.as_mut() {
                 Some(source) => source(now_ms),
                 None => None,
@@ -509,6 +598,7 @@ impl SensorManager {
                 return;
             }
             inner.wifi.samples += 1;
+            inner.obs.metrics().inc(Kind::WifiScan.samples_metric(), 1);
             let now_ms = inner.phone.sim().now().as_millis();
             match inner.sources.wifi_scan.as_mut() {
                 Some(source) => source(now_ms),

@@ -7,12 +7,64 @@
 //! directly.
 
 use pogo_net::{Jid, Switchboard};
+use pogo_obs::{Obs, ObsConfig};
 use pogo_platform::{Phone, PhoneConfig};
 use pogo_sim::Sim;
 
 use crate::collector::CollectorNode;
 use crate::device::{DeviceConfig, DeviceNode};
 use crate::sensor::SensorSources;
+
+/// A volunteer device about to join a [`Testbed`], built field by field
+/// and handed to [`Testbed::add`].
+///
+/// ```ignore
+/// let (device, phone) = testbed.add(
+///     DeviceSetup::named("device-1")
+///         .phone(PhoneConfig::default())
+///         .configure(|c| c.with_flush_policy(FlushPolicy::Immediate)),
+/// );
+/// ```
+#[must_use = "a DeviceSetup does nothing until passed to Testbed::add"]
+pub struct DeviceSetup {
+    name: String,
+    phone_config: PhoneConfig,
+    config: Box<dyn FnOnce(DeviceConfig) -> DeviceConfig>,
+    sources: SensorSources,
+}
+
+impl DeviceSetup {
+    /// Starts a setup for a device named `node` (JID `node@pogo`) with
+    /// default phone, config, and sensor sources.
+    pub fn named(node: &str) -> Self {
+        DeviceSetup {
+            name: node.to_owned(),
+            phone_config: PhoneConfig::default(),
+            config: Box::new(|c| c),
+            sources: SensorSources::default(),
+        }
+    }
+
+    /// Sets the phone's hardware configuration.
+    pub fn phone(mut self, config: PhoneConfig) -> Self {
+        self.phone_config = config;
+        self
+    }
+
+    /// Adjusts the middleware configuration (flush policy, latencies,
+    /// privacy…). Later calls compose after earlier ones.
+    pub fn configure(mut self, f: impl FnOnce(DeviceConfig) -> DeviceConfig + 'static) -> Self {
+        let prev = self.config;
+        self.config = Box::new(move |c| f(prev(c)));
+        self
+    }
+
+    /// Sets the phone's synthetic sensor sources.
+    pub fn sensors(mut self, sources: SensorSources) -> Self {
+        self.sources = sources;
+        self
+    }
+}
 
 /// A complete Pogo deployment on one simulation.
 #[derive(Debug, Clone)]
@@ -21,21 +73,32 @@ pub struct Testbed {
     server: Switchboard,
     collector: CollectorNode,
     devices: Vec<DeviceNode>,
+    obs: Obs,
 }
 
 impl Testbed {
     /// Creates a testbed with a switchboard and one collector
     /// (`collector@pogo`).
     pub fn new(sim: &Sim) -> Self {
+        Self::with_obs(sim, ObsConfig::off())
+    }
+
+    /// Like [`Testbed::new`], with observability per `config`: one
+    /// shared recorder and metrics registry covers the collector and
+    /// every device (scoped by JID), so [`Testbed::obs`] yields a
+    /// single, time-ordered trace of the whole deployment.
+    pub fn with_obs(sim: &Sim, config: ObsConfig) -> Self {
+        let obs = config.build(sim);
         let server = Switchboard::new(sim);
         let jid = Jid::new("collector@pogo").expect("static JID is valid");
         server.register(&jid);
-        let collector = CollectorNode::new(sim, &server, &jid);
+        let collector = CollectorNode::with_obs(sim, &server, &jid, &obs);
         Testbed {
             sim: sim.clone(),
             server,
             collector,
             devices: Vec::new(),
+            obs,
         }
     }
 
@@ -59,31 +122,52 @@ impl Testbed {
         &self.devices
     }
 
-    /// Adds a volunteer device named `node` (JID `node@pogo`): creates
-    /// the phone, registers the account, performs the administrator's
-    /// roster assignment to the collector, and boots the middleware.
+    /// The testbed-wide observability handle (unscoped). Off unless the
+    /// testbed was built with [`Testbed::with_obs`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Adds a volunteer device described by `setup`: creates the phone,
+    /// registers the account, performs the administrator's roster
+    /// assignment to the collector, and boots the middleware.
     ///
     /// # Panics
     ///
-    /// Panics if `node` does not form a valid JID.
-    pub fn add_device(
-        &mut self,
-        node: &str,
-        phone_config: PhoneConfig,
-        device_config: impl FnOnce(DeviceConfig) -> DeviceConfig,
-        sources: SensorSources,
-    ) -> (DeviceNode, Phone) {
-        let jid = Jid::new(&format!("{node}@pogo")).expect("valid device JID");
+    /// Panics if the setup's name does not form a valid JID.
+    pub fn add(&mut self, setup: DeviceSetup) -> (DeviceNode, Phone) {
+        let jid = Jid::new(&format!("{}@pogo", setup.name)).expect("valid device JID");
         self.server.register(&jid);
         self.server
             .befriend(&jid, &self.collector.jid())
             .expect("both registered");
-        let phone = Phone::new(&self.sim, phone_config);
-        let cfg = device_config(DeviceConfig::new(jid));
-        let device = DeviceNode::new(&phone, &self.server, cfg, sources);
+        let phone = Phone::new(&self.sim, setup.phone_config);
+        let cfg = (setup.config)(DeviceConfig::new(jid).with_obs(&self.obs));
+        let device = DeviceNode::new(&phone, &self.server, cfg, setup.sources);
         device.boot();
         self.devices.push(device.clone());
         (device, phone)
+    }
+
+    /// Adds a volunteer device named `node` (JID `node@pogo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not form a valid JID.
+    #[deprecated(note = "use `testbed.add(DeviceSetup::named(node)…)`")]
+    pub fn add_device(
+        &mut self,
+        node: &str,
+        phone_config: PhoneConfig,
+        device_config: impl FnOnce(DeviceConfig) -> DeviceConfig + 'static,
+        sources: SensorSources,
+    ) -> (DeviceNode, Phone) {
+        self.add(
+            DeviceSetup::named(node)
+                .phone(phone_config)
+                .configure(device_config)
+                .sensors(sources),
+        )
     }
 }
 
@@ -98,14 +182,9 @@ mod tests {
     fn testbed_wires_roster_and_boots_devices() {
         let sim = Sim::new();
         let mut tb = Testbed::new(&sim);
-        let (device, _phone) = tb.add_device(
-            "device-1",
-            PhoneConfig::default(),
-            |mut c| {
-                c.flush_policy = FlushPolicy::Immediate;
-                c
-            },
-            SensorSources::default(),
+        let (device, _phone) = tb.add(
+            DeviceSetup::named("device-1")
+                .configure(|c| c.with_flush_policy(FlushPolicy::Immediate)),
         );
         assert!(tb.server().is_online(&device.jid()));
         assert_eq!(
@@ -119,14 +198,9 @@ mod tests {
         let sim = Sim::new();
         let mut tb = Testbed::new(&sim);
         for i in 0..3 {
-            tb.add_device(
-                &format!("device-{i}"),
-                PhoneConfig::default(),
-                |mut c| {
-                    c.flush_policy = FlushPolicy::Immediate;
-                    c
-                },
-                SensorSources::default(),
+            tb.add(
+                DeviceSetup::named(&format!("device-{i}"))
+                    .configure(|c| c.with_flush_policy(FlushPolicy::Immediate)),
             );
         }
         let received = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
@@ -136,16 +210,15 @@ mod tests {
         });
         let device_jids: Vec<Jid> = tb.devices().iter().map(DeviceNode::jid).collect();
         tb.collector()
-            .deploy(
-                &ExperimentSpec {
-                    id: "smoke".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "ping.js".into(),
-                        source: "publish('pings', { hello: true });".into(),
-                    }],
-                },
-                &device_jids,
-            )
+            .deployment(&ExperimentSpec {
+                id: "smoke".into(),
+                scripts: vec![ScriptSpec {
+                    name: "ping.js".into(),
+                    source: "publish('pings', { hello: true });".into(),
+                }],
+            })
+            .to(&device_jids)
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(3));
         let received = received.borrow();
@@ -156,5 +229,22 @@ mod tests {
             froms,
             vec!["device-0@pogo", "device-1@pogo", "device-2@pogo"]
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_add_device_shim_still_works() {
+        let sim = Sim::new();
+        let mut tb = Testbed::new(&sim);
+        let (device, _phone) = tb.add_device(
+            "legacy",
+            PhoneConfig::default(),
+            |mut c| {
+                c.flush_policy = FlushPolicy::Immediate;
+                c
+            },
+            SensorSources::default(),
+        );
+        assert!(tb.server().is_online(&device.jid()));
     }
 }

@@ -1,0 +1,204 @@
+//! The ring-buffered event recorder.
+//!
+//! `Recorder` is an enum-dispatch handle: the `Off` variant is a no-op
+//! whose `record` compiles down to a branch on a two-variant enum, so
+//! instrumented code paths cost nothing when observability is disabled.
+//! The `Ring` variant appends into a bounded ring shared by every scoped
+//! clone, evicting the oldest events once full (and counting what it
+//! dropped, so an exported trace is honest about truncation).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use pogo_sim::SimTime;
+
+use crate::event::{Event, FieldValue, Name};
+
+/// Default ring capacity: enough for multi-day single-device runs at the
+/// event rates the middleware produces (a few per simulated minute).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    /// Category allowlist; `None` records everything.
+    categories: Option<Vec<String>>,
+}
+
+impl Ring {
+    fn push(&mut self, event: Event) {
+        if let Some(cats) = &self.categories {
+            if !cats.iter().any(|c| c == event.category.as_ref()) {
+                return;
+            }
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Off,
+    Ring(Rc<RefCell<Ring>>),
+}
+
+/// Records structured events into a shared ring buffer (or nowhere).
+///
+/// Cloning is cheap and shares the underlying ring; [`Recorder::scoped`]
+/// clones attribute subsequent events to one device.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    backend: Backend,
+    scope: Option<Rc<str>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the default).
+    pub fn off() -> Self {
+        Recorder {
+            backend: Backend::Off,
+            scope: None,
+        }
+    }
+
+    /// A recording recorder with the given ring capacity and optional
+    /// category allowlist.
+    pub fn ring(capacity: usize, categories: Option<Vec<String>>) -> Self {
+        Recorder {
+            backend: Backend::Ring(Rc::new(RefCell::new(Ring {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                capacity: capacity.max(1),
+                dropped: 0,
+                categories,
+            }))),
+            scope: None,
+        }
+    }
+
+    /// Whether events are being kept at all. Instrumentation sites can
+    /// branch on this before assembling an expensive payload.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self.backend, Backend::Ring(_))
+    }
+
+    /// A clone whose events carry `device` as their scope.
+    pub fn scoped(&self, device: &str) -> Recorder {
+        Recorder {
+            backend: self.backend.clone(),
+            scope: Some(Rc::from(device)),
+        }
+    }
+
+    /// Records one event at `at`. No-op when off.
+    #[inline]
+    pub fn record(
+        &self,
+        at: SimTime,
+        category: impl Into<Name>,
+        name: impl Into<Name>,
+        fields: Vec<(Name, FieldValue)>,
+    ) {
+        if let Backend::Ring(ring) = &self.backend {
+            ring.borrow_mut().push(Event {
+                at,
+                device: self.scope.clone(),
+                category: category.into(),
+                name: name.into(),
+                fields,
+            });
+        }
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.backend {
+            Backend::Off => Vec::new(),
+            Backend::Ring(ring) => ring.borrow().buf.iter().cloned().collect(),
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Off => 0,
+            Backend::Ring(ring) => ring.borrow().buf.len(),
+        }
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.backend {
+            Backend::Off => 0,
+            Backend::Ring(ring) => ring.borrow().dropped,
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::field;
+
+    #[test]
+    fn off_recorder_records_nothing() {
+        let rec = Recorder::off();
+        rec.record(SimTime::ZERO, "cpu", "wake", vec![]);
+        assert!(!rec.is_enabled());
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = Recorder::ring(2, None);
+        for i in 0..5u64 {
+            rec.record(SimTime::from_millis(i), "t", "e", vec![field("i", i)]);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get_u64("i"), Some(3));
+        assert_eq!(events[1].get_u64("i"), Some(4));
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn scoped_clones_share_the_ring() {
+        let rec = Recorder::ring(16, None);
+        let dev = rec.scoped("phone-1@pogo");
+        dev.record(SimTime::from_millis(7), "pogo", "flush", vec![]);
+        rec.record(SimTime::from_millis(8), "pogo", "boot", vec![]);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].device.as_deref(), Some("phone-1@pogo"));
+        assert_eq!(events[1].device, None);
+    }
+
+    #[test]
+    fn category_allowlist_filters() {
+        let rec = Recorder::ring(16, Some(vec!["radio".into()]));
+        rec.record(SimTime::ZERO, "cpu", "wake", vec![]);
+        rec.record(SimTime::ZERO, "radio", "dch", vec![]);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].category, "radio");
+    }
+}

@@ -38,12 +38,7 @@ fn main() {
         })),
         ..SensorSources::default()
     };
-    let (device, _phone) = testbed.add_device(
-        "commuter",
-        pogo::platform::PhoneConfig::default(),
-        |c| c,
-        sources,
-    );
+    let (device, _phone) = testbed.add(pogo::core::DeviceSetup::named("commuter").sensors(sources));
 
     // Collector side: collect.js with the geolocation service.
     let service = GeolocationService::new(world.clone());
@@ -57,7 +52,9 @@ fn main() {
     // Deploy scan.js + clustering.js to the device.
     testbed
         .collector()
-        .deploy(&glue::localization_experiment("loc"), &[device.jid()])
+        .deployment(&glue::localization_experiment("loc"))
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
 
     println!("running 2 simulated days of commuting ...");

@@ -3,31 +3,37 @@
 //! at the researcher's collector.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Set `POGO_TRACE=trace.jsonl` to record a structured event trace of
+//! the whole run (inspect it with `pogo-trace`), or `POGO_TRACE=-` to
+//! dump the JSONL to stdout.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use pogo::core::proto::ScriptSpec;
-use pogo::core::sensor::SensorSources;
-use pogo::core::{ExperimentSpec, Testbed};
-use pogo::platform::PhoneConfig;
+use pogo::core::{DeviceSetup, ExperimentSpec, ObsConfig, Testbed};
+use pogo::obs::export;
 use pogo::sim::{Sim, SimDuration};
 
 fn main() {
     // 1. A simulation with a switchboard server and a collector node.
+    //    POGO_TRACE turns the observability layer on; it is off (and
+    //    zero-cost) otherwise.
+    let trace_out = std::env::var("POGO_TRACE").ok();
+    let obs_config = if trace_out.is_some() {
+        ObsConfig::on()
+    } else {
+        ObsConfig::off()
+    };
     let sim = Sim::new();
-    let mut testbed = Testbed::new(&sim);
+    let mut testbed = Testbed::with_obs(&sim, obs_config);
 
     // 2. Three volunteers install Pogo (one click in the app store —
     //    here, one call). The administrator pairs them with the
-    //    researcher via the XMPP roster; `add_device` does both.
+    //    researcher via the XMPP roster; `Testbed::add` does both.
     for i in 1..=3 {
-        testbed.add_device(
-            &format!("phone-{i}"),
-            PhoneConfig::default(),
-            |cfg| cfg,
-            SensorSources::default(),
-        );
+        testbed.add(DeviceSetup::named(&format!("phone-{i}")));
     }
 
     // 3. The researcher writes an experiment: a device-side script that
@@ -55,16 +61,15 @@ fn main() {
     let devices: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "quickstart".into(),
-                scripts: vec![ScriptSpec {
-                    name: "battery-watch.js".into(),
-                    source: script.into(),
-                }],
-            },
-            &devices,
-        )
+        .deployment(&ExperimentSpec {
+            id: "quickstart".into(),
+            scripts: vec![ScriptSpec {
+                name: "battery-watch.js".into(),
+                source: script.into(),
+            }],
+        })
+        .to(&devices)
+        .send()
         .expect("scripts pass pre-deployment analysis");
 
     // 5. Run two simulated hours.
@@ -89,5 +94,19 @@ fn main() {
             phone.modem().ramp_ups(),
             device.flushes(),
         );
+    }
+
+    // 6. Dump the structured trace, if one was recorded.
+    if let Some(path) = trace_out {
+        let jsonl = export::to_jsonl(&testbed.obs().events());
+        if path == "-" {
+            print!("{jsonl}");
+        } else {
+            std::fs::write(&path, &jsonl).expect("write trace file");
+            println!(
+                "wrote {} trace events to {path} (try: cargo run --bin pogo-trace -- {path} --top)",
+                jsonl.lines().count()
+            );
+        }
     }
 }

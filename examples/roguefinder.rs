@@ -36,12 +36,7 @@ fn main() {
         })),
         ..SensorSources::default()
     };
-    let (device, _phone) = testbed.add_device(
-        "walker",
-        pogo::platform::PhoneConfig::default(),
-        |c| c,
-        sources,
-    );
+    let (device, _phone) = testbed.add(pogo::core::DeviceSetup::named("walker").sensors(sources));
 
     // Collector endpoint (Table 2's 5-line collect script).
     testbed
@@ -58,16 +53,15 @@ fn main() {
     // Deploy Listing 2.
     testbed
         .collector()
-        .deploy(
-            &pogo::core::ExperimentSpec {
-                id: "rogue".into(),
-                scripts: vec![pogo::core::proto::ScriptSpec {
-                    name: "roguefinder.js".into(),
-                    source: glue::ROGUEFINDER_JS.into(),
-                }],
-            },
-            &[device.jid()],
-        )
+        .deployment(&pogo::core::ExperimentSpec {
+            id: "rogue".into(),
+            scripts: vec![pogo::core::proto::ScriptSpec {
+                name: "roguefinder.js".into(),
+                source: glue::ROGUEFINDER_JS.into(),
+            }],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
 
     println!("walking across the city for 2 simulated hours ...");

@@ -4,23 +4,16 @@
 //!
 //! Run with: `cargo run --example tail_sync`
 
-use pogo::core::sensor::SensorSources;
-use pogo::core::{Msg, Testbed};
+use pogo::core::{DeviceSetup, Msg, Testbed};
 use pogo::net::FlushPolicy;
-use pogo::platform::{NetAppConfig, PeriodicNetApp, PhoneConfig};
+use pogo::platform::{NetAppConfig, PeriodicNetApp};
 use pogo::sim::{Sim, SimDuration};
 
 fn run(policy: FlushPolicy, label: &str) -> (f64, u64) {
     let sim = Sim::new();
     let mut testbed = Testbed::new(&sim);
-    let (device, phone) = testbed.add_device(
-        "galaxy-nexus",
-        PhoneConfig::default(),
-        |mut cfg| {
-            cfg.flush_policy = policy;
-            cfg
-        },
-        SensorSources::default(),
+    let (device, phone) = testbed.add(
+        DeviceSetup::named("galaxy-nexus").configure(move |cfg| cfg.with_flush_policy(policy)),
     );
 
     // The researcher subscribes to battery voltage once a minute.
@@ -32,13 +25,12 @@ fn run(policy: FlushPolicy, label: &str) -> (f64, u64) {
     );
     testbed
         .collector()
-        .deploy(
-            &pogo::core::ExperimentSpec {
-                id: "power".into(),
-                scripts: vec![],
-            },
-            &[device.jid()],
-        )
+        .deployment(&pogo::core::ExperimentSpec {
+            id: "power".into(),
+            scripts: vec![],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
 
     // The e-mail app whose tails Pogo piggybacks on (checks every 5 min).

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --example testbed_tour`
 
 use pogo::core::proto::ScriptSpec;
-use pogo::core::sensor::SensorSources;
-use pogo::core::{ExperimentSpec, Testbed};
-use pogo::platform::PhoneConfig;
+use pogo::core::{DeviceSetup, ExperimentSpec, Testbed};
 use pogo::sim::{Sim, SimDuration};
 
 fn main() {
@@ -17,14 +15,9 @@ fn main() {
     // Immediate flushing: this tour has no background traffic to piggy-
     // back on, and we want to see messages as they happen (see the
     // `tail_sync` example for the real §4.7 batching behaviour).
-    let (device, _phone) = testbed.add_device(
-        "shared-phone",
-        PhoneConfig::default(),
-        |mut cfg| {
-            cfg.flush_policy = pogo::net::FlushPolicy::Immediate;
-            cfg
-        },
-        SensorSources::default(),
+    let (device, _phone) = testbed.add(
+        DeviceSetup::named("shared-phone")
+            .configure(|cfg| cfg.with_flush_policy(pogo::net::FlushPolicy::Immediate)),
     );
 
     // --- Two concurrent experiments, sandboxed contexts ------------------
@@ -38,29 +31,27 @@ fn main() {
     });
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "exp-a".into(),
-                scripts: vec![ScriptSpec {
-                    name: "ping.js".into(),
-                    source: "publish('pings', { from: 'A' });".into(),
-                }],
-            },
-            &[device.jid()],
-        )
+        .deployment(&ExperimentSpec {
+            id: "exp-a".into(),
+            scripts: vec![ScriptSpec {
+                name: "ping.js".into(),
+                source: "publish('pings', { from: 'A' });".into(),
+            }],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "exp-b".into(),
-                scripts: vec![ScriptSpec {
-                    name: "quiet.js".into(),
-                    source: "setDescription('listens, never speaks');".into(),
-                }],
-            },
-            &[device.jid()],
-        )
+        .deployment(&ExperimentSpec {
+            id: "exp-b".into(),
+            scripts: vec![ScriptSpec {
+                name: "quiet.js".into(),
+                source: "setDescription('listens, never speaks');".into(),
+            }],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
 
@@ -68,7 +59,7 @@ fn main() {
     println!("\nresearcher pushes v2 of exp-a ...");
     testbed
         .collector()
-        .redeploy(&ExperimentSpec {
+        .deployment(&ExperimentSpec {
             id: "exp-a".into(),
             scripts: vec![ScriptSpec {
                 name: "ping.js".into(),
@@ -81,6 +72,7 @@ fn main() {
                 .into(),
             }],
         })
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
 

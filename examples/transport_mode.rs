@@ -82,14 +82,10 @@ fn main() {
         })),
         ..SensorSources::default()
     };
-    let (device, _phone) = testbed.add_device(
-        "commuter",
-        pogo::platform::PhoneConfig::default(),
-        |mut cfg| {
-            cfg.flush_policy = FlushPolicy::Immediate;
-            cfg
-        },
-        sources,
+    let (device, _phone) = testbed.add(
+        pogo::core::DeviceSetup::named("commuter")
+            .configure(|cfg| cfg.with_flush_policy(FlushPolicy::Immediate))
+            .sensors(sources),
     );
 
     let changes = RefCell::new(Vec::new());
@@ -109,16 +105,15 @@ fn main() {
         });
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "mode".into(),
-                scripts: vec![ScriptSpec {
-                    name: "classifier.js".into(),
-                    source: CLASSIFIER_JS.into(),
-                }],
-            },
-            &[device.jid()],
-        )
+        .deployment(&ExperimentSpec {
+            id: "mode".into(),
+            scripts: vec![ScriptSpec {
+                name: "classifier.js".into(),
+                source: CLASSIFIER_JS.into(),
+            }],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
 
     println!("one simulated day of a commuter (mode transitions as detected):\n");

@@ -48,3 +48,15 @@ fi
 if [[ "$run_perf" == 1 ]]; then
     ./target/release/perf_smoke --check BENCH_pr1.json --tolerance 0.25
 fi
+
+# pogo-trace smoke: the quickstart workload with tracing on must emit
+# non-empty, well-formed JSONL (every line a {"t":...,"cat":...} object).
+trace_tmp="$(mktemp -t pogo-trace-smoke.XXXXXX)"
+trap 'rm -f "$trace_tmp"' EXIT
+./target/release/pogo-trace --workload quickstart -o "$trace_tmp"
+test -s "$trace_tmp" || { echo "pogo-trace smoke: empty trace" >&2; exit 1; }
+grep -vq '^{"t":[0-9]*,.*"cat":".*","ev":".*"' "$trace_tmp" \
+    && { echo "pogo-trace smoke: malformed JSONL line" >&2; exit 1; }
+# Round-trip: the CLI must re-read its own dump.
+./target/release/pogo-trace "$trace_tmp" --top >/dev/null
+echo "pogo-trace smoke: ok ($(wc -l < "$trace_tmp") events)"

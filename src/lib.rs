@@ -13,35 +13,37 @@
 //! ## Quickstart
 //!
 //! ```
-//! use pogo::core::{ExperimentSpec, Testbed};
+//! use pogo::core::{DeviceSetup, ExperimentSpec, Testbed};
 //! use pogo::core::proto::ScriptSpec;
 //! use pogo::sim::{Sim, SimDuration};
 //!
 //! let sim = Sim::new();
 //! let mut testbed = Testbed::new(&sim);
-//! testbed.add_device(
-//!     "phone-1",
-//!     pogo::platform::PhoneConfig::default(),
-//!     |cfg| cfg,
-//!     pogo::core::sensor::SensorSources::default(),
-//! );
-//! testbed.collector().deploy(
-//!     &ExperimentSpec {
+//! testbed.add(DeviceSetup::named("phone-1"));
+//! testbed.collector()
+//!     .deployment(&ExperimentSpec {
 //!         id: "hello".into(),
-//!         scripts: vec![pogo::core::proto::ScriptSpec {
+//!         scripts: vec![ScriptSpec {
 //!             name: "hello.js".into(),
 //!             source: "publish('greetings', { hi: true });".into(),
 //!         }],
-//!     },
-//!     &[testbed.devices()[0].jid()],
-//! ).expect("scripts pass pre-deployment analysis");
+//!     })
+//!     .to(&[testbed.devices()[0].jid()])
+//!     .send()
+//!     .expect("scripts pass pre-deployment analysis");
 //! sim.run_for(SimDuration::from_mins(90));
 //! ```
+//!
+//! To record what happened, build the testbed with
+//! [`Testbed::with_obs`](core::Testbed::with_obs) and an
+//! [`ObsConfig`](core::ObsConfig); dump the trace with
+//! [`obs::export`] or the `pogo-trace` CLI.
 
 pub use pogo_cluster as cluster;
 pub use pogo_core as core;
 pub use pogo_mobility as mobility;
 pub use pogo_net as net;
+pub use pogo_obs as obs;
 pub use pogo_platform as platform;
 pub use pogo_script as script;
 pub use pogo_sim as sim;

@@ -12,7 +12,6 @@ use pogo::core::Testbed;
 use pogo::glue;
 use pogo::mobility::{GeolocationService, MovementTrace, ScanSynthesizer, Whereabouts, World};
 use pogo::net::FlushPolicy;
-use pogo::platform::PhoneConfig;
 use pogo::sim::{Sim, SimDuration, SimRng};
 
 const MIN: u64 = 60_000;
@@ -65,14 +64,10 @@ fn launch() -> Setup {
         })),
         ..SensorSources::default()
     };
-    testbed.add_device(
-        "phone-1",
-        PhoneConfig::default(),
-        |mut cfg| {
-            cfg.flush_policy = FlushPolicy::Immediate;
-            cfg
-        },
-        sources,
+    testbed.add(
+        pogo::core::DeviceSetup::named("phone-1")
+            .configure(|cfg| cfg.with_flush_policy(FlushPolicy::Immediate))
+            .sensors(sources),
     );
     Setup {
         sim,
@@ -94,7 +89,9 @@ fn deploy_localization(setup: &Setup) {
     setup
         .testbed
         .collector()
-        .deploy(&glue::localization_experiment("loc"), &jids)
+        .deployment(&glue::localization_experiment("loc"))
+        .to(&jids)
+        .send()
         .expect("scripts pass pre-deployment analysis");
 }
 

@@ -7,10 +7,10 @@ use std::rc::Rc;
 
 use pogo::core::proto::ScriptSpec;
 use pogo::core::sensor::{SensorSources, WifiReading};
-use pogo::core::{ExperimentSpec, Testbed};
+use pogo::core::{DeviceSetup, ExperimentSpec, Testbed};
 use pogo::glue;
 use pogo::net::FlushPolicy;
-use pogo::platform::{Bearer, PhoneConfig};
+use pogo::platform::Bearer;
 use pogo::sim::{Sim, SimDuration, SimTime};
 
 const MIN: u64 = 60_000;
@@ -32,9 +32,8 @@ fn home_sources() -> SensorSources {
     }
 }
 
-fn immediate(mut cfg: pogo::core::DeviceConfig) -> pogo::core::DeviceConfig {
-    cfg.flush_policy = FlushPolicy::Immediate;
-    cfg
+fn immediate(cfg: pogo::core::DeviceConfig) -> pogo::core::DeviceConfig {
+    cfg.with_flush_policy(FlushPolicy::Immediate)
 }
 
 #[test]
@@ -44,8 +43,11 @@ fn identical_seeds_replay_identically() {
     let run = || {
         let sim = Sim::new();
         let mut testbed = Testbed::new(&sim);
-        let (device, _phone) =
-            testbed.add_device("phone", PhoneConfig::default(), immediate, home_sources());
+        let (device, _phone) = testbed.add(
+            DeviceSetup::named("phone")
+                .configure(immediate)
+                .sensors(home_sources()),
+        );
         testbed
             .collector()
             .install_script(
@@ -56,7 +58,9 @@ fn identical_seeds_replay_identically() {
             .unwrap();
         testbed
             .collector()
-            .deploy(&glue::localization_experiment("exp"), &[device.jid()])
+            .deployment(&glue::localization_experiment("exp"))
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_hours(3));
         testbed.collector().logs().lines("out").join("\n")
@@ -71,8 +75,11 @@ fn identical_seeds_replay_identically() {
 fn offline_device_buffers_and_recovers_without_loss() {
     let sim = Sim::new();
     let mut testbed = Testbed::new(&sim);
-    let (device, phone) =
-        testbed.add_device("phone", PhoneConfig::default(), immediate, home_sources());
+    let (device, phone) = testbed.add(
+        DeviceSetup::named("phone")
+            .configure(immediate)
+            .sensors(home_sources()),
+    );
     let received = Rc::new(RefCell::new(Vec::new()));
     let r = received.clone();
     testbed.collector().on_data("exp", "ticks", move |msg, _| {
@@ -81,12 +88,11 @@ fn offline_device_buffers_and_recovers_without_loss() {
     });
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "tick.js".into(),
-                    source: r#"
+        .deployment(&ExperimentSpec {
+            id: "exp".into(),
+            scripts: vec![ScriptSpec {
+                name: "tick.js".into(),
+                source: r#"
                     var n = 0;
                     function tick() {
                         n = n + 1;
@@ -95,11 +101,11 @@ fn offline_device_buffers_and_recovers_without_loss() {
                     }
                     tick();
                 "#
-                    .into(),
-                }],
-            },
-            &[device.jid()],
-        )
+                .into(),
+            }],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(25)); // ticks 1, 2, 3 delivered
     phone.connectivity().set_active(None); // tunnel / airplane mode
@@ -119,8 +125,11 @@ fn offline_device_buffers_and_recovers_without_loss() {
 fn wifi_to_cellular_handover_loses_nothing_end_to_end() {
     let sim = Sim::new();
     let mut testbed = Testbed::new(&sim);
-    let (device, phone) =
-        testbed.add_device("phone", PhoneConfig::default(), immediate, home_sources());
+    let (device, phone) = testbed.add(
+        DeviceSetup::named("phone")
+            .configure(immediate)
+            .sensors(home_sources()),
+    );
     let count = Rc::new(RefCell::new(0u64));
     let c = count.clone();
     testbed
@@ -128,20 +137,19 @@ fn wifi_to_cellular_handover_loses_nothing_end_to_end() {
         .on_data("exp", "ticks", move |_, _| *c.borrow_mut() += 1);
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "tick.js".into(),
-                    source: r#"
+        .deployment(&ExperimentSpec {
+            id: "exp".into(),
+            scripts: vec![ScriptSpec {
+                name: "tick.js".into(),
+                source: r#"
                     function tick() { publish('ticks', {}); setTimeout(tick, 60 * 1000); }
                     tick();
                 "#
-                    .into(),
-                }],
-            },
-            &[device.jid()],
-        )
+                .into(),
+            }],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     // Flip the bearer every 7 minutes for 2 hours.
     for i in 1..=17u64 {
@@ -168,25 +176,27 @@ fn wifi_to_cellular_handover_loses_nothing_end_to_end() {
 fn message_expiry_drops_exactly_the_stale_window() {
     let sim = Sim::new();
     let mut testbed = Testbed::new(&sim);
-    let (device, phone) =
-        testbed.add_device("phone", PhoneConfig::default(), immediate, home_sources());
+    let (device, phone) = testbed.add(
+        DeviceSetup::named("phone")
+            .configure(immediate)
+            .sensors(home_sources()),
+    );
     testbed.collector().on_data("exp", "ticks", |_, _| {});
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "tick.js".into(),
-                    source: r#"
+        .deployment(&ExperimentSpec {
+            id: "exp".into(),
+            scripts: vec![ScriptSpec {
+                name: "tick.js".into(),
+                source: r#"
                     function tick() { publish('ticks', {}); setTimeout(tick, 60 * 60 * 1000); }
                     tick();
                 "#
-                    .into(),
-                }],
-            },
-            &[device.jid()],
-        )
+                .into(),
+            }],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
     // The user-2a scenario: abroad with data off for 3 days.
@@ -208,11 +218,10 @@ fn many_devices_fan_in_with_attribution() {
     let sim = Sim::new();
     let mut testbed = Testbed::new(&sim);
     for i in 0..8 {
-        testbed.add_device(
-            &format!("d{i}"),
-            PhoneConfig::default(),
-            immediate,
-            home_sources(),
+        testbed.add(
+            DeviceSetup::named(&format!("d{i}"))
+                .configure(immediate)
+                .sensors(home_sources()),
         );
     }
     let seen = Rc::new(RefCell::new(
@@ -227,16 +236,15 @@ fn many_devices_fan_in_with_attribution() {
     let jids: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "hello.js".into(),
-                    source: "publish('hello', { hi: 1 });".into(),
-                }],
-            },
-            &jids,
-        )
+        .deployment(&ExperimentSpec {
+            id: "exp".into(),
+            scripts: vec![ScriptSpec {
+                name: "hello.js".into(),
+                source: "publish('hello', { hi: 1 });".into(),
+            }],
+        })
+        .to(&jids)
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(5));
     let seen = seen.borrow();
@@ -282,8 +290,11 @@ fn freeze_fix_preserves_clusters_across_reboots() {
     let run = |use_freeze: bool| -> Vec<(u64, u64)> {
         let sim = Sim::new();
         let mut testbed = Testbed::new(&sim);
-        let (device, _phone) =
-            testbed.add_device("phone", PhoneConfig::default(), immediate, moving_sources());
+        let (device, _phone) = testbed.add(
+            DeviceSetup::named("phone")
+                .configure(immediate)
+                .sensors(moving_sources()),
+        );
         let places = Rc::new(RefCell::new(Vec::new()));
         let p = places.clone();
         testbed
@@ -300,7 +311,9 @@ fn freeze_fix_preserves_clusters_across_reboots() {
         }
         testbed
             .collector()
-            .deploy(&spec, &[device.jid()])
+            .deployment(&spec)
+            .to(&[device.jid()])
+            .send()
             .expect("scripts pass pre-deployment analysis");
         // Dwell 0–3h with a reboot at 2h, then an hour of walking: the
         // dissimilar transit scans close the home cluster.
@@ -347,8 +360,11 @@ fn freeze_fix_preserves_clusters_across_reboots() {
 fn watchdog_errors_are_contained_per_script() {
     let sim = Sim::new();
     let mut testbed = Testbed::new(&sim);
-    let (device, _phone) =
-        testbed.add_device("phone", PhoneConfig::default(), immediate, home_sources());
+    let (device, _phone) = testbed.add(
+        DeviceSetup::named("phone")
+            .configure(immediate)
+            .sensors(home_sources()),
+    );
     let good = Rc::new(RefCell::new(0));
     let g = good.clone();
     testbed
@@ -356,23 +372,21 @@ fn watchdog_errors_are_contained_per_script() {
         .on_data("exp", "ok", move |_, _| *g.borrow_mut() += 1);
     testbed
         .collector()
-        .deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![
-                    ScriptSpec {
-                        name: "evil.js".into(),
-                        source: "subscribe('wifi-scan', function (m) { while (true) {} });".into(),
-                    },
-                    ScriptSpec {
-                        name: "good.js".into(),
-                        source: "subscribe('wifi-scan', function (m) { publish('ok', {}); });"
-                            .into(),
-                    },
-                ],
-            },
-            &[device.jid()],
-        )
+        .deployment(&ExperimentSpec {
+            id: "exp".into(),
+            scripts: vec![
+                ScriptSpec {
+                    name: "evil.js".into(),
+                    source: "subscribe('wifi-scan', function (m) { while (true) {} });".into(),
+                },
+                ScriptSpec {
+                    name: "good.js".into(),
+                    source: "subscribe('wifi-scan', function (m) { publish('ok', {}); });".into(),
+                },
+            ],
+        })
+        .to(&[device.jid()])
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(10));
     let ctx = device.context("exp").unwrap();

@@ -87,16 +87,15 @@ fn two_researchers_share_a_pool_without_crosstalk() {
         a.borrow_mut().push(from.to_owned());
     });
     alice
-        .deploy(
-            &ExperimentSpec {
-                id: "alice-exp".into(),
-                scripts: vec![ScriptSpec {
-                    name: "ping.js".into(),
-                    source: "publish('pings', { who: 'alice' });".into(),
-                }],
-            },
-            &alice_devices,
-        )
+        .deployment(&ExperimentSpec {
+            id: "alice-exp".into(),
+            scripts: vec![ScriptSpec {
+                name: "ping.js".into(),
+                source: "publish('pings', { who: 'alice' });".into(),
+            }],
+        })
+        .to(&alice_devices)
+        .send()
         .expect("scripts pass pre-deployment analysis");
 
     let bob_seen: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
@@ -104,16 +103,15 @@ fn two_researchers_share_a_pool_without_crosstalk() {
     bob.on_data("bob-exp", "pings", move |_msg, from| {
         b.borrow_mut().push(from.to_owned());
     });
-    bob.deploy(
-        &ExperimentSpec {
-            id: "bob-exp".into(),
-            scripts: vec![ScriptSpec {
-                name: "ping.js".into(),
-                source: "publish('pings', { who: 'bob' });".into(),
-            }],
-        },
-        &bob_devices,
-    )
+    bob.deployment(&ExperimentSpec {
+        id: "bob-exp".into(),
+        scripts: vec![ScriptSpec {
+            name: "ping.js".into(),
+            source: "publish('pings', { who: 'bob' });".into(),
+        }],
+    })
+    .to(&bob_devices)
+    .send()
     .expect("scripts pass pre-deployment analysis");
 
     sim.run_for(SimDuration::from_mins(5));
@@ -152,13 +150,12 @@ fn released_devices_stop_accepting_researcher_traffic() {
         .unwrap();
     let collector = CollectorNode::new(&sim, &server, &researcher);
     collector
-        .deploy(
-            &ExperimentSpec {
-                id: "exp".into(),
-                scripts: vec![],
-            },
-            &granted,
-        )
+        .deployment(&ExperimentSpec {
+            id: "exp".into(),
+            scripts: vec![],
+        })
+        .to(&granted)
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(1));
 
@@ -167,16 +164,15 @@ fn released_devices_stop_accepting_researcher_traffic() {
     // Further deployments are refused by the switchboard's authorization
     // (the control messages queue but never authorize through).
     collector
-        .deploy(
-            &ExperimentSpec {
-                id: "exp2".into(),
-                scripts: vec![ScriptSpec {
-                    name: "late.js".into(),
-                    source: "publish('x', 1);".into(),
-                }],
-            },
-            &granted,
-        )
+        .deployment(&ExperimentSpec {
+            id: "exp2".into(),
+            scripts: vec![ScriptSpec {
+                name: "late.js".into(),
+                source: "publish('x', 1);".into(),
+            }],
+        })
+        .to(&granted)
+        .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_mins(2));
     let device = _device;
