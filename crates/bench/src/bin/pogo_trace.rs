@@ -3,7 +3,7 @@
 //! Input is either a JSONL trace file written by the middleware (see
 //! `pogo_obs::export::to_jsonl`, e.g. `POGO_TRACE=trace.jsonl cargo run
 //! --example quickstart`) or a built-in workload re-run with tracing on
-//! (`--workload fig4`). Output is the filtered JSONL (default), a
+//! (`--workload fig4|quickstart|chaos`). Output is the filtered JSONL (default), a
 //! Chrome-trace timeline (`--chrome`, load in `chrome://tracing` or
 //! Perfetto), or a `pogo-top` summary table (`--top`).
 
@@ -21,7 +21,7 @@ pogo-trace — dump, filter, and summarize Pogo observability traces
 
 usage:
   pogo-trace TRACE.jsonl [options]
-  pogo-trace --workload fig4|quickstart [options]
+  pogo-trace --workload fig4|quickstart|chaos [options]
 
 options:
   --chrome            emit a Chrome-trace timeline (chrome://tracing)
@@ -162,7 +162,12 @@ fn load(opts: &Opts) -> Result<(Vec<Event>, Option<Obs>), String> {
         let obs = match workload.as_str() {
             "fig4" => fig4::run_traced().1,
             "quickstart" => run_quickstart(),
-            other => return Err(format!("unknown workload {other} (try fig4 or quickstart)")),
+            "chaos" => run_chaos(),
+            other => {
+                return Err(format!(
+                    "unknown workload {other} (try fig4, quickstart, or chaos)"
+                ))
+            }
         };
         return Ok((obs.events(), Some(obs)));
     }
@@ -236,6 +241,65 @@ fn run_quickstart() -> Obs {
         .send()
         .expect("scripts pass pre-deployment analysis");
     sim.run_for(SimDuration::from_hours(2));
+    testbed.obs().clone()
+}
+
+/// A compressed chaos soak (three phones, four simulated hours, a
+/// seeded `pogo-chaos` fault plan) with tracing on, so the fault and
+/// invariant-verdict events render next to the radio/cpu lanes.
+fn run_chaos() -> Obs {
+    use pogo::chaos::{ChaosController, FaultPlan, InvariantHarness};
+
+    let sim = Sim::new();
+    let mut testbed = Testbed::with_obs(&sim, ObsConfig::on());
+    for i in 0..3 {
+        testbed.add(DeviceSetup::named(&format!("phone-{i}")));
+    }
+    let harness = InvariantHarness::install(&testbed, "chaos", "chaos-data");
+    let script = r#"
+        var st = thaw();
+        var n = st == null ? 0 : st.n;
+        function tick() {
+            n = n + 1;
+            freeze({ n: n });
+            publish('chaos-data', { n: n });
+            logTo('chaos-sent', n);
+            setTimeout(tick, 2 * 60 * 1000);
+        }
+        tick();
+    "#;
+    let devices: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
+    testbed
+        .collector()
+        .deployment(&ExperimentSpec {
+            id: "chaos".into(),
+            scripts: vec![pogo::core::proto::ScriptSpec {
+                name: "tick.js".into(),
+                source: script.into(),
+            }],
+        })
+        .to(&devices)
+        .send()
+        .expect("scripts pass pre-deployment analysis");
+
+    let end = SimTime::ZERO + SimDuration::from_hours(4);
+    let plan = FaultPlan::seeded(0xc4a05)
+        .devices(3)
+        .window(SimTime::ZERO + SimDuration::from_mins(10), end)
+        .mean_gap(SimDuration::from_mins(15))
+        .build();
+    let _controller = ChaosController::install(&testbed, &plan);
+    sim.run_until(end);
+
+    // Drain so the final loss accounting sees flushed stores.
+    for node in testbed.devices() {
+        if node.is_powered_off() {
+            node.power_on();
+        }
+        node.phone().battery().set_charging(true);
+    }
+    sim.run_for(SimDuration::from_mins(30));
+    harness.final_check();
     testbed.obs().clone()
 }
 

@@ -1,0 +1,110 @@
+//! Chaos soak CLI: run a seeded fault-injection soak and report.
+//!
+//! ```text
+//! chaos_soak [--seed N] [--phones N] [--hours N] [--trace PATH] [--check]
+//! ```
+//!
+//! `--check` is the CI gate: the soak runs **twice** with the same
+//! config, the two obs traces must match byte for byte, at least 100
+//! faults across at least 3 classes must inject, and no invariant may
+//! break. Exit status 1 on any failure.
+
+use pogo_chaos::{run_soak, SoakConfig};
+use pogo_sim::SimDuration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos_soak [--seed N] [--phones N] [--hours N] [--trace PATH] [--check]\n\
+         \n\
+         --seed N      fault-plan seed (decimal or 0x-hex; default {:#x})\n\
+         --phones N    fleet size (default 8)\n\
+         --hours N     simulated soak length (default 48)\n\
+         --trace PATH  write the obs trace as JSONL\n\
+         --check       CI gate: run twice, require identical traces,\n\
+                       >=100 faults over >=3 classes, zero violations",
+        SoakConfig::default().seed
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    let Some(value) = value else {
+        eprintln!("chaos_soak: {flag} needs a value");
+        usage();
+    };
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("chaos_soak: bad {flag} value {value:?}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut cfg = SoakConfig::default();
+    let mut check = false;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => cfg.seed = parse_u64("--seed", args.next()),
+            "--phones" => cfg.phones = parse_u64("--phones", args.next()) as usize,
+            "--hours" => cfg.duration = SimDuration::from_hours(parse_u64("--hours", args.next())),
+            "--trace" => trace_path = args.next().or_else(|| usage()),
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("chaos_soak: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    cfg.capture_trace = check || trace_path.is_some();
+
+    let report = run_soak(&cfg);
+    print!("{}", report.summary());
+    if let Some(path) = &trace_path {
+        std::fs::write(path, &report.trace_jsonl).unwrap_or_else(|e| {
+            eprintln!("chaos_soak: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("trace: {path} ({} bytes)", report.trace_jsonl.len());
+    }
+
+    if check {
+        let mut failures: Vec<String> = Vec::new();
+        let second = run_soak(&cfg);
+        if report.trace_jsonl != second.trace_jsonl {
+            failures.push("two runs of the same seed produced different obs traces".into());
+        }
+        if report.faults_injected < 100 {
+            failures.push(format!(
+                "only {} faults injected, need >=100",
+                report.faults_injected
+            ));
+        }
+        if report.classes() < 3 {
+            failures.push(format!(
+                "only {} fault classes injected, need >=3",
+                report.classes()
+            ));
+        }
+        if !report.violations.is_empty() {
+            failures.push(format!("{} invariant violations", report.violations.len()));
+        }
+        if failures.is_empty() {
+            println!(
+                "chaos check: PASS ({} faults, {} classes, deterministic trace)",
+                report.faults_injected,
+                report.classes()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("chaos check: FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The fault injector: plays a [`FaultPlan`] against a live testbed.
+//!
+//! Every fault is injected at its planned instant and *healed* at the
+//! end of its window by events the controller schedules up front — so a
+//! run that reaches `plan.healed_by()` has seen the complete
+//! inject/heal cycle of every fault, and two runs of the same plan
+//! schedule byte-identical event sequences.
+//!
+//! Overlapping windows of the same kind are reference-counted (two
+//! overlapping outages keep the switchboard down until *both* end), and
+//! faults that land on an already-dead target are counted as skipped
+//! rather than injected.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use pogo_core::{DeviceNode, Testbed};
+use pogo_net::{Jid, LinkShape, Switchboard};
+use pogo_obs::{field, Obs};
+use pogo_platform::Bearer;
+use pogo_sim::{Sim, SimDuration};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// How long a revived phone stays on the charger after a battery death.
+const RECHARGE_TIME: SimDuration = SimDuration::from_mins(5);
+
+struct Inner {
+    sim: Sim,
+    server: Switchboard,
+    collector: Jid,
+    devices: Vec<DeviceNode>,
+    obs: Obs,
+    /// Overlap counter for switchboard outages.
+    outage_depth: u32,
+    /// Per-device overlap counters for link degradation windows.
+    degrade_depth: Vec<u32>,
+    /// Per-device overlap counters for roster churn windows.
+    churn_depth: Vec<u32>,
+    /// Bearer to restore when a battery death heals.
+    saved_bearer: Vec<Option<Bearer>>,
+    injected: u64,
+    skipped: u64,
+    by_class: BTreeMap<&'static str, u64>,
+}
+
+/// Injects a [`FaultPlan`] into a [`Testbed`]; see the module docs.
+///
+/// Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct ChaosController {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for ChaosController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("ChaosController")
+            .field("injected", &inner.injected)
+            .field("skipped", &inner.skipped)
+            .finish()
+    }
+}
+
+impl ChaosController {
+    /// Schedules every fault in `plan` onto the testbed's simulation and
+    /// reseeds the switchboard's link-loss RNG from the plan seed, so
+    /// the whole run is a pure function of (testbed setup, plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault targets a device index the testbed does not
+    /// have.
+    pub fn install(testbed: &Testbed, plan: &FaultPlan) -> Self {
+        let n = testbed.devices().len();
+        for fault in plan.faults() {
+            if let Some(d) = fault.kind.device() {
+                assert!(d < n, "fault targets device {d}, testbed has {n}");
+            }
+        }
+        testbed
+            .server()
+            .reseed_link_rng(plan.seed() ^ 0x506f_676f_4c69_6e6b); // "PogoLink"
+        let controller = ChaosController {
+            inner: Rc::new(RefCell::new(Inner {
+                sim: testbed.sim().clone(),
+                server: testbed.server().clone(),
+                collector: testbed.collector().jid(),
+                devices: testbed.devices().to_vec(),
+                obs: testbed.obs().clone(),
+                outage_depth: 0,
+                degrade_depth: vec![0; n],
+                churn_depth: vec![0; n],
+                saved_bearer: vec![None; n],
+                injected: 0,
+                skipped: 0,
+                by_class: BTreeMap::new(),
+            })),
+        };
+        let sim = testbed.sim();
+        for fault in plan.faults() {
+            let me = controller.clone();
+            let kind = fault.kind.clone();
+            sim.schedule_at(fault.at, move || me.apply(&kind));
+        }
+        controller
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.borrow().injected
+    }
+
+    /// Faults skipped because the target was already dead.
+    pub fn skipped(&self) -> u64 {
+        self.inner.borrow().skipped
+    }
+
+    /// Injection counts per fault class.
+    pub fn by_class(&self) -> BTreeMap<&'static str, u64> {
+        self.inner.borrow().by_class.clone()
+    }
+
+    /// Number of distinct fault classes injected.
+    pub fn classes_injected(&self) -> usize {
+        self.inner.borrow().by_class.len()
+    }
+
+    fn apply(&self, kind: &FaultKind) {
+        match kind {
+            FaultKind::ServerRestart => self.server_restart(),
+            FaultKind::ServerOutage { down_for } => self.server_outage(*down_for),
+            FaultKind::LinkDegrade {
+                device,
+                loss,
+                jitter,
+                duration,
+            } => self.link_degrade(*device, *loss, *jitter, *duration),
+            FaultKind::Reboot { device } => self.reboot(*device),
+            FaultKind::BatteryDeath { device, off_for } => self.battery_death(*device, *off_for),
+            FaultKind::RosterChurn {
+                device,
+                rejoin_after,
+            } => self.roster_churn(*device, *rejoin_after),
+        }
+    }
+
+    fn server_restart(&self) {
+        let server = self.inner.borrow().server.clone();
+        if server.is_down() {
+            self.note_skip("server-restart", None);
+            return;
+        }
+        self.note_inject("server-restart", None, SimDuration::ZERO);
+        server.restart();
+    }
+
+    fn server_outage(&self, down_for: SimDuration) {
+        let (sim, server) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.outage_depth += 1;
+            (inner.sim.clone(), inner.server.clone())
+        };
+        self.note_inject("server-outage", None, down_for);
+        if !server.is_down() {
+            server.set_down(true);
+        }
+        let me = self.clone();
+        sim.schedule_in(down_for, move || {
+            let back_up = {
+                let mut inner = me.inner.borrow_mut();
+                inner.outage_depth -= 1;
+                inner.outage_depth == 0
+            };
+            if back_up {
+                me.inner.borrow().server.set_down(false);
+            }
+            me.note_heal("server-outage", None);
+        });
+    }
+
+    fn link_degrade(&self, device: usize, loss: f64, jitter: SimDuration, duration: SimDuration) {
+        let (sim, server, jid) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.degrade_depth[device] += 1;
+            (
+                inner.sim.clone(),
+                inner.server.clone(),
+                inner.devices[device].jid(),
+            )
+        };
+        server.shape_link(
+            &jid,
+            LinkShape {
+                loss,
+                jitter,
+                extra_latency: SimDuration::ZERO,
+            },
+        );
+        self.note_inject("link-degrade", Some(&jid), duration);
+        let me = self.clone();
+        sim.schedule_in(duration, move || {
+            let healed = {
+                let mut inner = me.inner.borrow_mut();
+                inner.degrade_depth[device] -= 1;
+                inner.degrade_depth[device] == 0
+            };
+            let jid = {
+                let inner = me.inner.borrow();
+                if healed {
+                    inner.server.clear_link_shape(&jid);
+                }
+                jid.clone()
+            };
+            me.note_heal("link-degrade", Some(&jid));
+        });
+    }
+
+    fn reboot(&self, device: usize) {
+        let node = self.inner.borrow().devices[device].clone();
+        if node.is_powered_off() {
+            self.note_skip("reboot", Some(&node.jid()));
+            return;
+        }
+        self.note_inject("reboot", Some(&node.jid()), SimDuration::ZERO);
+        node.reboot();
+    }
+
+    fn battery_death(&self, device: usize, off_for: SimDuration) {
+        let (sim, node) = {
+            let inner = self.inner.borrow();
+            (inner.sim.clone(), inner.devices[device].clone())
+        };
+        if node.is_powered_off() {
+            self.note_skip("battery-death", Some(&node.jid()));
+            return;
+        }
+        let phone = node.phone();
+        self.inner.borrow_mut().saved_bearer[device] = phone.connectivity().active();
+        self.note_inject("battery-death", Some(&node.jid()), off_for);
+        node.power_off();
+        phone.connectivity().set_active(None);
+        let me = self.clone();
+        sim.schedule_in(off_for, move || {
+            let bearer = me.inner.borrow().saved_bearer[device].unwrap_or(Bearer::Cellular);
+            let phone = node.phone();
+            phone.battery().set_charging(true);
+            phone.connectivity().set_active(Some(bearer));
+            node.power_on();
+            me.note_heal("battery-death", Some(&node.jid()));
+            let sim = me.inner.borrow().sim.clone();
+            sim.schedule_in(RECHARGE_TIME, move || {
+                phone.battery().set_charging(false);
+            });
+        });
+    }
+
+    fn roster_churn(&self, device: usize, rejoin_after: SimDuration) {
+        let (sim, server, jid, collector) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.churn_depth[device] += 1;
+            (
+                inner.sim.clone(),
+                inner.server.clone(),
+                inner.devices[device].jid(),
+                inner.collector.clone(),
+            )
+        };
+        if self.inner.borrow().churn_depth[device] == 1 {
+            server.unfriend(&jid, &collector);
+        }
+        self.note_inject("roster-churn", Some(&jid), rejoin_after);
+        let me = self.clone();
+        sim.schedule_in(rejoin_after, move || {
+            let rejoined = {
+                let mut inner = me.inner.borrow_mut();
+                inner.churn_depth[device] -= 1;
+                inner.churn_depth[device] == 0
+            };
+            if rejoined {
+                let (server, jid, collector) = {
+                    let inner = me.inner.borrow();
+                    (
+                        inner.server.clone(),
+                        inner.devices[device].jid(),
+                        inner.collector.clone(),
+                    )
+                };
+                server
+                    .befriend(&jid, &collector)
+                    .expect("both ends stay registered across churn");
+            }
+            me.note_heal("roster-churn", Some(&jid));
+        });
+    }
+
+    // ------------------------------ bookkeeping ------------------------------
+
+    fn obs_for(&self, device: Option<&Jid>) -> Obs {
+        let inner = self.inner.borrow();
+        match device {
+            Some(jid) => inner.obs.scoped(jid.as_str()),
+            None => inner.obs.clone(),
+        }
+    }
+
+    fn note_inject(&self, class: &'static str, device: Option<&Jid>, window: SimDuration) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.injected += 1;
+            *inner.by_class.entry(class).or_insert(0) += 1;
+        }
+        let obs = self.obs_for(device);
+        obs.event("chaos", class, vec![field("window_ms", window.as_millis())]);
+        obs.metrics().inc("chaos.faults", 1);
+        obs.metrics().inc(class_metric(class), 1);
+    }
+
+    fn note_heal(&self, class: &'static str, device: Option<&Jid>) {
+        self.obs_for(device)
+            .event("chaos", "heal", vec![field("fault", class)]);
+    }
+
+    fn note_skip(&self, class: &'static str, device: Option<&Jid>) {
+        self.inner.borrow_mut().skipped += 1;
+        let obs = self.obs_for(device);
+        obs.event("chaos", "skipped", vec![field("fault", class)]);
+        obs.metrics().inc("chaos.skipped", 1);
+    }
+}
+
+/// Static per-class counter names (metrics keys must not allocate on
+/// the hot path and must be stable across versions).
+fn class_metric(class: &'static str) -> &'static str {
+    match class {
+        "server-restart" => "chaos.server_restart",
+        "server-outage" => "chaos.server_outage",
+        "link-degrade" => "chaos.link_degrade",
+        "reboot" => "chaos.reboot",
+        "battery-death" => "chaos.battery_death",
+        "roster-churn" => "chaos.roster_churn",
+        _ => "chaos.other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+    use pogo_core::{DeviceSetup, Testbed};
+    use pogo_sim::SimTime;
+
+    fn testbed(sim: &Sim, phones: usize) -> Testbed {
+        let mut tb = Testbed::new(sim);
+        for i in 0..phones {
+            tb.add(DeviceSetup::named(&format!("phone-{i}")));
+        }
+        tb
+    }
+
+    #[test]
+    fn outage_overlap_is_refcounted() {
+        let sim = Sim::new();
+        let tb = testbed(&sim, 1);
+        let plan = FaultPlan::scripted(vec![
+            Fault {
+                at: SimTime::from_millis(1_000),
+                kind: FaultKind::ServerOutage {
+                    down_for: SimDuration::from_secs(10),
+                },
+            },
+            Fault {
+                at: SimTime::from_millis(5_000),
+                kind: FaultKind::ServerOutage {
+                    down_for: SimDuration::from_secs(10),
+                },
+            },
+        ]);
+        let ctl = ChaosController::install(&tb, &plan);
+        sim.run_until(SimTime::from_millis(12_000));
+        assert!(
+            tb.server().is_down(),
+            "second outage still holds the server down"
+        );
+        sim.run_until(SimTime::from_millis(16_000));
+        assert!(!tb.server().is_down(), "back up after both windows end");
+        assert_eq!(ctl.injected(), 2);
+    }
+
+    #[test]
+    fn reboot_on_powered_off_device_is_skipped() {
+        let sim = Sim::new();
+        let tb = testbed(&sim, 1);
+        let plan = FaultPlan::scripted(vec![
+            Fault {
+                at: SimTime::from_millis(1_000),
+                kind: FaultKind::BatteryDeath {
+                    device: 0,
+                    off_for: SimDuration::from_secs(60),
+                },
+            },
+            Fault {
+                at: SimTime::from_millis(10_000),
+                kind: FaultKind::Reboot { device: 0 },
+            },
+        ]);
+        let ctl = ChaosController::install(&tb, &plan);
+        sim.run_until(SimTime::from_millis(20_000));
+        assert_eq!(ctl.injected(), 1);
+        assert_eq!(ctl.skipped(), 1);
+        sim.run_for(SimDuration::from_mins(3));
+        assert!(
+            tb.devices()[0].is_booted(),
+            "device revives after the battery-death window"
+        );
+    }
+
+    #[test]
+    fn roster_churn_heals_back_to_friends() {
+        let sim = Sim::new();
+        let tb = testbed(&sim, 1);
+        let jid = tb.devices()[0].jid();
+        let plan = FaultPlan::scripted(vec![Fault {
+            at: SimTime::from_millis(1_000),
+            kind: FaultKind::RosterChurn {
+                device: 0,
+                rejoin_after: SimDuration::from_secs(30),
+            },
+        }]);
+        ChaosController::install(&tb, &plan);
+        sim.run_until(SimTime::from_millis(2_000));
+        assert!(tb.server().roster(&jid).is_empty(), "unfriended");
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(tb.server().roster(&jid), vec![tb.collector().jid()]);
+    }
+}

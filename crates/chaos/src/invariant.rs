@@ -1,0 +1,367 @@
+//! Delivery invariants checked during and after a chaos run.
+//!
+//! The harness watches one experiment channel at the collector and the
+//! `chaos-sent` log each device script appends to, and asserts the
+//! §4.6 reliability contract:
+//!
+//! 1. **Exactly-once arrival** — the at-least-once transport plus the
+//!    collector's dedup filter never surface the same sample twice.
+//! 2. **No phantoms** — everything delivered was actually published by
+//!    a device (the log is written in the same atomic script step as
+//!    the publish).
+//! 3. **Frozen state never regresses** — each device's sample counter,
+//!    persisted with `freeze()` before every publish, survives reboots
+//!    and battery deaths: the sent log is exactly `1, 2, 3, …` with no
+//!    repeats and no gaps.
+//! 4. **Expiry is the only loss** — after a final drain, every
+//!    published sample is delivered, still buffered, or accounted for
+//!    by the [`MessageStore`](pogo_net::MessageStore) age purge.
+//!
+//! Violations are deduplicated (a standing failure reports once, not
+//! once per check) and mirrored as `chaos`/`violation` obs events so
+//! they land in the trace next to the fault that caused them.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use pogo_core::{DeviceNode, Msg, Testbed};
+use pogo_obs::{field, Obs};
+use pogo_sim::{Sim, SimTime};
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Simulated time the violation was detected.
+    pub at: SimTime,
+    /// JID of the device involved.
+    pub device: String,
+    /// Which invariant broke: `duplicate-delivery`, `phantom-delivery`,
+    /// `frozen-state-regression`, or `untracked-loss`.
+    pub kind: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+struct Inner {
+    sim: Sim,
+    devices: Vec<DeviceNode>,
+    obs: Obs,
+    /// Sample counters delivered at the collector, per device JID, in
+    /// arrival order (duplicates included — that is the point).
+    delivered: BTreeMap<String, Vec<i64>>,
+    /// Dedup keys of violations already reported.
+    reported: BTreeSet<String>,
+    violations: Vec<Violation>,
+    checks: u64,
+}
+
+/// Watches a chaos experiment and asserts its delivery invariants; see
+/// the module docs. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct InvariantHarness {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for InvariantHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("InvariantHarness")
+            .field("checks", &inner.checks)
+            .field("violations", &inner.violations.len())
+            .finish()
+    }
+}
+
+impl InvariantHarness {
+    /// Subscribes to `channel` on experiment `exp` at the testbed's
+    /// collector. Install *before* deploying the experiment so the
+    /// subscription is mirrored to devices from the start.
+    ///
+    /// Device scripts must publish `{ n: <counter> }` samples on the
+    /// channel and append the same counter to their `chaos-sent` log in
+    /// the same script step.
+    pub fn install(testbed: &Testbed, exp: &str, channel: &str) -> Self {
+        let harness = InvariantHarness {
+            inner: Rc::new(RefCell::new(Inner {
+                sim: testbed.sim().clone(),
+                devices: testbed.devices().to_vec(),
+                obs: testbed.obs().clone(),
+                delivered: BTreeMap::new(),
+                reported: BTreeSet::new(),
+                violations: Vec::new(),
+                checks: 0,
+            })),
+        };
+        let inner = harness.inner.clone();
+        testbed.collector().on_data(exp, channel, move |msg, from| {
+            // A sample without a numeric `n` is recorded as -1: the
+            // phantom check flags it, with the device attributed.
+            let n = msg
+                .get("n")
+                .and_then(Msg::as_num)
+                .map(|v| v as i64)
+                .unwrap_or(-1);
+            inner
+                .borrow_mut()
+                .delivered
+                .entry(from.to_owned())
+                .or_default()
+                .push(n);
+        });
+        harness
+    }
+
+    /// Runs the always-valid invariants (exactly-once, no phantoms,
+    /// frozen-state monotonicity) and returns the number of *new*
+    /// violations found.
+    pub fn check(&self) -> usize {
+        self.run_check(false)
+    }
+
+    /// Runs every invariant including the loss accounting. Call after
+    /// the run has drained (devices powered, links clean, retry periods
+    /// elapsed); in-flight messages would otherwise count as loss.
+    pub fn final_check(&self) -> usize {
+        self.run_check(true)
+    }
+
+    /// All violations found so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.borrow().violations.clone()
+    }
+
+    /// Total samples delivered at the collector (duplicates included).
+    pub fn delivered_total(&self) -> u64 {
+        self.inner
+            .borrow()
+            .delivered
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+
+    /// Distinct samples delivered at the collector.
+    pub fn delivered_distinct(&self) -> u64 {
+        self.inner
+            .borrow()
+            .delivered
+            .values()
+            .map(|v| v.iter().collect::<BTreeSet<_>>().len() as u64)
+            .sum()
+    }
+
+    /// Number of check passes run.
+    pub fn checks_run(&self) -> u64 {
+        self.inner.borrow().checks
+    }
+
+    fn run_check(&self, full: bool) -> usize {
+        let devices = self.inner.borrow().devices.clone();
+        let before = self.inner.borrow().violations.len();
+        for node in &devices {
+            let jid = node.jid().to_string();
+            let sent: Vec<i64> = node
+                .logs()
+                .lines("chaos-sent")
+                .iter()
+                .filter_map(|line| line.trim().parse::<f64>().ok())
+                .map(|v| v as i64)
+                .collect();
+            let delivered = self
+                .inner
+                .borrow()
+                .delivered
+                .get(&jid)
+                .cloned()
+                .unwrap_or_default();
+            self.check_exactly_once(&jid, &delivered);
+            self.check_no_phantoms(&jid, &sent, &delivered);
+            self.check_frozen_monotonic(&jid, &sent);
+            if full {
+                self.check_loss_accounting(node, &jid, &sent, &delivered);
+            }
+        }
+        let (new, checks) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.checks += 1;
+            (inner.violations.len() - before, inner.checks)
+        };
+        self.inner.borrow().obs.event(
+            "chaos",
+            if full {
+                "final-check"
+            } else {
+                "invariant-check"
+            },
+            vec![field("check", checks), field("new_violations", new)],
+        );
+        new
+    }
+
+    fn check_exactly_once(&self, jid: &str, delivered: &[i64]) {
+        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+        for &n in delivered {
+            *counts.entry(n).or_insert(0) += 1;
+        }
+        for (n, count) in counts {
+            if count > 1 {
+                self.report(
+                    jid,
+                    "duplicate-delivery",
+                    format!("sample n={n} delivered {count} times"),
+                );
+            }
+        }
+    }
+
+    fn check_no_phantoms(&self, jid: &str, sent: &[i64], delivered: &[i64]) {
+        let sent: BTreeSet<i64> = sent.iter().copied().collect();
+        for &n in delivered {
+            if !sent.contains(&n) {
+                self.report(
+                    jid,
+                    "phantom-delivery",
+                    format!("sample n={n} delivered but never logged as sent"),
+                );
+            }
+        }
+    }
+
+    fn check_frozen_monotonic(&self, jid: &str, sent: &[i64]) {
+        for (i, &n) in sent.iter().enumerate() {
+            let expected = i as i64 + 1;
+            if n != expected {
+                self.report(
+                    jid,
+                    "frozen-state-regression",
+                    format!("sent log position {i} holds n={n}, expected {expected}"),
+                );
+                // One report per device: after the first divergence every
+                // later position is off by the same shift.
+                break;
+            }
+        }
+    }
+
+    fn check_loss_accounting(&self, node: &DeviceNode, jid: &str, sent: &[i64], delivered: &[i64]) {
+        let distinct = delivered.iter().collect::<BTreeSet<_>>().len() as u64;
+        let purged = node.purged();
+        let buffered = node.buffered() as u64;
+        let sent_total = sent.len() as u64;
+        if sent_total > distinct + purged + buffered {
+            self.report(
+                jid,
+                "untracked-loss",
+                format!(
+                    "{sent_total} sent but only {distinct} delivered + {purged} expired \
+                     + {buffered} buffered"
+                ),
+            );
+        }
+    }
+
+    fn report(&self, device: &str, kind: &'static str, detail: String) {
+        let key = format!("{device}|{kind}|{detail}");
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.reported.insert(key) {
+                return;
+            }
+            let at = inner.sim.now();
+            inner.violations.push(Violation {
+                at,
+                device: device.to_owned(),
+                kind,
+                detail: detail.clone(),
+            });
+        }
+        let obs = self.inner.borrow().obs.clone();
+        obs.event(
+            "chaos",
+            "violation",
+            vec![
+                field("kind", kind),
+                field("device", device.to_owned()),
+                field("detail", detail),
+            ],
+        );
+        obs.metrics().inc("chaos.violations", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo_core::proto::{ExperimentSpec, ScriptSpec};
+    use pogo_core::DeviceSetup;
+    use pogo_net::FlushPolicy;
+    use pogo_sim::SimDuration;
+
+    fn ticking_testbed(sim: &Sim) -> (Testbed, InvariantHarness) {
+        let mut tb = Testbed::new(sim);
+        tb.add(
+            DeviceSetup::named("phone-0")
+                .configure(|c| c.with_flush_policy(FlushPolicy::Immediate)),
+        );
+        let harness = InvariantHarness::install(&tb, "chaos", "chaos-data");
+        let jids = vec![tb.devices()[0].jid()];
+        tb.collector()
+            .deployment(&ExperimentSpec {
+                id: "chaos".into(),
+                scripts: vec![ScriptSpec {
+                    name: "tick.js".into(),
+                    source: crate::soak::tick_script(SimDuration::from_secs(60)),
+                }],
+            })
+            .to(&jids)
+            .send()
+            .expect("tick script passes lint");
+        (tb, harness)
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let sim = Sim::new();
+        let (_tb, harness) = ticking_testbed(&sim);
+        sim.run_for(SimDuration::from_mins(30));
+        assert_eq!(harness.final_check(), 0, "{:?}", harness.violations());
+        assert!(harness.delivered_distinct() >= 25);
+    }
+
+    #[test]
+    fn fabricated_duplicate_is_caught_once() {
+        let sim = Sim::new();
+        let (_tb, harness) = ticking_testbed(&sim);
+        sim.run_for(SimDuration::from_mins(10));
+        harness
+            .inner
+            .borrow_mut()
+            .delivered
+            .get_mut("phone-0@pogo")
+            .expect("samples arrived")
+            .push(1);
+        assert_eq!(harness.check(), 1);
+        assert_eq!(harness.check(), 0, "standing violation reports once");
+        assert_eq!(harness.violations()[0].kind, "duplicate-delivery");
+    }
+
+    #[test]
+    fn fabricated_phantom_is_caught() {
+        let sim = Sim::new();
+        let (_tb, harness) = ticking_testbed(&sim);
+        sim.run_for(SimDuration::from_mins(10));
+        harness
+            .inner
+            .borrow_mut()
+            .delivered
+            .get_mut("phone-0@pogo")
+            .expect("samples arrived")
+            .push(9_999);
+        harness.check();
+        assert!(harness
+            .violations()
+            .iter()
+            .any(|v| v.kind == "phantom-delivery"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic fault injection for Pogo testbeds.
+//!
+//! The paper's evaluation (§5) runs Pogo on phones that reboot, lose
+//! their data connection, and fall off the XMPP server — and claims the
+//! store-and-forward layer (§4.6) rides it all out. This crate turns
+//! that claim into a checkable property:
+//!
+//! * [`FaultPlan`] — a seed-driven (or hand-scripted) schedule of
+//!   faults: switchboard restarts and outages, per-link loss/jitter
+//!   degradation, device reboots, battery deaths, roster churn.
+//! * [`ChaosController`] — injects a plan into a live
+//!   [`Testbed`](pogo_core::Testbed), healing every fault window
+//!   deterministically and recording each injection as `chaos` obs
+//!   events and metrics.
+//! * [`InvariantHarness`] — watches the collector and asserts the
+//!   delivery invariants after every fault window: exactly-once arrival
+//!   per device, no phantom data, frozen script state never regresses,
+//!   and the only permitted loss is [`MessageStore`] age expiry.
+//! * [`run_soak`] — the whole thing as one function: an 8-phone,
+//!   multi-day soak under a fixed seed, returning a [`SoakReport`].
+//!   The `chaos_soak` binary wraps it for CI (`--check` runs the soak
+//!   twice and byte-compares the obs traces).
+//!
+//! Everything is seeded: the same [`SoakConfig`] produces the same
+//! faults, the same packet drops, and byte-identical observability
+//! traces on every run — a failing soak replays exactly.
+//!
+//! [`MessageStore`]: pogo_net::MessageStore
+
+mod inject;
+mod invariant;
+mod plan;
+mod soak;
+
+pub use inject::ChaosController;
+pub use invariant::{InvariantHarness, Violation};
+pub use plan::{Fault, FaultKind, FaultPlan, FaultPlanBuilder};
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -9,7 +9,7 @@
 //! and script deployment.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use pogo_net::{DedupFilter, Envelope, Jid, MessageStore, Payload, Session, Switchboard};
@@ -26,6 +26,14 @@ use crate::scheduler::Scheduler;
 /// Retransmission backstop for pending control messages (presence is the
 /// fast path; this covers acks lost in flight).
 const RETRY_PERIOD: SimDuration = SimDuration::from_secs(60);
+
+/// Delay between reconnect attempts after the switchboard kicks the
+/// collector (restart or outage). The collector is on mains with a wired
+/// link, so it dials back in aggressively.
+const RECONNECT_DELAY: SimDuration = SimDuration::from_secs(2);
+
+/// One-way latency of the collector's wired link.
+const LINK_LATENCY: SimDuration = SimDuration::from_millis(5);
 
 /// A deployment rejected by the pre-flight static analyzer: the bundle
 /// contains at least one error-severity finding, so no device was sent
@@ -134,13 +142,17 @@ struct Inner {
     scheduler: Scheduler,
     session: Session,
     contexts: HashMap<String, CollectorContext>,
-    /// Per-device reliable outgoing queues (control messages).
-    outstores: HashMap<Jid, MessageStore>,
+    /// Per-device reliable outgoing queues (control messages). BTreeMap:
+    /// the retry backstop and reconnect catch-up iterate this while
+    /// scheduling sends, and the deterministic sim needs a stable order.
+    outstores: BTreeMap<Jid, MessageStore>,
     dedup: DedupFilter,
     logs: LogStore,
     versions: HashMap<String, u64>,
     data_received: u64,
     retry_armed: bool,
+    /// A reconnect retry is already scheduled (server kicked us).
+    reconnect_pending: bool,
     /// JID-scoped observability handle (off unless configured).
     obs: Obs,
 }
@@ -198,7 +210,7 @@ impl CollectorNode {
         std::mem::forget(cpu.acquire_wake_lock());
         let scheduler = Scheduler::with_obs(&cpu, &obs);
         let session = server
-            .connect(jid, SimDuration::from_millis(5))
+            .connect(jid, LINK_LATENCY)
             .expect("collector JID must be registered");
         let logs = LogStore::new();
         logs.wire_obs(&obs);
@@ -210,24 +222,80 @@ impl CollectorNode {
                 scheduler,
                 session: session.clone(),
                 contexts: HashMap::new(),
-                outstores: HashMap::new(),
+                outstores: BTreeMap::new(),
                 dedup: DedupFilter::new(),
                 logs,
                 versions: HashMap::new(),
                 data_received: 0,
                 retry_armed: false,
+                reconnect_pending: false,
                 obs,
             })),
         };
-        let me = node.clone();
+        node.wire_session(&session);
+        node
+    }
+
+    /// Attaches the collector's callbacks to a (new) session: inbound
+    /// envelopes, device presence → retransmit, and the reconnect loop
+    /// for when the switchboard kicks us (restart/outage).
+    fn wire_session(&self, session: &Session) {
+        let me = self.clone();
         session.on_receive(move |envelope| me.on_envelope(envelope));
-        let me = node.clone();
+        let me = self.clone();
         session.on_presence(move |device, online| {
             if online {
                 me.retransmit_to(&device.clone());
             }
         });
-        node
+        let me = self.clone();
+        session.on_disconnect(move || me.schedule_reconnect());
+    }
+
+    /// Schedules one reconnect attempt after [`RECONNECT_DELAY`], unless
+    /// one is already pending; keeps retrying through an outage. After a
+    /// successful reconnect, retransmits to every device with pending
+    /// control traffic — their presence may have fired while we were dark.
+    fn schedule_reconnect(&self) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.reconnect_pending {
+                return;
+            }
+            inner.reconnect_pending = true;
+        }
+        let me = self.clone();
+        let sim = self.inner.borrow().sim.clone();
+        sim.schedule_in(RECONNECT_DELAY, move || {
+            me.inner.borrow_mut().reconnect_pending = false;
+            if me.inner.borrow().session.is_connected() {
+                return;
+            }
+            let (server, jid) = {
+                let inner = me.inner.borrow();
+                (inner.server.clone(), inner.jid.clone())
+            };
+            match server.connect(&jid, LINK_LATENCY) {
+                Ok(session) => {
+                    me.wire_session(&session);
+                    me.inner.borrow_mut().session = session;
+                    me.inner.borrow().obs.event("pogo", "reconnect", vec![]);
+                    let devices: Vec<Jid> = {
+                        let inner = me.inner.borrow();
+                        inner
+                            .outstores
+                            .iter()
+                            .filter(|(_, s)| !s.is_empty())
+                            .map(|(d, _)| d.clone())
+                            .collect()
+                    };
+                    for device in &devices {
+                        me.retransmit_to(device);
+                    }
+                }
+                Err(_) => me.schedule_reconnect(),
+            }
+        });
     }
 
     /// This collector's JID.
@@ -333,48 +401,6 @@ impl CollectorNode {
             targets: Vec::new(),
             lint: LintPolicy::default(),
         }
-    }
-
-    /// Deploys the experiment's device scripts to `devices` with the
-    /// lint gate enforced.
-    ///
-    /// # Errors
-    ///
-    /// Returns every error-severity diagnostic when the bundle fails
-    /// analysis; no device receives anything in that case.
-    #[deprecated(note = "use `collector.deployment(spec).to(devices).send()`")]
-    pub fn deploy(&self, spec: &ExperimentSpec, devices: &[Jid]) -> Result<(), DeployError> {
-        self.deployment(spec).to(devices).send()
-    }
-
-    /// Deploys without the pre-flight lint gate.
-    #[deprecated(
-        note = "use `collector.deployment(spec).to(devices).lint(LintPolicy::Skip).send()`"
-    )]
-    pub fn deploy_unchecked(&self, spec: &ExperimentSpec, devices: &[Jid]) {
-        let _ = self
-            .deployment(spec)
-            .to(devices)
-            .lint(LintPolicy::Skip)
-            .send();
-    }
-
-    /// Pushes an updated script set to every member with the lint gate
-    /// enforced.
-    ///
-    /// # Errors
-    ///
-    /// Returns every error-severity diagnostic when the bundle fails
-    /// analysis; no device receives anything in that case.
-    #[deprecated(note = "use `collector.deployment(spec).send()`")]
-    pub fn redeploy(&self, spec: &ExperimentSpec) -> Result<(), DeployError> {
-        self.deployment(spec).send()
-    }
-
-    /// Redeploys without the pre-flight lint gate.
-    #[deprecated(note = "use `collector.deployment(spec).lint(LintPolicy::Skip).send()`")]
-    pub fn redeploy_unchecked(&self, spec: &ExperimentSpec) {
-        let _ = self.deployment(spec).lint(LintPolicy::Skip).send();
     }
 
     /// Sends `spec` (with a bumped version) to explicit `devices`,
@@ -1020,34 +1046,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_deploy_shims_still_work() {
-        let (sim, _server, collector, device, _phone) = testbed();
+    fn collector_reconnects_after_switchboard_restart() {
+        let (sim, server, collector, device, _phone) = testbed();
         collector
-            .deploy(
-                &ExperimentSpec {
-                    id: "exp".into(),
-                    scripts: vec![ScriptSpec {
-                        name: "v.js".into(),
-                        source: "print('v1');".into(),
-                    }],
-                },
-                &[device.jid()],
-            )
-            .expect("shim delegates to the builder");
-        sim.run_for(SimDuration::from_mins(1));
-        collector
-            .redeploy(&ExperimentSpec {
+            .deployment(&ExperimentSpec {
                 id: "exp".into(),
                 scripts: vec![ScriptSpec {
-                    name: "v.js".into(),
-                    source: "print('v2');".into(),
+                    name: "s.js".into(),
+                    source: "print('survived');".into(),
                 }],
             })
-            .expect("shim delegates to the builder");
+            .to(&[device.jid()])
+            .send()
+            .expect("scripts pass pre-deployment analysis");
         sim.run_for(SimDuration::from_mins(1));
-        let ctx = device.context("exp").unwrap();
-        assert_eq!(ctx.version(), 2);
-        assert_eq!(ctx.scripts()[0].prints(), vec!["v2"]);
+        server.restart();
+        sim.run_for(SimDuration::from_mins(2));
+        assert!(
+            server.is_online(&collector.jid()),
+            "collector dialed back in after the restart"
+        );
+        assert!(server.is_online(&device.jid()), "device too");
     }
 }

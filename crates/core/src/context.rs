@@ -19,7 +19,7 @@
 //!   republished locally.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use pogo_obs::Obs;
@@ -47,7 +47,7 @@ struct DeviceCtxInner {
     outbound: Outbound,
     scripts: Vec<ScriptHost>,
     /// collector sub_ref → mirrored local subscription.
-    mirrors: HashMap<u64, SubscriptionId>,
+    mirrors: BTreeMap<u64, SubscriptionId>,
     obs: Obs,
 }
 
@@ -100,7 +100,7 @@ impl DeviceContext {
                 logs: logs.clone(),
                 outbound,
                 scripts: Vec::new(),
-                mirrors: HashMap::new(),
+                mirrors: BTreeMap::new(),
                 obs: obs.clone(),
             })),
         }
@@ -261,7 +261,7 @@ struct CollectorCtxInner {
     devices: Vec<String>,
     outbound: DeviceOutbound,
     /// Subscription ids already synced to devices, with last-known state.
-    synced: HashMap<u64, (String, bool)>,
+    synced: BTreeMap<u64, (String, bool)>,
     obs: Obs,
 }
 
@@ -300,7 +300,7 @@ impl CollectorContext {
                 scripts: Vec::new(),
                 devices: Vec::new(),
                 outbound: Rc::new(outbound),
-                synced: HashMap::new(),
+                synced: BTreeMap::new(),
                 obs: obs.clone(),
             })),
         };

@@ -8,7 +8,7 @@
 //! script state — exactly the §5.3 failure model.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use pogo_net::{
@@ -163,16 +163,24 @@ struct Inner {
     dedup: DedupFilter,
     logs: LogStore,
     frozen: HashMap<(String, String), FrozenSlot>,
-    installed: HashMap<String, Installed>,
+    // BTreeMaps where HashMaps would do: boot/reboot/privacy iterate
+    // these while scheduling events, and the deterministic sim (and the
+    // chaos determinism property) needs a stable order.
+    installed: BTreeMap<String, Installed>,
     /// Mirrored collector subscriptions, persisted so they are re-applied
     /// when a context is re-instantiated (reboot, script update, or a
     /// Subscribe that arrived before its Deploy).
-    mirror_specs: HashMap<String, HashMap<u64, (String, Msg, bool)>>,
+    mirror_specs: BTreeMap<String, BTreeMap<u64, (String, Msg, bool)>>,
     // -- volatile state --
-    contexts: HashMap<String, DeviceContext>,
+    contexts: BTreeMap<String, DeviceContext>,
     sensors: SensorManager,
     tail: Option<TailDetector>,
     booted: bool,
+    /// True from power-off until [`DeviceNode::power_on`] — the battery
+    /// died; unlike a reboot, nothing is scheduled to bring it back.
+    powered_off: bool,
+    /// A reconnect retry is already scheduled (server kicked us).
+    reconnect_pending: bool,
     flushing: bool,
     deadline_armed: bool,
     /// New data was enqueued since the last flush.
@@ -227,12 +235,14 @@ impl DeviceNode {
                 dedup: DedupFilter::new(),
                 logs,
                 frozen: HashMap::new(),
-                installed: HashMap::new(),
-                mirror_specs: HashMap::new(),
-                contexts: HashMap::new(),
+                installed: BTreeMap::new(),
+                mirror_specs: BTreeMap::new(),
+                contexts: BTreeMap::new(),
                 sensors,
                 tail: None,
                 booted: false,
+                powered_off: false,
+                reconnect_pending: false,
                 flushing: false,
                 deadline_armed: false,
                 dirty: false,
@@ -375,7 +385,7 @@ impl DeviceNode {
     pub fn boot(&self) {
         {
             let mut inner = self.inner.borrow_mut();
-            if inner.booted {
+            if inner.booted || inner.powered_off {
                 return;
             }
             inner.booted = true;
@@ -408,10 +418,58 @@ impl DeviceNode {
             inner.obs.event("pogo", "reboot", vec![]);
             inner.obs.metrics().inc("pogo.reboots", 1);
         }
+        self.inner.borrow_mut().stats.reboots += 1;
+        self.shutdown_volatile();
+        let me = self.clone();
+        let delay = self.inner.borrow().cfg.boot_delay;
+        let sim = self.inner.borrow().phone.sim().clone();
+        // A reboot is not CPU sleep/wake bookkeeping; schedule directly.
+        sim.schedule_in(delay, move || me.boot());
+    }
+
+    /// Hard power loss (battery death): everything volatile dies exactly
+    /// as in a reboot, but nothing is scheduled to bring the device back —
+    /// it stays dark until [`DeviceNode::power_on`].
+    pub fn power_off(&self) {
+        if self.inner.borrow().powered_off {
+            return;
+        }
+        {
+            let inner = self.inner.borrow();
+            inner.obs.event("pogo", "power-off", vec![]);
+            inner.obs.metrics().inc("pogo.power_offs", 1);
+        }
+        self.inner.borrow_mut().powered_off = true;
+        self.shutdown_volatile();
+    }
+
+    /// Powers the device back on (battery replaced / charged): boots the
+    /// middleware immediately; flash state is intact.
+    pub fn power_on(&self) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.powered_off {
+                return;
+            }
+            inner.powered_off = false;
+        }
+        self.inner.borrow().obs.event("pogo", "power-on", vec![]);
+        self.boot();
+    }
+
+    /// True while the device is hard powered off.
+    pub fn is_powered_off(&self) -> bool {
+        self.inner.borrow().powered_off
+    }
+
+    /// Tears down everything that does not live on flash: contexts (with
+    /// their unfrozen script state), the session, the tail detector, and
+    /// the sensors. Shared by [`DeviceNode::reboot`] and
+    /// [`DeviceNode::power_off`].
+    fn shutdown_volatile(&self) {
         let (contexts, session, tail) = {
             let mut inner = self.inner.borrow_mut();
             inner.booted = false;
-            inner.stats.reboots += 1;
             inner.flushing = false;
             inner.deadline_armed = false;
             (
@@ -430,11 +488,6 @@ impl DeviceNode {
             session.disconnect();
         }
         self.inner.borrow().sensors.shutdown();
-        let me = self.clone();
-        let delay = self.inner.borrow().cfg.boot_delay;
-        let sim = self.inner.borrow().phone.sim().clone();
-        // A reboot is not CPU sleep/wake bookkeeping; schedule directly.
-        sim.schedule_in(delay, move || me.boot());
     }
 
     /// Restarts one experiment's scripts in place (a researcher pushed a
@@ -638,11 +691,58 @@ impl DeviceNode {
             return;
         }
         let Ok(session) = server.connect(&jid, latency) else {
+            // Server down (or account gone): retry until it comes back.
+            self.schedule_reconnect();
             return;
         };
         let me = self.clone();
         session.on_receive(move |envelope| me.on_envelope(envelope));
+        // §4.6: the server may kick us at any time (restart, outage). A
+        // phone notices the dead TCP session and dials back in.
+        let me = self.clone();
+        session.on_disconnect(move || me.schedule_reconnect());
         self.inner.borrow_mut().session = Some(session);
+    }
+
+    /// Schedules one reconnect attempt after the configured delay, unless
+    /// one is already pending. The attempt re-evaluates conditions at fire
+    /// time (reboot and bearer changes have their own reconnect paths) and
+    /// keeps retrying while the switchboard refuses us.
+    fn schedule_reconnect(&self) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.reconnect_pending || !inner.booted {
+                return;
+            }
+            inner.reconnect_pending = true;
+        }
+        let delay = self.inner.borrow().cfg.reconnect_delay;
+        let sim = self.inner.borrow().phone.sim().clone();
+        let me = self.clone();
+        sim.schedule_in(delay, move || {
+            me.inner.borrow_mut().reconnect_pending = false;
+            let (booted, online, already) = {
+                let inner = me.inner.borrow();
+                (
+                    inner.booted,
+                    inner.phone.connectivity().is_online(),
+                    inner.session.as_ref().is_some_and(Session::is_connected),
+                )
+            };
+            if !booted || !online || already {
+                return;
+            }
+            me.connect();
+            if me
+                .inner
+                .borrow()
+                .session
+                .as_ref()
+                .is_some_and(Session::is_connected)
+            {
+                me.maybe_flush();
+            }
+        });
     }
 
     // ---- inbound -----------------------------------------------------------

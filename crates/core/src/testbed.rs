@@ -148,27 +148,6 @@ impl Testbed {
         self.devices.push(device.clone());
         (device, phone)
     }
-
-    /// Adds a volunteer device named `node` (JID `node@pogo`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` does not form a valid JID.
-    #[deprecated(note = "use `testbed.add(DeviceSetup::named(node)…)`")]
-    pub fn add_device(
-        &mut self,
-        node: &str,
-        phone_config: PhoneConfig,
-        device_config: impl FnOnce(DeviceConfig) -> DeviceConfig + 'static,
-        sources: SensorSources,
-    ) -> (DeviceNode, Phone) {
-        self.add(
-            DeviceSetup::named(node)
-                .phone(phone_config)
-                .configure(device_config)
-                .sensors(sources),
-        )
-    }
 }
 
 #[cfg(test)]
@@ -229,22 +208,5 @@ mod tests {
             froms,
             vec!["device-0@pogo", "device-1@pogo", "device-2@pogo"]
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_add_device_shim_still_works() {
-        let sim = Sim::new();
-        let mut tb = Testbed::new(&sim);
-        let (device, _phone) = tb.add_device(
-            "legacy",
-            PhoneConfig::default(),
-            |mut c| {
-                c.flush_policy = FlushPolicy::Immediate;
-                c
-            },
-            SensorSources::default(),
-        );
-        assert!(tb.server().is_online(&device.jid()));
     }
 }

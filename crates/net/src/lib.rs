@@ -31,8 +31,8 @@ pub mod store;
 pub mod wire;
 
 pub use batch::FlushPolicy;
-pub use jid::Jid;
+pub use jid::{Jid, ParseJidError};
 pub use reliable::{AckTracker, DedupFilter};
-pub use server::{Session, Switchboard};
+pub use server::{ChaosHook, LinkFate, LinkShape, NetError, Session, SessionOptions, Switchboard};
 pub use store::{MessageStore, StoredMessage};
 pub use wire::{Envelope, Payload};

@@ -11,11 +11,11 @@
 //! acks exist to repair.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 
-use pogo_sim::{Sim, SimDuration};
+use pogo_sim::{Sim, SimDuration, SimRng};
 
 use crate::jid::Jid;
 use crate::wire::{Envelope, Payload};
@@ -29,6 +29,9 @@ pub enum NetError {
     NotAuthorized { from: Jid, to: Jid },
     /// The session has been disconnected.
     NotConnected,
+    /// The switchboard is down ([`Switchboard::set_down`]) and refuses
+    /// new sessions.
+    ServerDown,
 }
 
 impl fmt::Display for NetError {
@@ -39,11 +42,117 @@ impl fmt::Display for NetError {
                 write!(f, "{from} is not authorized to message {to}")
             }
             NetError::NotConnected => f.write_str("session is not connected"),
+            NetError::ServerDown => f.write_str("switchboard is down"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// What a fault-injection hook decides to do with one envelope about to
+/// traverse a link leg (uplink at [`Session::send`], downlink at routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Let the envelope through unmodified.
+    Deliver,
+    /// Silently drop it (network loss — the sender sees `Ok`).
+    Drop,
+    /// Deliver after this much extra delay.
+    Delay(SimDuration),
+}
+
+/// A per-envelope fault-injection hook: inspects the envelope and decides
+/// its [`LinkFate`]. Installed per session via [`SessionOptions::chaos`]
+/// or server-side per JID via [`Switchboard::set_link_chaos`].
+pub type ChaosHook = Rc<dyn Fn(&Envelope) -> LinkFate>;
+
+/// Connection parameters for [`Switchboard::connect_with`]: the base
+/// one-way latency plus optional link impairments. The plain
+/// [`Switchboard::connect`] is a convenience wrapper for a clean link.
+#[derive(Clone, Default)]
+pub struct SessionOptions {
+    latency: SimDuration,
+    loss: f64,
+    jitter: SimDuration,
+    seed: u64,
+    chaos: Option<ChaosHook>,
+}
+
+impl fmt::Debug for SessionOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionOptions")
+            .field("latency", &self.latency)
+            .field("loss", &self.loss)
+            .field("jitter", &self.jitter)
+            .field("seed", &self.seed)
+            .field("chaos", &self.chaos.is_some())
+            .finish()
+    }
+}
+
+impl SessionOptions {
+    /// A clean link: zero latency, no loss, no jitter, no chaos.
+    pub fn new() -> Self {
+        SessionOptions::default()
+    }
+
+    /// Base one-way latency of the link.
+    pub fn latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Independent per-leg drop probability in `[0, 1]`.
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Maximum uniform extra delay added per leg.
+    pub fn jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Seed for this session's loss/jitter stream. The effective seed is
+    /// mixed with the JID so every device gets an independent — but
+    /// cross-run deterministic — stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Installs a per-envelope fault hook consulted on both legs.
+    pub fn chaos(mut self, hook: impl Fn(&Envelope) -> LinkFate + 'static) -> Self {
+        self.chaos = Some(Rc::new(hook));
+        self
+    }
+}
+
+/// Server-side link impairment for one JID, composed with whatever the
+/// session itself was opened with ([`Switchboard::shape_link`]). Survives
+/// reconnects, which is what fault injection needs: the device keeps
+/// calling plain `connect` and the degradation stays in force.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkShape {
+    /// Extra independent drop probability per leg, in `[0, 1]`.
+    pub loss: f64,
+    /// Extra uniform delay bound per leg.
+    pub jitter: SimDuration,
+    /// Constant extra latency per leg.
+    pub extra_latency: SimDuration,
+}
+
+/// FNV-1a over the JID text: stable across runs and platforms, used to
+/// give each session an independent RNG stream from one base seed.
+fn jid_salt(jid: &Jid) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in jid.as_str().bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 struct ServerInner {
     sim: Sim,
@@ -52,6 +161,13 @@ struct ServerInner {
     sessions: HashMap<Jid, Session>,
     routed: u64,
     dropped: u64,
+    down: bool,
+    restarts: u64,
+    // Per-JID impairment state, composed with session-level options on
+    // every leg. BTreeMap: iteration feeds the deterministic sim.
+    shapes: BTreeMap<Jid, LinkShape>,
+    link_chaos: BTreeMap<Jid, ChaosHook>,
+    shaper_rng: SimRng,
 }
 
 /// The central server: accounts, rosters, and routing.
@@ -85,8 +201,20 @@ impl Switchboard {
                 sessions: HashMap::new(),
                 routed: 0,
                 dropped: 0,
+                down: false,
+                restarts: 0,
+                shapes: BTreeMap::new(),
+                link_chaos: BTreeMap::new(),
+                shaper_rng: SimRng::seed_from_u64(0x506f_676f_4c69_6e6b),
             })),
         }
+    }
+
+    /// Reseeds the RNG behind server-side link shaping
+    /// ([`Switchboard::shape_link`]) so chaos runs are reproducible from
+    /// one seed.
+    pub fn reseed_link_rng(&self, seed: u64) {
+        self.inner.borrow_mut().shaper_rng = SimRng::seed_from_u64(seed);
     }
 
     /// Creates an account (idempotent).
@@ -133,16 +261,32 @@ impl Switchboard {
             .unwrap_or_default()
     }
 
-    /// Opens a session for `jid` with the given one-way network latency.
-    /// An existing session for the same JID is disconnected first (a
-    /// reconnect after handover).
+    /// Opens a session for `jid` with the given one-way network latency
+    /// and an otherwise clean link. Convenience wrapper around
+    /// [`Switchboard::connect_with`].
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::UnknownAccount`] for unregistered JIDs.
+    /// Returns [`NetError::UnknownAccount`] for unregistered JIDs and
+    /// [`NetError::ServerDown`] during an outage.
     pub fn connect(&self, jid: &Jid, latency: SimDuration) -> Result<Session, NetError> {
+        self.connect_with(jid, SessionOptions::new().latency(latency))
+    }
+
+    /// Opens a session for `jid` with full [`SessionOptions`] (latency,
+    /// loss, jitter, chaos hook). An existing session for the same JID is
+    /// disconnected first (a reconnect after handover).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownAccount`] for unregistered JIDs and
+    /// [`NetError::ServerDown`] during an outage.
+    pub fn connect_with(&self, jid: &Jid, opts: SessionOptions) -> Result<Session, NetError> {
         {
             let inner = self.inner.borrow();
+            if inner.down {
+                return Err(NetError::ServerDown);
+            }
             if !inner.accounts.contains(jid) {
                 return Err(NetError::UnknownAccount(jid.clone()));
             }
@@ -150,15 +294,21 @@ impl Switchboard {
         if let Some(old) = self.inner.borrow_mut().sessions.remove(jid) {
             old.mark_disconnected();
         }
+        let rng = SimRng::seed_from_u64(opts.seed ^ jid_salt(jid));
         let session = Session {
             inner: Rc::new(RefCell::new(SessionInner {
                 server: self.clone(),
                 jid: jid.clone(),
-                latency,
+                latency: opts.latency,
+                loss: opts.loss,
+                jitter: opts.jitter,
+                rng,
+                chaos: opts.chaos,
                 generation: 0,
                 connected: true,
                 on_receive: None,
                 on_presence: None,
+                on_disconnect: None,
                 sent: 0,
                 received: 0,
             })),
@@ -169,6 +319,105 @@ impl Switchboard {
             .insert(jid.clone(), session.clone());
         self.broadcast_presence(jid, true);
         Ok(session)
+    }
+
+    /// Installs (or replaces) server-side impairment for every leg that
+    /// touches `jid`'s sessions, present and future. Composes with the
+    /// session's own [`SessionOptions`]; cleared by
+    /// [`Switchboard::clear_link_shape`].
+    pub fn shape_link(&self, jid: &Jid, shape: LinkShape) {
+        self.inner.borrow_mut().shapes.insert(jid.clone(), shape);
+    }
+
+    /// Removes server-side impairment for `jid`.
+    pub fn clear_link_shape(&self, jid: &Jid) {
+        self.inner.borrow_mut().shapes.remove(jid);
+    }
+
+    /// Installs a server-side per-envelope fault hook for every leg that
+    /// touches `jid`'s sessions (both directions, across reconnects).
+    pub fn set_link_chaos(&self, jid: &Jid, hook: impl Fn(&Envelope) -> LinkFate + 'static) {
+        self.inner
+            .borrow_mut()
+            .link_chaos
+            .insert(jid.clone(), Rc::new(hook));
+    }
+
+    /// Removes the server-side fault hook for `jid`.
+    pub fn clear_link_chaos(&self, jid: &Jid) {
+        self.inner.borrow_mut().link_chaos.remove(jid);
+    }
+
+    /// Restarts the switchboard: every session dies at once (envelopes in
+    /// flight are lost via the generation check, presence state is wiped)
+    /// but the server keeps accepting connections — the "Openfire bounced"
+    /// fault. Accounts and rosters persist, as they would on disk.
+    pub fn restart(&self) {
+        self.inner.borrow_mut().restarts += 1;
+        self.drop_all_sessions();
+    }
+
+    /// Starts or ends an outage. Going down kills every session (like
+    /// [`Switchboard::restart`]) and makes [`Switchboard::connect`] fail
+    /// with [`NetError::ServerDown`] until the server comes back up.
+    pub fn set_down(&self, down: bool) {
+        let was_down = {
+            let mut inner = self.inner.borrow_mut();
+            std::mem::replace(&mut inner.down, down)
+        };
+        if down && !was_down {
+            self.drop_all_sessions();
+        }
+    }
+
+    /// Whether the switchboard is refusing connections.
+    pub fn is_down(&self) -> bool {
+        self.inner.borrow().down
+    }
+
+    /// How many times [`Switchboard::restart`] has run.
+    pub fn restarts(&self) -> u64 {
+        self.inner.borrow().restarts
+    }
+
+    fn drop_all_sessions(&self) {
+        let mut sessions: Vec<(Jid, Session)> = {
+            let mut inner = self.inner.borrow_mut();
+            inner.sessions.drain().collect()
+        };
+        // The registry is a HashMap; sort so disconnect callbacks fire in
+        // a deterministic order.
+        sessions.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, session) in sessions {
+            session.mark_disconnected();
+        }
+    }
+
+    /// One leg's worth of server-side impairment for `jid`: `None` to
+    /// drop, `Some(extra)` to deliver with that much added delay.
+    fn shape_leg(&self, jid: &Jid, envelope: &Envelope) -> Option<SimDuration> {
+        let hook = self.inner.borrow().link_chaos.get(jid).cloned();
+        let mut extra = SimDuration::ZERO;
+        if let Some(hook) = hook {
+            match hook(envelope) {
+                LinkFate::Drop => return None,
+                LinkFate::Delay(d) => extra += d,
+                LinkFate::Deliver => {}
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        let Some(shape) = inner.shapes.get(jid).copied() else {
+            return Some(extra);
+        };
+        if shape.loss > 0.0 && inner.shaper_rng.chance(shape.loss) {
+            return None;
+        }
+        extra += shape.extra_latency;
+        if shape.jitter > SimDuration::ZERO {
+            let ms = inner.shaper_rng.range_u64(0, shape.jitter.as_millis() + 1);
+            extra += SimDuration::from_millis(ms);
+        }
+        Some(extra)
     }
 
     /// Notifies `jid`'s roster buddies (with live sessions) that `jid`
@@ -212,7 +461,8 @@ impl Switchboard {
     }
 
     /// Second routing hop: the envelope reached the server; forward it to
-    /// the recipient's current session if any.
+    /// the recipient's current session if any, subject to the downlink
+    /// leg's impairments.
     fn route(&self, envelope: Envelope) {
         let (recipient, sim) = {
             let inner = self.inner.borrow();
@@ -222,8 +472,13 @@ impl Switchboard {
             self.inner.borrow_mut().dropped += 1;
             return;
         };
+        let Some(extra) = recipient.leg_delay(&envelope) else {
+            // Downlink loss: counted like any other in-flight casualty.
+            self.inner.borrow_mut().dropped += 1;
+            return;
+        };
         let expected_gen = recipient.generation();
-        let latency = recipient.latency();
+        let latency = recipient.latency() + extra;
         let server = self.clone();
         sim.schedule_in(latency, move || {
             if recipient.is_connected() && recipient.generation() == expected_gen {
@@ -242,10 +497,15 @@ struct SessionInner {
     server: Switchboard,
     jid: Jid,
     latency: SimDuration,
+    loss: f64,
+    jitter: SimDuration,
+    rng: SimRng,
+    chaos: Option<ChaosHook>,
     generation: u64,
     connected: bool,
     on_receive: Option<Rc<dyn Fn(Envelope)>>,
     on_presence: Option<PresenceListener>,
+    on_disconnect: Option<Rc<dyn Fn()>>,
     sent: u64,
     received: u64,
 }
@@ -305,6 +565,14 @@ impl Session {
         self.inner.borrow_mut().on_presence = Some(Rc::new(f));
     }
 
+    /// Installs the disconnect callback: invoked once when this session
+    /// dies for any reason — explicit [`Session::disconnect`], a replacing
+    /// reconnect, or a server restart/outage. This is how clients learn
+    /// the switchboard kicked them and schedule a reconnect.
+    pub fn on_disconnect(&self, f: impl Fn() + 'static) {
+        self.inner.borrow_mut().on_disconnect = Some(Rc::new(f));
+    }
+
     /// Sends a payload to `to`, subject to roster authorization. Delivery
     /// is asynchronous and may silently fail if either session dies while
     /// the envelope is in flight, or if the recipient is offline — use the
@@ -348,9 +616,15 @@ impl Session {
             payload,
             sent_at_ms: server.inner.borrow().sim.now().as_millis(),
         };
+        let Some(extra) = self.leg_delay(&envelope) else {
+            // Uplink loss: the radio ate it. Senders see Ok — exactly the
+            // silent failure the reliable layer exists for.
+            server.inner.borrow_mut().dropped += 1;
+            return Ok(());
+        };
         let sim = server.inner.borrow().sim.clone();
         let me = self.clone();
-        sim.schedule_in(latency, move || {
+        sim.schedule_in(latency + extra, move || {
             // Uplink leg: lost if our session died while in flight.
             if me.is_connected() && me.generation() == my_gen {
                 let server = me.inner.borrow().server.clone();
@@ -373,7 +647,6 @@ impl Session {
         if !was_connected {
             return;
         }
-        self.mark_disconnected();
         let removed = {
             let mut server_inner = server.inner.borrow_mut();
             // Only remove the registry entry if it is still this session.
@@ -388,12 +661,59 @@ impl Session {
         if removed {
             server.broadcast_presence(&jid, false);
         }
+        // Last: the disconnect callback may immediately reconnect.
+        self.mark_disconnected();
+    }
+
+    /// One leg's worth of impairment for this session: the session-level
+    /// loss/jitter/chaos from [`SessionOptions`] composed with the
+    /// server-side [`LinkShape`] and chaos hook for this JID. `None` to
+    /// drop, `Some(extra)` to deliver with that much added delay.
+    fn leg_delay(&self, envelope: &Envelope) -> Option<SimDuration> {
+        let (server, jid, chaos) = {
+            let inner = self.inner.borrow();
+            (inner.server.clone(), inner.jid.clone(), inner.chaos.clone())
+        };
+        let mut extra = SimDuration::ZERO;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.loss > 0.0 {
+                let loss = inner.loss;
+                if inner.rng.chance(loss) {
+                    return None;
+                }
+            }
+            if inner.jitter > SimDuration::ZERO {
+                let bound = inner.jitter.as_millis() + 1;
+                extra += SimDuration::from_millis(inner.rng.range_u64(0, bound));
+            }
+        }
+        if let Some(hook) = chaos {
+            match hook(envelope) {
+                LinkFate::Drop => return None,
+                LinkFate::Delay(d) => extra += d,
+                LinkFate::Deliver => {}
+            }
+        }
+        extra += server.shape_leg(&jid, envelope)?;
+        Some(extra)
     }
 
     fn mark_disconnected(&self) {
-        let mut inner = self.inner.borrow_mut();
-        inner.connected = false;
-        inner.generation += 1;
+        let handler = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.connected {
+                return;
+            }
+            inner.connected = false;
+            inner.generation += 1;
+            inner.on_disconnect.clone()
+        };
+        // Invoked outside the borrow: handlers reconnect, which touches
+        // the server registry and may replace this very session.
+        if let Some(handler) = handler {
+            handler();
+        }
     }
 
     fn generation(&self) -> u64 {
@@ -572,6 +892,153 @@ mod tests {
                 ("device@pogo".to_owned(), false)
             ]
         );
+    }
+
+    #[test]
+    fn lossy_session_drops_that_fraction() {
+        let (sim, server, dev, col) = setup();
+        let _cs = server.connect(&col, SimDuration::ZERO).unwrap();
+        let ds = server
+            .connect_with(&dev, SessionOptions::new().loss(0.5).seed(42))
+            .unwrap();
+        for seq in 0..200 {
+            ds.send(&col, seq, Payload::Data("x".into())).unwrap();
+        }
+        sim.run_until_idle();
+        let dropped = server.dropped();
+        assert!(
+            (60..=140).contains(&dropped),
+            "expected ~100 of 200 lost, got {dropped}"
+        );
+        assert_eq!(server.routed() + dropped, 200);
+    }
+
+    #[test]
+    fn session_loss_stream_is_deterministic() {
+        let fates = || {
+            let (sim, server, dev, col) = setup();
+            let _cs = server.connect(&col, SimDuration::ZERO).unwrap();
+            let ds = server
+                .connect_with(
+                    &dev,
+                    SessionOptions::new()
+                        .loss(0.3)
+                        .jitter(SimDuration::from_millis(40))
+                        .seed(7),
+                )
+                .unwrap();
+            for seq in 0..50 {
+                ds.send(&col, seq, Payload::Data("x".into())).unwrap();
+            }
+            sim.run_until_idle();
+            (server.routed(), server.dropped())
+        };
+        assert_eq!(fates(), fates());
+    }
+
+    #[test]
+    fn chaos_hook_controls_fate_per_envelope() {
+        let (sim, server, dev, col) = setup();
+        let cs = server.connect(&col, SimDuration::ZERO).unwrap();
+        let log = received_log(&cs);
+        let ds = server
+            .connect_with(
+                &dev,
+                SessionOptions::new().chaos(|e| {
+                    if e.seq % 2 == 0 {
+                        LinkFate::Drop
+                    } else {
+                        LinkFate::Delay(SimDuration::from_millis(500))
+                    }
+                }),
+            )
+            .unwrap();
+        for seq in 1..=4 {
+            ds.send(&col, seq, Payload::Data("x".into())).unwrap();
+        }
+        sim.run_until(SimTime::from_millis(499));
+        assert!(log.borrow().is_empty(), "delayed envelopes not yet due");
+        sim.run_until_idle();
+        let seqs: Vec<u64> = log.borrow().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 3]);
+        assert_eq!(server.dropped(), 2);
+    }
+
+    #[test]
+    fn server_side_link_shape_survives_reconnect() {
+        let (sim, server, dev, col) = setup();
+        let _cs = server.connect(&col, SimDuration::ZERO).unwrap();
+        server.shape_link(
+            &dev,
+            LinkShape {
+                loss: 1.0,
+                ..LinkShape::default()
+            },
+        );
+        // The device reconnects with a plain, clean session — the
+        // server-side shape still applies.
+        let ds = server.connect(&dev, SimDuration::ZERO).unwrap();
+        ds.send(&col, 1, Payload::Data("x".into())).unwrap();
+        let ds = server.connect(&dev, SimDuration::ZERO).unwrap();
+        ds.send(&col, 2, Payload::Data("x".into())).unwrap();
+        sim.run_until_idle();
+        assert_eq!(server.routed(), 0);
+        server.clear_link_shape(&dev);
+        ds.send(&col, 3, Payload::Data("x".into())).unwrap();
+        sim.run_until_idle();
+        assert_eq!(server.routed(), 1);
+    }
+
+    #[test]
+    fn restart_kills_sessions_and_fires_on_disconnect() {
+        let (sim, server, dev, col) = setup();
+        let ds = server.connect(&dev, SimDuration::from_millis(10)).unwrap();
+        let cs = server.connect(&col, SimDuration::from_millis(10)).unwrap();
+        let log = received_log(&cs);
+        let kicked: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let k = kicked.clone();
+        ds.on_disconnect(move || k.borrow_mut().push("dev"));
+        let k = kicked.clone();
+        cs.on_disconnect(move || k.borrow_mut().push("col"));
+        ds.send(&col, 1, Payload::Data("doomed".into())).unwrap();
+        server.restart();
+        sim.run_until_idle();
+        assert!(log.borrow().is_empty(), "in-flight died with the restart");
+        assert!(!ds.is_connected());
+        assert!(!cs.is_connected());
+        assert!(!server.is_online(&dev));
+        assert_eq!(server.restarts(), 1);
+        // Jid-sorted callback order: collector@pogo < device@pogo.
+        assert_eq!(*kicked.borrow(), vec!["col", "dev"]);
+    }
+
+    #[test]
+    fn outage_refuses_connections_until_back_up() {
+        let (_sim, server, dev, _col) = setup();
+        let ds = server.connect(&dev, SimDuration::ZERO).unwrap();
+        server.set_down(true);
+        assert!(server.is_down());
+        assert!(!ds.is_connected(), "outage kills live sessions");
+        assert_eq!(
+            server.connect(&dev, SimDuration::ZERO).unwrap_err(),
+            NetError::ServerDown
+        );
+        server.set_down(false);
+        assert!(server.connect(&dev, SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn replacing_reconnect_fires_old_sessions_on_disconnect() {
+        let (_sim, server, dev, _col) = setup();
+        let old = server.connect(&dev, SimDuration::ZERO).unwrap();
+        let fired = Rc::new(RefCell::new(0u32));
+        let f = fired.clone();
+        old.on_disconnect(move || *f.borrow_mut() += 1);
+        let _new = server.connect(&dev, SimDuration::ZERO).unwrap();
+        assert_eq!(*fired.borrow(), 1);
+        // Explicitly disconnecting the dead session is a no-op.
+        old.disconnect();
+        assert_eq!(*fired.borrow(), 1);
     }
 
     #[test]

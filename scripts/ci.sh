@@ -4,6 +4,7 @@
 #   scripts/ci.sh              build + tests + lint gates + perf check
 #   scripts/ci.sh --no-perf    skip the perf_smoke regression gate
 #   scripts/ci.sh --no-lint    skip fmt/clippy/pogo-lint (e.g. older toolchain)
+#   scripts/ci.sh --no-chaos   skip the chaos_soak fault-injection gate
 #
 # Lint gates (Rust- and script-side static analysis):
 #   * cargo fmt --check and cargo clippy -D warnings over the workspace;
@@ -24,10 +25,12 @@ cd "$(dirname "$0")/.."
 
 run_perf=1
 run_lint=1
+run_chaos=1
 for arg in "$@"; do
     case "$arg" in
         --no-perf) run_perf=0 ;;
         --no-lint) run_lint=0 ;;
+        --no-chaos) run_chaos=0 ;;
         *)
             echo "ci.sh: unknown flag $arg" >&2
             exit 2
@@ -47,6 +50,13 @@ fi
 
 if [[ "$run_perf" == 1 ]]; then
     ./target/release/perf_smoke --check BENCH_pr1.json --tolerance 0.25
+fi
+
+# Chaos gate: the fixed-seed 8-phone soak must inject >=100 faults over
+# >=3 classes with zero delivery-invariant violations, and two
+# back-to-back runs must produce byte-identical obs traces.
+if [[ "$run_chaos" == 1 ]]; then
+    ./target/release/chaos_soak --check
 fi
 
 # pogo-trace smoke: the quickstart workload with tracing on must emit

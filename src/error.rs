@@ -1,0 +1,171 @@
+//! The unified `pogo::Error` hierarchy.
+//!
+//! The workspace crates each define their own narrow error type
+//! ([`NetError`], [`DeployError`], [`ParseJidError`], [`ScriptError`]) —
+//! right for a library layer, awkward for application code and chaos
+//! tests that want to assert on *kind* without string-matching. This
+//! module folds them into one [`enum@Error`] with:
+//!
+//! - a stable, machine-readable [`ErrorCode`] per variant (what chaos
+//!   and CI assertions key on);
+//! - [`std::error::Error::source`] chaining back to the underlying
+//!   crate-level error;
+//! - `From` impls so `?` lifts any crate error into `pogo::Error`.
+
+use std::fmt;
+
+use pogo_core::DeployError;
+use pogo_net::{NetError, ParseJidError};
+use pogo_script::ScriptError;
+
+/// Stable error codes for every failure the middleware can report.
+///
+/// The string form ([`ErrorCode::as_str`]) is part of the public
+/// contract: codes are never renamed, only added.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// A JID with no account on the switchboard.
+    NetUnknownAccount,
+    /// Sender and recipient are not roster buddies.
+    NetNotAuthorized,
+    /// The session was already disconnected.
+    NetNotConnected,
+    /// The switchboard is down and refusing connections.
+    NetServerDown,
+    /// A malformed JID string.
+    JidInvalid,
+    /// A deployment rejected by the pre-flight static analyzer.
+    DeployRejected,
+    /// A script failed to parse or execute.
+    ScriptError,
+}
+
+impl ErrorCode {
+    /// The stable string form of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::NetUnknownAccount => "NET_UNKNOWN_ACCOUNT",
+            ErrorCode::NetNotAuthorized => "NET_NOT_AUTHORIZED",
+            ErrorCode::NetNotConnected => "NET_NOT_CONNECTED",
+            ErrorCode::NetServerDown => "NET_SERVER_DOWN",
+            ErrorCode::JidInvalid => "JID_INVALID",
+            ErrorCode::DeployRejected => "DEPLOY_REJECTED",
+            ErrorCode::ScriptError => "SCRIPT_ERROR",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Any error the Pogo middleware can surface, wrapping the narrow
+/// per-crate error types.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum Error {
+    /// A switchboard / session failure.
+    Net(NetError),
+    /// A malformed JID.
+    Jid(ParseJidError),
+    /// A deployment rejected by static analysis.
+    Deploy(DeployError),
+    /// A script load or runtime failure.
+    Script(ScriptError),
+}
+
+impl Error {
+    /// The stable code for this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Error::Net(NetError::UnknownAccount(_)) => ErrorCode::NetUnknownAccount,
+            Error::Net(NetError::NotAuthorized { .. }) => ErrorCode::NetNotAuthorized,
+            Error::Net(NetError::NotConnected) => ErrorCode::NetNotConnected,
+            Error::Net(NetError::ServerDown) => ErrorCode::NetServerDown,
+            Error::Jid(_) => ErrorCode::JidInvalid,
+            Error::Deploy(_) => ErrorCode::DeployRejected,
+            Error::Script(_) => ErrorCode::ScriptError,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Net(e) => write!(f, "[{}] {e}", self.code()),
+            Error::Jid(e) => write!(f, "[{}] {e}", self.code()),
+            Error::Deploy(e) => write!(f, "[{}] {e}", self.code()),
+            Error::Script(e) => write!(f, "[{}] {e}", self.code()),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Net(e) => Some(e),
+            Error::Jid(e) => Some(e),
+            Error::Deploy(e) => Some(e),
+            Error::Script(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetError> for Error {
+    fn from(e: NetError) -> Self {
+        Error::Net(e)
+    }
+}
+
+impl From<ParseJidError> for Error {
+    fn from(e: ParseJidError) -> Self {
+        Error::Jid(e)
+    }
+}
+
+impl From<DeployError> for Error {
+    fn from(e: DeployError) -> Self {
+        Error::Deploy(e)
+    }
+}
+
+impl From<ScriptError> for Error {
+    fn from(e: ScriptError) -> Self {
+        Error::Script(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo_net::Jid;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(ErrorCode::NetServerDown.as_str(), "NET_SERVER_DOWN");
+        assert_eq!(ErrorCode::DeployRejected.to_string(), "DEPLOY_REJECTED");
+    }
+
+    #[test]
+    fn from_impls_and_code_mapping() {
+        let e: Error = NetError::NotConnected.into();
+        assert_eq!(e.code(), ErrorCode::NetNotConnected);
+        let jid = Jid::new("ghost@pogo").unwrap();
+        let e: Error = NetError::UnknownAccount(jid).into();
+        assert_eq!(e.code(), ErrorCode::NetUnknownAccount);
+        let e: Error = Jid::new("not a jid").unwrap_err().into();
+        assert_eq!(e.code(), ErrorCode::JidInvalid);
+    }
+
+    #[test]
+    fn source_chains_to_the_crate_error() {
+        use std::error::Error as _;
+        let e: Error = NetError::ServerDown.into();
+        let source = e.source().expect("chained");
+        assert_eq!(source.to_string(), NetError::ServerDown.to_string());
+        assert!(e.to_string().starts_with("[NET_SERVER_DOWN]"));
+    }
+}

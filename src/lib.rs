@@ -39,6 +39,7 @@
 //! [`ObsConfig`](core::ObsConfig); dump the trace with
 //! [`obs::export`] or the `pogo-trace` CLI.
 
+pub use pogo_chaos as chaos;
 pub use pogo_cluster as cluster;
 pub use pogo_core as core;
 pub use pogo_mobility as mobility;
@@ -48,4 +49,7 @@ pub use pogo_platform as platform;
 pub use pogo_script as script;
 pub use pogo_sim as sim;
 
+pub mod error;
 pub mod glue;
+
+pub use error::{Error, ErrorCode};
