@@ -1,22 +1,27 @@
 //! `perf_smoke` — deterministic hot-path microbenchmarks.
 //!
-//! Default mode runs the four workloads (broker fan-out, JSON codec,
-//! streaming DBSCAN, interpreter) and writes the results to
-//! `BENCH_pr1.json` (override with `--out PATH`).
+//! Default mode runs the five workloads (broker fan-out, JSON codec,
+//! streaming DBSCAN, tree-walk interpreter, bytecode-VM callback
+//! delivery) and writes the results to `BENCH_pr6.json` (override with
+//! `--out PATH`).
 //!
 //! `--check PATH` instead compares the fresh run against a committed
 //! baseline file and exits non-zero if any bench regressed by more than
-//! 25% per op (override with `--tolerance FRACTION`). `scripts/ci.sh`
-//! runs this mode.
+//! 25% per op (override with `--tolerance FRACTION`). `--min-speedup
+//! NAME:X` (repeatable, requires `--check`) additionally demands that
+//! bench NAME run at least X times faster per op than the baseline
+//! file's recorded `interpreter` figure — the cross-engine floor the
+//! bytecode VM ships under. `scripts/ci.sh` runs this mode.
 
 use std::process::ExitCode;
 
 use pogo_bench::{perf, report};
 
 fn main() -> ExitCode {
-    let mut out_path = String::from("BENCH_pr1.json");
+    let mut out_path = String::from("BENCH_pr6.json");
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.25;
+    let mut min_speedups: Vec<(String, f64)> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +37,10 @@ fn main() -> ExitCode {
             "--tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
                 Some(t) if t >= 0.0 => tolerance = t,
                 _ => return usage("--tolerance needs a non-negative fraction"),
+            },
+            "--min-speedup" => match args.next().and_then(|s| parse_min_speedup(&s)) {
+                Some(gate) => min_speedups.push(gate),
+                None => return usage("--min-speedup needs NAME:X with X a positive factor"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument: {other}")),
@@ -74,27 +83,52 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let mut failed = false;
             match perf::regressions(&records, &baseline, tolerance) {
                 Ok(regs) if regs.is_empty() => {
                     println!(
                         "check: no regression beyond {:.0}% vs {path}",
                         tolerance * 100.0
                     );
-                    ExitCode::SUCCESS
                 }
                 Ok(regs) => {
                     for r in &regs {
                         eprintln!("REGRESSION {r}");
                     }
-                    ExitCode::FAILURE
+                    failed = true;
                 }
                 Err(e) => {
                     eprintln!("perf_smoke: {e}");
-                    ExitCode::FAILURE
+                    return ExitCode::FAILURE;
                 }
+            }
+            match perf::speedup_gates(&records, &baseline, &min_speedups) {
+                Ok(gates) if gates.is_empty() => {
+                    for (name, x) in &min_speedups {
+                        println!("check: {name} holds the {x}x floor vs recorded interpreter");
+                    }
+                }
+                Ok(gates) => {
+                    for g in &gates {
+                        eprintln!("SPEEDUP-FLOOR {g}");
+                    }
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("perf_smoke: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
         None => {
+            if !min_speedups.is_empty() {
+                return usage("--min-speedup requires --check");
+            }
             let json = perf::to_json(&records);
             if let Err(e) = std::fs::write(&out_path, json + "\n") {
                 eprintln!("perf_smoke: cannot write {out_path}: {e}");
@@ -106,11 +140,22 @@ fn main() -> ExitCode {
     }
 }
 
+fn parse_min_speedup(spec: &str) -> Option<(String, f64)> {
+    let (name, x) = spec.split_once(':')?;
+    let x: f64 = x.parse().ok()?;
+    if name.is_empty() || !x.is_finite() || x <= 0.0 {
+        return None;
+    }
+    Some((name.to_owned(), x))
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("perf_smoke: {err}");
     }
-    eprintln!("usage: perf_smoke [--out PATH] [--check PATH] [--tolerance FRACTION]");
+    eprintln!(
+        "usage: perf_smoke [--out PATH] [--check PATH] [--tolerance FRACTION] [--min-speedup NAME:X]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

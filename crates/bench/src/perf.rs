@@ -1,9 +1,10 @@
 //! Hot-path microbenchmarks — the workloads behind the `perf_smoke`
 //! binary.
 //!
-//! Four deterministic workloads exercise the paths the optimization pass
-//! touched: broker fan-out, the JSON codec, the streaming clusterer, and
-//! the PogoScript interpreter. Workload *content* is fixed by seeds and
+//! Five deterministic workloads exercise the paths the optimization
+//! passes touched: broker fan-out, the JSON codec, the streaming
+//! clusterer, the tree-walk PogoScript interpreter, and bytecode-VM
+//! callback delivery. Workload *content* is fixed by seeds and
 //! guarded by checksums; only the wall-clock measurement varies between
 //! machines. Every measurement is the fastest of [`RUNS`] repetitions
 //! after one warm-up (the least-interrupted run of a deterministic
@@ -24,7 +25,7 @@ use std::time::Instant;
 
 use pogo_cluster::{Bssid, ClusterSummary, Scan, StreamClusterer, StreamConfig};
 use pogo_core::{Broker, Msg};
-use pogo_script::{Interpreter, Value};
+use pogo_script::{Engine, Interpreter, ObjMap, Value};
 use pogo_sim::SimRng;
 
 /// Repetitions per measurement; the *minimum* is reported. The workloads
@@ -45,6 +46,8 @@ pub const CODEC_ITERS: usize = 2_000;
 pub const DBSCAN_SCANS: usize = 33_000;
 /// Interpreter workload: full parse+eval cycles per timed run.
 pub const INTERP_EVALS: usize = 40;
+/// Script VM workload: callback deliveries per timed run.
+pub const VM_CALLBACK_EVENTS: usize = 20_000;
 
 /// One benchmark's outcome.
 #[derive(Debug, Clone)]
@@ -589,14 +592,21 @@ for (var i = 0; i < 500; i++) {
 }
 total;";
 
-/// Full parse+eval cycles of [`INTERP_SOURCE`].
+/// Full parse+eval cycles of [`INTERP_SOURCE`] on the **tree-walk**
+/// engine. Pinned (rather than following the session default) so this
+/// record keeps measuring the same thing it always has — the
+/// pre-bytecode per-evaluation cost. `script_vm` below measures the
+/// engine that replaced it, and the `--min-speedup` gate relates the
+/// two.
 pub fn bench_interpreter() -> BenchRecord {
-    let expected = Interpreter::new().eval(INTERP_SOURCE).expect("script runs");
+    let expected = Interpreter::with_engine(Engine::TreeWalk)
+        .eval(INTERP_SOURCE)
+        .expect("script runs");
     assert!(matches!(expected, Value::Num(n) if n.is_finite()));
 
     let wall = best_wall_ns(|| {
         for _ in 0..INTERP_EVALS {
-            let mut interp = Interpreter::new();
+            let mut interp = Interpreter::with_engine(Engine::TreeWalk);
             let got = interp.eval(black_box(INTERP_SOURCE)).expect("script runs");
             assert_eq!(got, expected, "interpreter workload checksum");
         }
@@ -605,10 +615,109 @@ pub fn bench_interpreter() -> BenchRecord {
 }
 
 // ---------------------------------------------------------------------------
+// Script VM — fleet-scale callback delivery
+// ---------------------------------------------------------------------------
+
+/// The per-event callback a fleet-scale simulation runs millions of
+/// times: scan an AP list, fold signal strengths, update script state.
+/// The shape matches the wifi-scan handlers in `assets/scripts/`.
+pub const VM_CALLBACK_SOURCE: &str = "\
+var seen = 0;
+var strongest = 0;
+function onScan(scan) {
+    var aps = scan.aps;
+    var sum = 0;
+    for (var i = 0; i < aps.length; i++) {
+        var s = aps[i].signal;
+        sum += s;
+        if (s > strongest) { strongest = s; }
+    }
+    seen = seen + 1;
+    return sum / aps.length;
+}";
+
+/// A small pool of deterministic scan events (6–12 APs each), cycled
+/// through the timed run so the callback's branches see varied input.
+fn scan_events() -> Vec<Value> {
+    let mut rng = SimRng::seed_from_u64(0x5CA7);
+    (0..8)
+        .map(|_| {
+            let n = 6 + rng.index(7);
+            let aps: Vec<Value> = (0..n)
+                .map(|_| {
+                    let mut ap = ObjMap::new();
+                    ap.insert(
+                        "signal".to_owned(),
+                        Value::Num((rng.range_f64(0.05, 1.0) * 1000.0).round() / 1000.0),
+                    );
+                    Value::object(ap)
+                })
+                .collect();
+            let mut ev = ObjMap::new();
+            ev.insert("aps".to_owned(), Value::array(aps));
+            Value::object(ev)
+        })
+        .collect()
+}
+
+fn load_callback(engine: Engine) -> (Interpreter, Value) {
+    let mut interp = Interpreter::with_engine(engine);
+    interp
+        .eval(VM_CALLBACK_SOURCE)
+        .expect("callback script loads");
+    let cb = interp.globals().get("onScan").expect("onScan defined");
+    (interp, cb)
+}
+
+/// Callback delivery into a *loaded* script — the path `ScriptHost`
+/// drives once per sensor event on every simulated phone. The script is
+/// compiled once (the bytecode engine's compile-once/run-per-event
+/// contract); each op is one `Interpreter::call` of the handler. The
+/// baseline delivers the identical events through a tree-walk
+/// interpreter — the engine the VM replaced — with both engines first
+/// asserted to return identical values.
+pub fn bench_script_vm() -> BenchRecord {
+    let events = scan_events();
+    let (mut vm, vm_cb) = load_callback(Engine::Bytecode);
+    let (mut tw, tw_cb) = load_callback(Engine::TreeWalk);
+    for ev in &events {
+        let a = vm
+            .call(&vm_cb, std::slice::from_ref(ev))
+            .expect("vm callback");
+        let b = tw
+            .call(&tw_cb, std::slice::from_ref(ev))
+            .expect("tree-walk callback");
+        assert_eq!(a, b, "engines must agree on callback results");
+    }
+
+    fn deliver(events: &[Value], interp: &mut Interpreter, cb: &Value) {
+        let mut acc = 0.0;
+        for i in 0..VM_CALLBACK_EVENTS {
+            let ev = &events[i % events.len()];
+            match interp.call(cb, std::slice::from_ref(ev)) {
+                Ok(Value::Num(n)) => acc += n,
+                other => panic!("unexpected callback result: {other:?}"),
+            }
+        }
+        assert!(black_box(acc).is_finite(), "script_vm workload checksum");
+    }
+    let (wall, tree_wall) = best_wall_ns_pair(
+        || deliver(&events, &mut vm, &vm_cb),
+        || deliver(&events, &mut tw, &tw_cb),
+    );
+    record(
+        "script_vm",
+        VM_CALLBACK_EVENTS as u64,
+        wall,
+        Some(tree_wall),
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Harness plumbing
 // ---------------------------------------------------------------------------
 
-/// Runs all four workloads.
+/// Runs all five workloads.
 pub fn run_all() -> Vec<BenchRecord> {
     // The clustering replay goes first: it streams a multi-megabyte scan
     // trace, and allocating that trace on the fresh heap (before the
@@ -620,6 +729,7 @@ pub fn run_all() -> Vec<BenchRecord> {
         bench_json_codec(),
         dbscan,
         bench_interpreter(),
+        bench_script_vm(),
     ]
 }
 
@@ -650,6 +760,46 @@ pub fn to_json(records: &[BenchRecord]) -> String {
 
 fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
+}
+
+/// The `--min-speedup` gate: each `(name, min_x)` entry requires the
+/// current `name` bench to be at least `min_x`× faster per op than the
+/// **recorded** `interpreter` baseline — the pre-VM cost of one full
+/// tree-walk evaluation. This is the cross-engine promise the bytecode
+/// VM ships under ("fleet-scale event delivery is ≥ Nx cheaper than
+/// re-evaluating"), checked against committed numbers rather than a
+/// same-run ratio so a slow VM can't hide behind a slow box.
+pub fn speedup_gates(
+    current: &[BenchRecord],
+    baseline_json: &str,
+    gates: &[(String, f64)],
+) -> Result<Vec<String>, String> {
+    if gates.is_empty() {
+        return Ok(Vec::new());
+    }
+    let doc = Msg::from_json(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
+    let reference = doc
+        .get("benches")
+        .and_then(|b| b.get("interpreter"))
+        .and_then(|b| b.get("ns_per_op"))
+        .and_then(Msg::as_num)
+        .ok_or_else(|| "baseline has no `interpreter.ns_per_op` reference".to_owned())?;
+    let mut out = Vec::new();
+    for (name, min_x) in gates {
+        let Some(rec) = current.iter().find(|r| r.name == name) else {
+            out.push(format!("{name}: no such bench in the current run"));
+            continue;
+        };
+        let ratio = reference / rec.ns_per_op;
+        if ratio < *min_x {
+            out.push(format!(
+                "{name}: {:.1} ns/op is only {ratio:.1}x faster than the recorded \
+                 interpreter baseline ({reference:.1} ns/op); gate requires {min_x}x",
+                rec.ns_per_op
+            ));
+        }
+    }
+    Ok(out)
 }
 
 /// Compares `current` against a committed `BENCH_*.json`. Returns the
@@ -790,5 +940,32 @@ mod tests {
     fn regressions_rejects_malformed_baseline() {
         assert!(regressions(&[], "not json", 0.25).is_err());
         assert!(regressions(&[], "{\"schema\": \"pogo-perf/1\"}", 0.25).is_err());
+    }
+
+    #[test]
+    fn speedup_gate_compares_against_recorded_interpreter() {
+        let rec = |name: &'static str, ns_per_op: f64| BenchRecord {
+            name,
+            ops: 1,
+            wall_ns: ns_per_op as u64,
+            ns_per_op,
+            baseline_ns_per_op: None,
+            speedup: None,
+        };
+        let baseline = to_json(&[rec("interpreter", 1_000_000.0)]);
+        let current = vec![rec("script_vm", 10_000.0)];
+
+        // 100x faster: a 25x gate passes, a 200x gate fails.
+        let pass = speedup_gates(&current, &baseline, &[("script_vm".to_owned(), 25.0)]).unwrap();
+        assert!(pass.is_empty(), "unexpected failures: {pass:?}");
+        let fail = speedup_gates(&current, &baseline, &[("script_vm".to_owned(), 200.0)]).unwrap();
+        assert_eq!(fail.len(), 1);
+        assert!(fail[0].starts_with("script_vm:"), "{}", fail[0]);
+
+        // Unknown bench names and missing references are loud.
+        let unknown = speedup_gates(&current, &baseline, &[("nope".to_owned(), 2.0)]).unwrap();
+        assert_eq!(unknown.len(), 1);
+        let no_ref = to_json(&[rec("script_vm", 10.0)]);
+        assert!(speedup_gates(&current, &no_ref, &[("script_vm".to_owned(), 2.0)]).is_err());
     }
 }

@@ -126,6 +126,7 @@ impl Deployment<'_> {
             }
             LintPolicy::Skip => {}
         }
+        self.collector.precompile_spec(self.spec);
         if self.targets.is_empty() {
             self.collector.push_to_members(self.spec);
         } else {
@@ -488,6 +489,46 @@ impl CollectorNode {
                 experiment: spec.id.clone(),
                 errors,
             })
+        }
+    }
+
+    /// Compiles the spec's scripts to bytecode once, ahead of the push —
+    /// the deployed bundle is compiled exactly once per spec and the
+    /// chunks are shared by every simulated phone (the compile cache is
+    /// per-thread, and the deterministic sim is single-threaded). Emits
+    /// per-deployment compile counters/sizes as `deploy.*` metrics. A
+    /// script that fails to compile is logged to `pogo-lint` but does
+    /// not block the push: the device reports the same error at load
+    /// time, which is the long-standing `LintPolicy::Skip` contract.
+    /// No-op when the tree-walk engine is forced.
+    fn precompile_spec(&self, spec: &ExperimentSpec) {
+        if pogo_script::Engine::default_engine() != pogo_script::Engine::Bytecode {
+            return;
+        }
+        let mut ops: u64 = 0;
+        let mut fns: u64 = 0;
+        let mut compiled: u64 = 0;
+        let t0 = std::time::Instant::now();
+        for s in &spec.scripts {
+            match pogo_script::compile_cached(&s.source) {
+                Ok(prog) => {
+                    compiled += 1;
+                    ops += prog.op_count;
+                    fns += u64::from(prog.fn_count);
+                }
+                Err(e) => {
+                    self.logs()
+                        .append("pogo-lint", format!("{}: compile error: {e}", s.name));
+                }
+            }
+        }
+        let inner = self.inner.borrow();
+        if inner.obs.is_enabled() {
+            let m = inner.obs.metrics();
+            m.inc("deploy.compiled_scripts", compiled);
+            m.inc("deploy.compile.ops", ops);
+            m.inc("deploy.compile.fns", fns);
+            m.observe("deploy.compile_us", t0.elapsed().as_micros() as f64);
         }
     }
 

@@ -1139,7 +1139,7 @@ impl Analyzer {
 
 /// True when the statement opens its own scope (so its `var`s do not
 /// belong to the enclosing one).
-fn creates_scope(s: &Stmt) -> bool {
+pub(crate) fn creates_scope(s: &Stmt) -> bool {
     matches!(
         s,
         Stmt::Block { .. } | Stmt::For { .. } | Stmt::ForIn { .. } | Stmt::Func { .. }
@@ -1149,13 +1149,13 @@ fn creates_scope(s: &Stmt) -> bool {
 /// Collects the `var` names a statement list declares *into the
 /// current scope* — including through non-block `if`/`while` arms,
 /// which the interpreter executes in the enclosing environment.
-fn collect_scope_vars(stmts: &[Stmt], out: &mut Vec<(Rc<str>, u32)>) {
+pub(crate) fn collect_scope_vars(stmts: &[Stmt], out: &mut Vec<(Rc<str>, u32)>) {
     for s in stmts {
         collect_scope_vars_stmt(s, out);
     }
 }
 
-fn collect_scope_vars_stmt(s: &Stmt, out: &mut Vec<(Rc<str>, u32)>) {
+pub(crate) fn collect_scope_vars_stmt(s: &Stmt, out: &mut Vec<(Rc<str>, u32)>) {
     match s {
         Stmt::Var { decls, line } => {
             for (name, _) in decls {

@@ -12,27 +12,34 @@
 //! --allow-native NAME  treat NAME as a registered extension native
 //!                      (repeatable)
 //! --deny-warnings      exit nonzero on warnings too
+//! --dump-bytecode      compile each FILE and print the disassembled
+//!                      chunk instead of linting (stable, diff-friendly
+//!                      text; the golden-file tests pin it)
 //! ```
 //!
 //! Exit status: 0 clean (or warnings only), 1 errors found (or any
-//! finding under `--deny-warnings`), 2 usage/IO failure.
+//! finding under `--deny-warnings`), 2 usage/IO failure. Under
+//! `--dump-bytecode`: 0 on success, 1 on compile errors, 2 usage/IO.
 
 use std::process::ExitCode;
 
-use pogo_script::{analyze_bundle_with, analyze_with, AnalyzeOptions, Diagnostic, Severity};
+use pogo_script::{
+    analyze_bundle_with, analyze_with, compile, disassemble, AnalyzeOptions, Diagnostic, Severity,
+};
 
 struct Options {
     files: Vec<String>,
     rust_embedded: bool,
     bundle: bool,
     deny_warnings: bool,
+    dump_bytecode: bool,
     analyze: AnalyzeOptions,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pogo-lint [--rust-embedded] [--no-bundle] [--allow-native NAME]... \
-         [--deny-warnings] FILE..."
+         [--deny-warnings] [--dump-bytecode] FILE..."
     );
     ExitCode::from(2)
 }
@@ -43,6 +50,7 @@ fn main() -> ExitCode {
         rust_embedded: false,
         bundle: true,
         deny_warnings: false,
+        dump_bytecode: false,
         analyze: AnalyzeOptions::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -51,6 +59,7 @@ fn main() -> ExitCode {
             "--rust-embedded" => opts.rust_embedded = true,
             "--no-bundle" => opts.bundle = false,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--dump-bytecode" => opts.dump_bytecode = true,
             "--allow-native" => match args.next() {
                 Some(name) => opts.analyze.extra_natives.push(name),
                 None => return usage(),
@@ -68,6 +77,13 @@ fn main() -> ExitCode {
     }
     if opts.files.is_empty() {
         return usage();
+    }
+    if opts.dump_bytecode && opts.rust_embedded {
+        eprintln!("pogo-lint: --dump-bytecode does not combine with --rust-embedded");
+        return usage();
+    }
+    if opts.dump_bytecode {
+        return dump_bytecode(&opts.files);
     }
 
     let mut sources: Vec<(String, String, u32)> = Vec::new(); // (label, source, line offset)
@@ -139,6 +155,37 @@ fn main() -> ExitCode {
     };
     println!("pogo-lint: {scanned} {what}, {errors} error(s), {warnings} warning(s)");
     if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--dump-bytecode`: compile each file with the bytecode compiler and
+/// print the disassembled chunks — what a deployed phone will actually
+/// execute. The output is stable for a given source (the compiler is
+/// deterministic), so golden files can pin it.
+fn dump_bytecode(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pogo-lint: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(";; {path}");
+        match compile(&text) {
+            Ok(program) => print!("{}", disassemble(&program)),
+            Err(e) => {
+                println!(";; compile error: {e}");
+                failed = true;
+            }
+        }
+        println!();
+    }
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

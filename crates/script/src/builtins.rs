@@ -39,11 +39,77 @@ fn arg_num(args: &[Value], idx: usize, what: &str) -> Result<f64, ScriptError> {
         .ok_or_else(|| ScriptError::host(format!("{what}: argument {idx} must be a number")))
 }
 
+// ---- Math dispatch ---------------------------------------------------------
+//
+// One implementation per `Math` function, shared by the installed
+// natives *and* the VM's compile-time-resolved `MathCall` instruction,
+// so the fast path is identical-by-construction to the slow one.
+
+/// Signature of a `Math` builtin: pure, no interpreter access.
+pub(crate) type MathImpl = fn(&[Value]) -> Result<Value, ScriptError>;
+
+macro_rules! math_unary {
+    ($f:expr) => {
+        |args: &[Value]| Ok(Value::Num($f(arg_num(args, 0, "Math")?)))
+    };
+}
+
+fn math_pow(args: &[Value]) -> Result<Value, ScriptError> {
+    Ok(Value::Num(
+        arg_num(args, 0, "Math.pow")?.powf(arg_num(args, 1, "Math.pow")?),
+    ))
+}
+
+fn math_min(args: &[Value]) -> Result<Value, ScriptError> {
+    let mut best = f64::INFINITY;
+    for (i, _) in args.iter().enumerate() {
+        best = best.min(arg_num(args, i, "Math.min")?);
+    }
+    Ok(Value::Num(best))
+}
+
+fn math_max(args: &[Value]) -> Result<Value, ScriptError> {
+    let mut best = f64::NEG_INFINITY;
+    for (i, _) in args.iter().enumerate() {
+        best = best.max(arg_num(args, i, "Math.max")?);
+    }
+    Ok(Value::Num(best))
+}
+
+/// Every `Math` function, in the (stable) order `MathCall` operands
+/// index. The compiler resolves `Math.sqrt(..)` & co. to positions in
+/// this table when it can prove `Math` is the untouched builtin.
+pub(crate) const MATH_DISPATCH: &[(&str, MathImpl)] = &[
+    ("sqrt", math_unary!(f64::sqrt)),
+    ("abs", math_unary!(f64::abs)),
+    ("floor", math_unary!(f64::floor)),
+    ("ceil", math_unary!(f64::ceil)),
+    ("round", math_unary!(f64::round)),
+    ("exp", math_unary!(f64::exp)),
+    ("log", math_unary!(f64::ln)),
+    ("sin", math_unary!(f64::sin)),
+    ("cos", math_unary!(f64::cos)),
+    ("pow", math_pow),
+    ("min", math_min),
+    ("max", math_max),
+];
+
+/// The `MathCall` operand for `name`, if it is a dispatchable builtin.
+pub(crate) fn math_fn_index(name: &str) -> Option<u8> {
+    MATH_DISPATCH
+        .iter()
+        .position(|&(n, _)| n == name)
+        .map(|i| i as u8)
+}
+
 // ---- globals ---------------------------------------------------------------
 
-fn keys_impl(_: &mut Interpreter, args: &[Value]) -> Result<Value, ScriptError> {
+fn keys_impl(interp: &mut Interpreter, args: &[Value]) -> Result<Value, ScriptError> {
     match args.first() {
-        Some(Value::Object(map)) => Ok(Value::array(map.borrow().keys().map(Value::str).collect())),
+        Some(Value::Object(map)) => {
+            interp.charge(map.borrow().len() as u64)?;
+            Ok(Value::array(map.borrow().keys().map(Value::str).collect()))
+        }
         _ => Err(ScriptError::host("keys() expects an object")),
     }
 }
@@ -58,12 +124,15 @@ fn number_impl(_: &mut Interpreter, args: &[Value]) -> Result<Value, ScriptError
     })
 }
 
-fn string_impl(_: &mut Interpreter, args: &[Value]) -> Result<Value, ScriptError> {
-    Ok(Value::from(
-        args.first()
-            .map(Value::to_display_string)
-            .unwrap_or_default(),
-    ))
+fn string_impl(interp: &mut Interpreter, args: &[Value]) -> Result<Value, ScriptError> {
+    let s = args
+        .first()
+        .map(Value::to_display_string)
+        .unwrap_or_default();
+    // Attribute the rendering cost (unknown until rendered) to the
+    // script's budget so `String(huge_structure)` is not free.
+    interp.charge(s.len() as u64)?;
+    Ok(Value::from(s))
 }
 
 fn is_nan_impl(_: &mut Interpreter, args: &[Value]) -> Result<Value, ScriptError> {
@@ -112,54 +181,9 @@ fn math_object() -> Value {
     let mut m = ObjMap::new();
     m.insert("PI", Value::Num(std::f64::consts::PI));
     m.insert("E", Value::Num(std::f64::consts::E));
-    type MathFn = fn(f64) -> f64;
-    let unary: &[(&str, MathFn)] = &[
-        ("sqrt", f64::sqrt),
-        ("abs", f64::abs),
-        ("floor", f64::floor),
-        ("ceil", f64::ceil),
-        ("round", f64::round),
-        ("exp", f64::exp),
-        ("log", f64::ln),
-        ("sin", f64::sin),
-        ("cos", f64::cos),
-    ];
-    for &(name, f) in unary {
-        m.insert(
-            name,
-            native(name, move |_, args| {
-                Ok(Value::Num(f(arg_num(args, 0, "Math")?)))
-            }),
-        );
+    for &(name, f) in MATH_DISPATCH {
+        m.insert(name, native(name, move |_, args| f(args)));
     }
-    m.insert(
-        "pow",
-        native("pow", |_, args| {
-            Ok(Value::Num(
-                arg_num(args, 0, "Math.pow")?.powf(arg_num(args, 1, "Math.pow")?),
-            ))
-        }),
-    );
-    m.insert(
-        "min",
-        native("min", |_, args| {
-            let mut best = f64::INFINITY;
-            for (i, _) in args.iter().enumerate() {
-                best = best.min(arg_num(args, i, "Math.min")?);
-            }
-            Ok(Value::Num(best))
-        }),
-    );
-    m.insert(
-        "max",
-        native("max", |_, args| {
-            let mut best = f64::NEG_INFINITY;
-            for (i, _) in args.iter().enumerate() {
-                best = best.max(arg_num(args, i, "Math.max")?);
-            }
-            Ok(Value::Num(best))
-        }),
-    );
     Value::object(m)
 }
 
@@ -177,6 +201,29 @@ pub fn call_array_method(
     };
     let line = interp.current_line();
     let err = |msg: String| ScriptError::new(ErrorKind::Type, msg, line);
+    // Watchdog granularity: a single native call that touches the
+    // whole array costs proportional budget, so one pathological call
+    // cannot hide unbounded work behind one interpreter step. (The
+    // higher-order methods additionally consume steps inside the
+    // callbacks they invoke.)
+    if matches!(
+        name,
+        "shift"
+            | "unshift"
+            | "slice"
+            | "splice"
+            | "indexOf"
+            | "join"
+            | "concat"
+            | "reverse"
+            | "map"
+            | "filter"
+            | "forEach"
+            | "sort"
+    ) {
+        let n = items.borrow().len() as u64;
+        interp.charge(n)?;
+    }
     match name {
         "push" => {
             let mut v = items.borrow_mut();
@@ -244,9 +291,16 @@ pub fn call_array_method(
                 .first()
                 .and_then(|v| v.as_str().map(str::to_owned))
                 .unwrap_or_else(|| ",".to_owned());
-            let v = items.borrow();
-            let parts: Vec<String> = v.iter().map(Value::to_display_string).collect();
-            Ok(Value::from(parts.join(&sep)))
+            let out = {
+                let v = items.borrow();
+                let parts: Vec<String> = v.iter().map(Value::to_display_string).collect();
+                parts.join(&sep)
+            };
+            // The up-front element-count charge misses the rendered
+            // size (each element may stringify huge); bill the output
+            // bytes so one join cannot outrun the watchdog.
+            interp.charge(out.len() as u64)?;
+            Ok(Value::from(out))
         }
         "concat" => {
             let mut out = items.borrow().clone();
@@ -355,6 +409,9 @@ pub fn call_string_method(
     };
     let line = interp.current_line();
     let err = |msg: String| ScriptError::new(ErrorKind::Type, msg, line);
+    // Every string method scans the receiver; bill it (see the array
+    // dispatcher for the watchdog rationale).
+    interp.charge(s.len() as u64)?;
     match name {
         "substring" => {
             let chars: Vec<char> = s.chars().collect();

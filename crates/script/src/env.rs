@@ -1,4 +1,10 @@
 //! Lexical environments (scope chains) for the interpreter.
+//!
+//! Storage is a name→index map over an append-only slot vector. A
+//! name's slot index never changes once declared (redeclaration
+//! overwrites the value in place), which is what lets the bytecode
+//! VM's global-access sites cache a slot index per chunk location and
+//! verify it with a cheap name comparison instead of a hash lookup.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -9,9 +15,26 @@ use crate::value::Value;
 #[derive(Debug, Default)]
 struct Scope {
     /// Keyed by interned names: declaring an AST identifier clones an
-    /// `Rc`, and `&str` lookups work through `Borrow<str>`.
-    vars: HashMap<Rc<str>, Value>,
+    /// `Rc`, and `&str` lookups work through `Borrow<str>`. Values
+    /// index `slots`.
+    vars: HashMap<Rc<str>, usize>,
+    /// Append-only storage; an index is stable for the scope's life.
+    slots: Vec<(Rc<str>, Value)>,
     parent: Option<Env>,
+}
+
+impl Scope {
+    fn declare(&mut self, name: Rc<str>, value: Value) -> usize {
+        if let Some(&idx) = self.vars.get(&name) {
+            self.slots[idx].1 = value;
+            idx
+        } else {
+            let idx = self.slots.len();
+            self.slots.push((name.clone(), value));
+            self.vars.insert(name, idx);
+            idx
+        }
+    }
 }
 
 /// A lexical scope, shared by closures that capture it.
@@ -31,6 +54,7 @@ impl Env {
         Env {
             scope: Rc::new(RefCell::new(Scope {
                 vars: HashMap::new(),
+                slots: Vec::new(),
                 parent: Some(self.clone()),
             })),
         }
@@ -38,7 +62,40 @@ impl Env {
 
     /// Declares (or redeclares) a variable in *this* scope.
     pub fn declare(&self, name: impl Into<Rc<str>>, value: Value) {
-        self.scope.borrow_mut().vars.insert(name.into(), value);
+        self.scope.borrow_mut().declare(name.into(), value);
+    }
+
+    /// Declares in *this* scope and returns the (stable) slot index.
+    pub(crate) fn declare_indexed(&self, name: Rc<str>, value: Value) -> usize {
+        self.scope.borrow_mut().declare(name, value)
+    }
+
+    /// The slot index of `name` in *this* scope, if declared here.
+    pub(crate) fn slot_of(&self, name: &str) -> Option<usize> {
+        self.scope.borrow().vars.get(name).copied()
+    }
+
+    /// Reads slot `idx` if it still belongs to `name` (verified inline
+    /// cache access — a chunk may be shared across environments with
+    /// different declaration orders).
+    pub(crate) fn slot_get(&self, idx: usize, name: &Rc<str>) -> Option<Value> {
+        let scope = self.scope.borrow();
+        match scope.slots.get(idx) {
+            Some((n, v)) if Rc::ptr_eq(n, name) || **n == **name => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Writes slot `idx` if it still belongs to `name`.
+    pub(crate) fn slot_set(&self, idx: usize, name: &Rc<str>, value: Value) -> bool {
+        let mut scope = self.scope.borrow_mut();
+        match scope.slots.get_mut(idx) {
+            Some((n, v)) if Rc::ptr_eq(n, name) || **n == **name => {
+                *v = value;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Looks a name up through the scope chain.
@@ -49,8 +106,8 @@ impl Env {
         loop {
             let parent = {
                 let scope = current.borrow();
-                if let Some(v) = scope.vars.get(name) {
-                    return Some(v.clone());
+                if let Some(&idx) = scope.vars.get(name) {
+                    return Some(scope.slots[idx].1.clone());
                 }
                 scope.parent.as_ref()?.scope.clone()
             };
@@ -66,8 +123,8 @@ impl Env {
         loop {
             let parent = {
                 let mut scope = current.borrow_mut();
-                if let Some(slot) = scope.vars.get_mut(name) {
-                    *slot = value;
+                if let Some(&idx) = scope.vars.get(name) {
+                    scope.slots[idx].1 = value;
                     return true;
                 }
                 match &scope.parent {
@@ -130,5 +187,23 @@ mod tests {
         let b = root.child();
         a.declare("x", Value::from(1.0));
         assert_eq!(b.get("x"), None);
+    }
+
+    #[test]
+    fn slot_indices_are_stable_across_redeclare() {
+        let root = Env::new();
+        let name: Rc<str> = Rc::from("x");
+        let idx = root.declare_indexed(name.clone(), Value::from(1.0));
+        root.declare("y", Value::from(9.0));
+        // Redeclaring keeps the slot; the cached index stays valid.
+        let again = root.declare_indexed(name.clone(), Value::from(2.0));
+        assert_eq!(idx, again);
+        assert_eq!(root.slot_get(idx, &name), Some(Value::from(2.0)));
+        assert!(root.slot_set(idx, &name, Value::from(3.0)));
+        assert_eq!(root.get("x"), Some(Value::from(3.0)));
+        // A mismatched name is rejected, not silently aliased.
+        let other: Rc<str> = Rc::from("y");
+        assert_eq!(root.slot_get(idx, &other), None);
+        assert!(!root.slot_set(idx, &other, Value::Null));
     }
 }

@@ -1,13 +1,17 @@
-//! The tree-walking interpreter.
+//! Script execution: engine selection, the host-facing [`Interpreter`]
+//! API, and the tree-walking engine (kept as the semantic oracle for
+//! the bytecode VM in [`crate::vm`]).
 
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 use crate::ast::{BinOp, Expr, LogicalOp, Stmt, UnaryOp};
 use crate::builtins;
+use crate::bytecode::CompiledProgram;
 use crate::env::Env;
 use crate::error::{ErrorKind, ScriptError};
 use crate::parser::parse;
-use crate::value::{Closure, NativeFn, Value};
+use crate::value::{Closure, ClosureRepr, NativeFn, Value};
 
 /// Default per-invocation instruction budget: the deterministic analogue
 /// of the paper's 100 ms callback watchdog (§4.5), at a nominal 1 µs per
@@ -18,7 +22,34 @@ pub const DEFAULT_BUDGET: u64 = 100_000;
 /// costs several Rust frames in this tree-walking interpreter, and the
 /// host may run on a 2 MiB thread stack. Pogo's sensing scripts iterate,
 /// they don't recurse deeply.
-const MAX_DEPTH: usize = 100;
+pub(crate) const MAX_DEPTH: usize = 100;
+
+/// Which execution engine an [`Interpreter`] uses for whole programs.
+///
+/// Both engines implement the same observable semantics (results,
+/// emitted messages, error kinds and messages); the tree-walk is kept
+/// as the equivalence oracle and debugging fallback, the bytecode VM
+/// is the default. The `POGO_SCRIPT_ENGINE=treewalk` environment
+/// variable forces the tree-walk process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Compile to bytecode and run on the stack VM (default).
+    Bytecode,
+    /// Walk the AST directly (oracle / debugging).
+    TreeWalk,
+}
+
+impl Engine {
+    /// The process-wide default: [`Engine::Bytecode`] unless the
+    /// `POGO_SCRIPT_ENGINE` environment variable says `treewalk`.
+    pub fn default_engine() -> Engine {
+        static DEFAULT: OnceLock<Engine> = OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("POGO_SCRIPT_ENGINE").as_deref() {
+            Ok("treewalk") | Ok("tree-walk") | Ok("ast") => Engine::TreeWalk,
+            _ => Engine::Bytecode,
+        })
+    }
+}
 
 /// Statement execution outcome.
 enum Flow {
@@ -34,11 +65,12 @@ enum Flow {
 /// the host registers its API as native functions and then calls into
 /// script functions as events arrive.
 pub struct Interpreter {
-    globals: Env,
-    steps_remaining: u64,
+    pub(crate) globals: Env,
+    pub(crate) steps_remaining: u64,
     budget_limit: Option<u64>,
-    depth: usize,
-    current_line: u32,
+    pub(crate) depth: usize,
+    pub(crate) current_line: u32,
+    engine: Engine,
 }
 
 impl std::fmt::Debug for Interpreter {
@@ -60,6 +92,13 @@ impl Interpreter {
     /// Creates an interpreter with the standard builtins installed and no
     /// instruction budget.
     pub fn new() -> Self {
+        Self::with_engine(Engine::default_engine())
+    }
+
+    /// Creates an interpreter pinned to a specific execution engine
+    /// (the differential tests and the legacy `interpreter` bench use
+    /// this; hosts normally take the default).
+    pub fn with_engine(engine: Engine) -> Self {
         let globals = Env::new();
         builtins::install(&globals);
         Interpreter {
@@ -68,7 +107,13 @@ impl Interpreter {
             budget_limit: None,
             depth: 0,
             current_line: 0,
+            engine,
         }
+    }
+
+    /// The engine this interpreter executes programs with.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The global scope (for hosts that need direct access).
@@ -117,12 +162,37 @@ impl Interpreter {
         self.run(&program)
     }
 
-    /// Executes an already-parsed program in the global scope.
+    /// Executes an already-parsed program in the global scope, through
+    /// whichever engine this interpreter is configured with.
     ///
     /// # Errors
     ///
     /// As for [`Interpreter::eval`].
     pub fn run(&mut self, program: &[Stmt]) -> Result<Value, ScriptError> {
+        match self.engine {
+            Engine::TreeWalk => self.run_tree(program),
+            Engine::Bytecode => {
+                let compiled = crate::compile::compile_program(program)?;
+                self.run_compiled(&compiled)
+            }
+        }
+    }
+
+    /// Executes a pre-compiled program on the bytecode VM (regardless
+    /// of the configured engine — compilation already happened). This
+    /// is the hot host path: compile once per script spec, run per
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::eval`].
+    pub fn run_compiled(&mut self, program: &CompiledProgram) -> Result<Value, ScriptError> {
+        self.arm_budget();
+        crate::vm::run_main(self, program)
+    }
+
+    /// The tree-walk execution path (oracle engine).
+    fn run_tree(&mut self, program: &[Stmt]) -> Result<Value, ScriptError> {
         self.arm_budget();
         let env = self.globals.clone();
         self.hoist(program, &env);
@@ -167,43 +237,50 @@ impl Interpreter {
     /// script-level calls).
     pub(crate) fn call_value(&mut self, f: &Value, args: &[Value]) -> Result<Value, ScriptError> {
         match f {
-            Value::Func(closure) => {
-                if self.depth >= MAX_DEPTH {
-                    return Err(self.rt_err(ErrorKind::StackOverflow, "call stack exhausted"));
+            Value::Func(closure) => match &closure.repr {
+                ClosureRepr::Compiled { proto, upvals } => {
+                    crate::vm::call_closure(self, proto, upvals, args)
                 }
-                self.depth += 1;
-                let env = closure.env.child();
-                for (i, param) in closure.params.iter().enumerate() {
-                    env.declare(param.clone(), args.get(i).cloned().unwrap_or(Value::Null));
-                }
-                self.hoist(&closure.body, &env);
-                let mut result = Value::Null;
-                let mut error = None;
-                for stmt in closure.body.iter() {
-                    match self.exec_stmt(stmt, &env) {
-                        Ok(Flow::Normal) => {}
-                        Ok(Flow::Return(v)) => {
-                            result = v;
-                            break;
-                        }
-                        Ok(Flow::Break) | Ok(Flow::Continue) => {
-                            error = Some(
-                                self.rt_err(ErrorKind::Parse, "break/continue outside of a loop"),
-                            );
-                            break;
-                        }
-                        Err(e) => {
-                            error = Some(e);
-                            break;
+                ClosureRepr::Ast { body, env } => {
+                    if self.depth >= MAX_DEPTH {
+                        return Err(self.rt_err(ErrorKind::StackOverflow, "call stack exhausted"));
+                    }
+                    self.depth += 1;
+                    let env = env.child();
+                    for (i, param) in closure.params.iter().enumerate() {
+                        env.declare(param.clone(), args.get(i).cloned().unwrap_or(Value::Null));
+                    }
+                    self.hoist(body, &env);
+                    let mut result = Value::Null;
+                    let mut error = None;
+                    for stmt in body.iter() {
+                        match self.exec_stmt(stmt, &env) {
+                            Ok(Flow::Normal) => {}
+                            Ok(Flow::Return(v)) => {
+                                result = v;
+                                break;
+                            }
+                            Ok(Flow::Break) | Ok(Flow::Continue) => {
+                                error =
+                                    Some(self.rt_err(
+                                        ErrorKind::Parse,
+                                        "break/continue outside of a loop",
+                                    ));
+                                break;
+                            }
+                            Err(e) => {
+                                error = Some(e);
+                                break;
+                            }
                         }
                     }
+                    self.depth -= 1;
+                    match error {
+                        Some(e) => Err(e),
+                        None => Ok(result),
+                    }
                 }
-                self.depth -= 1;
-                match error {
-                    Some(e) => Err(e),
-                    None => Ok(result),
-                }
-            }
+            },
             Value::Native(native) => {
                 (native.func)(self, args).map_err(|e| e.with_line_if_unset(self.current_line))
             }
@@ -216,7 +293,7 @@ impl Interpreter {
 
     // ---- helpers -----------------------------------------------------------
 
-    fn rt_err(&self, kind: ErrorKind, msg: impl Into<String>) -> ScriptError {
+    pub(crate) fn rt_err(&self, kind: ErrorKind, msg: impl Into<String>) -> ScriptError {
         ScriptError::new(kind, msg, self.current_line)
     }
 
@@ -228,6 +305,29 @@ impl Interpreter {
             ));
         }
         self.steps_remaining -= 1;
+        Ok(())
+    }
+
+    /// Deducts `cost` steps from the current invocation's budget.
+    ///
+    /// Natives and builtins whose work is proportional to an input
+    /// (array methods, string scans, structure rendering) call this so
+    /// a *single* long-running call is still attributed to the
+    /// script's watchdog budget instead of counting as one step.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Timeout`] when the budget is exhausted; the budget
+    /// is left at zero so any further execution also trips.
+    pub fn charge(&mut self, cost: u64) -> Result<(), ScriptError> {
+        if self.steps_remaining < cost {
+            self.steps_remaining = 0;
+            return Err(self.rt_err(
+                ErrorKind::Timeout,
+                "instruction budget exhausted (callback watchdog)",
+            ));
+        }
+        self.steps_remaining -= cost;
         Ok(())
     }
 
@@ -243,9 +343,11 @@ impl Interpreter {
                     name.clone(),
                     Value::Func(Rc::new(Closure {
                         params: params.clone(),
-                        body: body.clone(),
-                        env: env.clone(),
                         name: name.clone(),
+                        repr: ClosureRepr::Ast {
+                            body: body.clone(),
+                            env: env.clone(),
+                        },
                     })),
                 );
             }
@@ -417,9 +519,11 @@ impl Interpreter {
             }
             Expr::Func { params, body } => Ok(Value::Func(Rc::new(Closure {
                 params: params.clone(),
-                body: body.clone(),
-                env: env.clone(),
                 name: Rc::from("<anonymous>"),
+                repr: ClosureRepr::Ast {
+                    body: body.clone(),
+                    env: env.clone(),
+                },
             }))),
             Expr::Unary { op, expr } => {
                 let v = self.eval_expr(expr, env)?;
@@ -518,7 +622,7 @@ impl Interpreter {
         }
     }
 
-    fn eval_unary(&self, op: UnaryOp, v: Value) -> Result<Value, ScriptError> {
+    pub(crate) fn eval_unary(&self, op: UnaryOp, v: Value) -> Result<Value, ScriptError> {
         match op {
             UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
             UnaryOp::Neg => match v.as_num() {
@@ -539,16 +643,25 @@ impl Interpreter {
         }
     }
 
-    fn eval_binary(&self, op: BinOp, a: Value, b: Value) -> Result<Value, ScriptError> {
+    pub(crate) fn eval_binary(
+        &mut self,
+        op: BinOp,
+        a: Value,
+        b: Value,
+    ) -> Result<Value, ScriptError> {
         use BinOp::*;
         match op {
             Add => match (&a, &b) {
                 (Value::Num(x), Value::Num(y)) => Ok(Value::Num(x + y)),
-                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::from(format!(
-                    "{}{}",
-                    a.to_display_string(),
-                    b.to_display_string()
-                ))),
+                (Value::Str(_), _) | (_, Value::Str(_)) => {
+                    let s = format!("{}{}", a.to_display_string(), b.to_display_string());
+                    // One concatenation can build an arbitrarily large
+                    // string for a single step; bill the produced bytes
+                    // so an `s = s + s` doubling loop cannot outrun the
+                    // watchdog (same attribution rule as `String()`).
+                    self.charge(s.len() as u64)?;
+                    Ok(Value::from(s))
+                }
                 _ => Err(self.num_op_err(op, &a, &b)),
             },
             Sub | Mul | Div | Rem => match (a.as_num(), b.as_num()) {
@@ -608,54 +721,74 @@ impl Interpreter {
             }
             Expr::Member { object, name } => {
                 let obj = self.eval_expr(object, env)?;
-                match obj {
-                    Value::Object(map) => {
-                        map.borrow_mut().insert(&**name, value);
-                        Ok(())
-                    }
-                    other => Err(self.rt_err(
-                        ErrorKind::Type,
-                        format!("cannot set property `{name}` on a {}", other.type_name()),
-                    )),
-                }
+                self.set_member_value(&obj, name, value)
             }
             Expr::Index { object, index } => {
                 let obj = self.eval_expr(object, env)?;
                 let idx = self.eval_expr(index, env)?;
-                match (&obj, &idx) {
-                    (Value::Array(items), Value::Num(n)) => {
-                        let i = *n as usize;
-                        if n.fract() != 0.0 || *n < 0.0 {
-                            return Err(
-                                self.rt_err(ErrorKind::Type, format!("invalid array index {n}"))
-                            );
-                        }
-                        let mut items = items.borrow_mut();
-                        if i >= items.len() {
-                            items.resize(i + 1, Value::Null);
-                        }
-                        items[i] = value;
-                        Ok(())
-                    }
-                    (Value::Object(map), Value::Str(key)) => {
-                        map.borrow_mut().insert(key.to_string(), value);
-                        Ok(())
-                    }
-                    (obj, idx) => Err(self.rt_err(
-                        ErrorKind::Type,
-                        format!(
-                            "cannot index a {} with a {}",
-                            obj.type_name(),
-                            idx.type_name()
-                        ),
-                    )),
-                }
+                self.set_index_value(&obj, &idx, value)
             }
             _ => Err(self.rt_err(ErrorKind::Type, "invalid assignment target")),
         }
     }
 
-    fn get_member(&mut self, obj: &Value, name: &str) -> Result<Value, ScriptError> {
+    /// Stores into `obj.name` (shared by tree-walk `assign_to` and the
+    /// VM's `SetMember`).
+    pub(crate) fn set_member_value(
+        &self,
+        obj: &Value,
+        name: &str,
+        value: Value,
+    ) -> Result<(), ScriptError> {
+        match obj {
+            Value::Object(map) => {
+                map.borrow_mut().insert(name, value);
+                Ok(())
+            }
+            other => Err(self.rt_err(
+                ErrorKind::Type,
+                format!("cannot set property `{name}` on a {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// Stores into `obj[idx]` (shared by tree-walk `assign_to` and the
+    /// VM's `SetIndex`).
+    pub(crate) fn set_index_value(
+        &self,
+        obj: &Value,
+        idx: &Value,
+        value: Value,
+    ) -> Result<(), ScriptError> {
+        match (obj, idx) {
+            (Value::Array(items), Value::Num(n)) => {
+                let i = *n as usize;
+                if n.fract() != 0.0 || *n < 0.0 {
+                    return Err(self.rt_err(ErrorKind::Type, format!("invalid array index {n}")));
+                }
+                let mut items = items.borrow_mut();
+                if i >= items.len() {
+                    items.resize(i + 1, Value::Null);
+                }
+                items[i] = value;
+                Ok(())
+            }
+            (Value::Object(map), Value::Str(key)) => {
+                map.borrow_mut().insert(key.to_string(), value);
+                Ok(())
+            }
+            (obj, idx) => Err(self.rt_err(
+                ErrorKind::Type,
+                format!(
+                    "cannot index a {} with a {}",
+                    obj.type_name(),
+                    idx.type_name()
+                ),
+            )),
+        }
+    }
+
+    pub(crate) fn get_member(&self, obj: &Value, name: &str) -> Result<Value, ScriptError> {
         match obj {
             Value::Object(map) => Ok(map.borrow().get(name).cloned().unwrap_or(Value::Null)),
             Value::Array(items) => match name {
@@ -683,7 +816,7 @@ impl Interpreter {
         }
     }
 
-    fn get_index(&mut self, obj: &Value, idx: &Value) -> Result<Value, ScriptError> {
+    pub(crate) fn get_index(&self, obj: &Value, idx: &Value) -> Result<Value, ScriptError> {
         match (obj, idx) {
             (Value::Array(items), Value::Num(n)) => {
                 if *n < 0.0 || n.fract() != 0.0 {
@@ -720,7 +853,7 @@ impl Interpreter {
     }
 
     /// Dispatches `receiver.name(args)`.
-    fn call_method(
+    pub(crate) fn call_method(
         &mut self,
         receiver: Value,
         name: &str,

@@ -48,6 +48,8 @@
 pub mod analyze;
 pub mod ast;
 pub mod builtins;
+pub mod bytecode;
+pub mod compile;
 pub mod diag;
 pub mod env;
 pub mod error;
@@ -58,11 +60,14 @@ pub mod pretty;
 pub mod sloc;
 pub mod token;
 pub mod value;
+pub(crate) mod vm;
 
 pub use analyze::{analyze, analyze_bundle, analyze_bundle_with, analyze_with, AnalyzeOptions};
+pub use bytecode::{disassemble, CompiledProgram};
+pub use compile::{compile, compile_cached, compile_program};
 pub use diag::{Diagnostic, Rule, Severity};
 pub use error::{ErrorKind, ScriptError};
-pub use interp::Interpreter;
+pub use interp::{Engine, Interpreter};
 pub use parser::parse;
 pub use sloc::{count_sloc, SourceStats};
 pub use value::{NativeFn, ObjMap, Value};

@@ -41,6 +41,21 @@ impl ObjMap {
         None
     }
 
+    /// Reads the entry at `idx` if it still holds `key` — the verified
+    /// inline-cache probe used by the VM's member sites. Entry indices
+    /// are stable: [`ObjMap::insert`] replaces in place.
+    pub(crate) fn get_at(&self, idx: usize, key: &str) -> Option<&Value> {
+        match self.entries.get(idx) {
+            Some((k, v)) if k == key => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The entry index of `key`, for cache population.
+    pub(crate) fn index_of(&self, key: &str) -> Option<usize> {
+        self.entries.iter().position(|(k, _)| k == key)
+    }
+
     /// Removes a key, returning its value.
     pub fn remove(&mut self, key: &str) -> Option<Value> {
         let idx = self.entries.iter().position(|(k, _)| k == key)?;
@@ -78,17 +93,41 @@ impl FromIterator<(String, Value)> for ObjMap {
     }
 }
 
+/// A captured-variable cell shared between a compiled closure and the
+/// frame (or sibling closures) it was created in. `None` means the
+/// binding's declaration has not executed yet.
+pub type UpvalCell = Rc<RefCell<Option<Value>>>;
+
 /// A script-visible function defined in PogoScript.
 #[derive(Debug)]
 pub struct Closure {
     /// Parameter names (interned, shared with the AST).
     pub params: Vec<Rc<str>>,
-    /// Function body (shared with the AST).
-    pub body: Rc<Vec<Stmt>>,
-    /// Captured environment.
-    pub env: Env,
     /// Name for diagnostics (`<anonymous>` for function expressions).
     pub name: Rc<str>,
+    /// How the function body is represented and executed.
+    pub repr: ClosureRepr,
+}
+
+/// The two execution representations of a script function. Both are
+/// first-class [`Value::Func`]s and can call each other freely, so a
+/// host can mix engines (e.g. the differential oracle tests do).
+#[derive(Debug)]
+pub enum ClosureRepr {
+    /// Tree-walk form: the AST body plus the captured environment.
+    Ast {
+        /// Function body (shared with the AST).
+        body: Rc<Vec<Stmt>>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// Bytecode form: a compiled prototype plus captured cells.
+    Compiled {
+        /// The compiled function.
+        proto: Rc<crate::bytecode::FnProto>,
+        /// Captured variables, in the prototype's upvalue order.
+        upvals: Rc<[UpvalCell]>,
+    },
 }
 
 /// Signature of a host-registered native function.

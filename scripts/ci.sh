@@ -19,7 +19,10 @@
 # recorded with the release profile in the workspace Cargo.toml (thin
 # LTO); absolute numbers vary per machine, which is why the tolerance is
 # generous — the gate catches "someone reintroduced the linear scan",
-# not single-digit drift.
+# not single-digit drift. The additional --min-speedup floor holds the
+# bytecode VM to its contract: delivering one callback event into a
+# loaded script must stay >=25x cheaper than the recorded cost of a full
+# tree-walk evaluation (the pre-VM way to run any script code).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,7 +52,8 @@ if [[ "$run_lint" == 1 ]]; then
 fi
 
 if [[ "$run_perf" == 1 ]]; then
-    ./target/release/perf_smoke --check BENCH_pr1.json --tolerance 0.25
+    ./target/release/perf_smoke --check BENCH_pr6.json --tolerance 0.25 \
+        --min-speedup script_vm:25
 fi
 
 # Chaos gate: the fixed-seed 8-phone soak must inject >=100 faults over

@@ -1,0 +1,80 @@
+//! Watchdog attribution across engines (§4.5).
+//!
+//! The instruction budget is the deterministic analogue of the paper's
+//! 100 ms callback watchdog. These tests pin the *granularity* rule:
+//! a single long-running native operation — one string concatenation
+//! or one `join` that renders megabytes — is billed by its output
+//! size, so a script cannot hide unbounded work behind a handful of
+//! budget steps. Both engines must kill such a script with the same
+//! error kind and the same stable `SCRIPT_ERROR` code the middleware
+//! reports upstream.
+
+use pogo::script::{Engine, ErrorKind, Interpreter};
+use pogo::{Error, ErrorCode};
+
+const BUDGET: u64 = 10_000;
+
+/// ~16 iterations of doubling: a few hundred budget *steps*, but the
+/// final concatenations each produce tens of kilobytes — far past the
+/// budget once output bytes are attributed.
+const DOUBLING_SOURCE: &str = "\
+var s = 'x';
+for (var i = 0; i < 16; i++) {
+    s = s + s;
+}
+s.length;";
+
+/// Builds a small array whose elements stringify large, then `join`s:
+/// the element-count charge alone (8) would never trip the watchdog.
+const JOIN_SOURCE: &str = "\
+var chunk = 'y';
+for (var i = 0; i < 11; i++) {
+    chunk = chunk + chunk;
+}
+var parts = [];
+for (var j = 0; j < 8; j++) {
+    parts.push(chunk);
+}
+parts.join('-').length;";
+
+fn run_budgeted(
+    engine: Engine,
+    source: &str,
+    budget: u64,
+) -> Result<(), pogo::script::ScriptError> {
+    let mut interp = Interpreter::with_engine(engine);
+    interp.set_budget(Some(budget));
+    interp.eval(source).map(|_| ())
+}
+
+#[test]
+fn long_native_work_is_attributed_to_the_budget_under_both_engines() {
+    for source in [DOUBLING_SOURCE, JOIN_SOURCE] {
+        for engine in [Engine::Bytecode, Engine::TreeWalk] {
+            let err = run_budgeted(engine, source, BUDGET)
+                .expect_err("budget-exceeding script must be killed");
+            assert_eq!(
+                err.kind(),
+                ErrorKind::Timeout,
+                "{engine:?}: expected the watchdog, got: {err}"
+            );
+            assert_eq!(
+                Error::from(err).code(),
+                ErrorCode::ScriptError,
+                "{engine:?}: the middleware-facing code must stay SCRIPT_ERROR"
+            );
+        }
+        // The same work fits comfortably once the budget covers the
+        // produced bytes — the kill above is attribution, not a
+        // blanket ban on string work.
+        for engine in [Engine::Bytecode, Engine::TreeWalk] {
+            run_budgeted(engine, source, 10_000_000)
+                .unwrap_or_else(|e| panic!("{engine:?}: generous budget still trips: {e}"));
+        }
+    }
+}
+
+#[test]
+fn watchdog_code_is_the_stable_script_error_string() {
+    assert_eq!(ErrorCode::ScriptError.as_str(), "SCRIPT_ERROR");
+}
