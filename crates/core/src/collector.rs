@@ -120,9 +120,13 @@ impl Deployment<'_> {
     /// anything in that case.
     pub fn send(self) -> Result<(), DeployError> {
         match self.lint {
-            LintPolicy::Enforce => self.collector.lint_spec(self.spec, true)?,
+            LintPolicy::Enforce => {
+                self.collector.lint_spec(self.spec, true)?;
+                self.collector.gate_spec(self.spec, true)?;
+            }
             LintPolicy::WarnOnly => {
                 let _ = self.collector.lint_spec(self.spec, false);
+                let _ = self.collector.gate_spec(self.spec, false);
             }
             LintPolicy::Skip => {}
         }
@@ -482,6 +486,84 @@ impl CollectorNode {
                 logs.append("pogo-lint", format!("{script}: {diag}"));
             }
         }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(DeployError {
+                experiment: spec.id.clone(),
+                errors,
+            })
+        }
+    }
+
+    /// The compiled-form gate: bytecode verification plus the
+    /// abstract-interpretation cost bounds, run against the same
+    /// watchdog budgets the devices enforce ([`crate::host`]). A
+    /// script whose *guaranteed minimum* cost exceeds its budget
+    /// (P301) can never complete on any phone — under `enforce` it is
+    /// rejected before a single device sees it. Unbounded or
+    /// may-exceed findings (P302/P303) and publish fan-out (P304) are
+    /// warnings: the watchdog still protects the fleet, so they only
+    /// go to the `pogo-lint` log. Scripts that fail to compile are
+    /// skipped here — [`Self::precompile_spec`] logs those, and the
+    /// device reports the same error at load time. No-op when the
+    /// tree-walk engine is forced (it has no chunks to verify; its
+    /// watchdog charges per AST node, which the bytecode cost model
+    /// does not describe).
+    fn gate_spec(&self, spec: &ExperimentSpec, enforce: bool) -> Result<(), DeployError> {
+        if pogo_script::Engine::default_engine() != pogo_script::Engine::Bytecode {
+            return Ok(());
+        }
+        let budgets = pogo_script::CostBudgets {
+            callback: crate::host::WATCHDOG_BUDGET,
+            load: crate::host::WATCHDOG_BUDGET * 10,
+        };
+        let mut errors = Vec::new();
+        let logs = self.logs();
+        let mut verify_us = 0f64;
+        let mut absint_us = 0f64;
+        for s in &spec.scripts {
+            let Ok(prog) = pogo_script::compile_cached(&s.source) else {
+                continue;
+            };
+            let t0 = std::time::Instant::now();
+            let verdict = pogo_script::verify::check(&prog);
+            verify_us += t0.elapsed().as_micros() as f64;
+            if let Err(e) = verdict {
+                // Only reachable through a compiler bug: compile()
+                // already verifies (and falls back to unoptimized
+                // code). Surface it like a compile failure.
+                let diag = pogo_script::Diagnostic::new(
+                    pogo_script::Rule::ParseError,
+                    0,
+                    format!("internal: compiled chunk failed verification: {e}"),
+                );
+                if enforce {
+                    errors.push((s.name.clone(), diag));
+                } else {
+                    logs.append("pogo-lint", format!("{}: {diag}", s.name));
+                }
+                continue;
+            }
+            let t1 = std::time::Instant::now();
+            let report = pogo_script::analyze_costs(&prog);
+            let diags = pogo_script::cost_diagnostics(&report, &budgets);
+            absint_us += t1.elapsed().as_micros() as f64;
+            for diag in diags {
+                if diag.is_error() && enforce {
+                    errors.push((s.name.clone(), diag));
+                } else {
+                    logs.append("pogo-lint", format!("{}: {diag}", s.name));
+                }
+            }
+        }
+        let inner = self.inner.borrow();
+        if inner.obs.is_enabled() {
+            let m = inner.obs.metrics();
+            m.observe("deploy.verify_us", verify_us);
+            m.observe("deploy.absint_us", absint_us);
+        }
+        drop(inner);
         if errors.is_empty() {
             Ok(())
         } else {
@@ -1014,6 +1096,97 @@ mod tests {
         assert!(
             lint_log.contains("P103") && lint_log.contains("nonexistent-feed"),
             "lint log records the warning: {lint_log:?}"
+        );
+    }
+
+    #[test]
+    fn deploy_rejects_guaranteed_over_budget_callback_with_p301() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        // Every invocation of this callback provably burns ≥ 20M × a
+        // few instructions — past the 10M watchdog budget on its
+        // cheapest path, so no phone could ever complete it.
+        let err = collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "hot.js".into(),
+                    source: "subscribe('accelerometer', function (m) {\n\
+                             \x20 var s = 0;\n\
+                             \x20 for (var i = 0; i < 20000000; i++) { s = s + i; }\n\
+                             \x20 publish(s, 'out');\n\
+                             });"
+                    .into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
+            .expect_err("statically over-budget callback must reject the deployment");
+        assert_eq!(err.experiment, "exp");
+        assert_eq!(err.errors.len(), 1);
+        assert_eq!(err.errors[0].0, "hot.js");
+        assert_eq!(err.errors[0].1.rule.code(), "P301");
+        // Rejected at the collector: the device never hears about it.
+        sim.run_for(SimDuration::from_mins(5));
+        assert!(device.context("exp").is_none());
+    }
+
+    #[test]
+    fn warn_only_logs_cost_gate_errors_without_blocking() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "hot.js".into(),
+                    source: "subscribe('accelerometer', function (m) {\n\
+                             \x20 var s = 0;\n\
+                             \x20 for (var i = 0; i < 20000000; i++) { s = s + i; }\n\
+                             \x20 publish(s, 'out');\n\
+                             });"
+                    .into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .lint(LintPolicy::WarnOnly)
+            .send()
+            .expect("WarnOnly never blocks");
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(device.context("exp").is_some(), "deployed despite P301");
+        let lint_log = collector.logs().lines("pogo-lint").join("\n");
+        assert!(
+            lint_log.contains("P301") && lint_log.contains("hot.js"),
+            "cost-gate error was logged instead: {lint_log:?}"
+        );
+    }
+
+    #[test]
+    fn unbounded_cost_is_a_warning_not_a_deploy_blocker() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        // Data-dependent iteration: the analyzer cannot bound it, but
+        // the runtime watchdog still protects the fleet — P302 is a
+        // logged warning, not a rejection.
+        collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "scan.js".into(),
+                    source: "subscribe('wifi-scan', function (msg) {\n\
+                             \x20 var n = 0;\n\
+                             \x20 for (var i = 0; i < msg.count; i++) { n = n + 1; }\n\
+                             \x20 publish(n, 'seen');\n\
+                             });"
+                    .into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
+            .expect("unbounded cost deploys with a warning");
+        sim.run_for(SimDuration::from_mins(1));
+        assert!(device.context("exp").is_some());
+        let lint_log = collector.logs().lines("pogo-lint").join("\n");
+        assert!(
+            lint_log.contains("P302"),
+            "unbounded-cost warning reaches the log: {lint_log:?}"
         );
     }
 

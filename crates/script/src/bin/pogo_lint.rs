@@ -12,19 +12,35 @@
 //! --allow-native NAME  treat NAME as a registered extension native
 //!                      (repeatable)
 //! --deny-warnings      exit nonzero on warnings too
+//! --verify             also compile each FILE and run the bytecode
+//!                      verifier; structural defects report as errors
+//!                      with their stable VERIFY_* code
+//! --cost               also run the abstract-interpretation cost
+//!                      analyzer; prints the per-entry-point bounds and
+//!                      reports P3xx budget findings
+//! --json               machine-readable output: one JSON object per
+//!                      finding on stdout (`file`, `code`, `severity`,
+//!                      `line`, `message`); the human summary moves to
+//!                      stderr
 //! --dump-bytecode      compile each FILE and print the disassembled
 //!                      chunk instead of linting (stable, diff-friendly
 //!                      text; the golden-file tests pin it)
+//! --dump-cfg           compile each FILE and print its control-flow
+//!                      graph, inferred loop trip counts, and static
+//!                      cost report instead of linting (also golden)
 //! ```
 //!
 //! Exit status: 0 clean (or warnings only), 1 errors found (or any
 //! finding under `--deny-warnings`), 2 usage/IO failure. Under
-//! `--dump-bytecode`: 0 on success, 1 on compile errors, 2 usage/IO.
+//! `--dump-bytecode`/`--dump-cfg`: 0 on success, 1 on compile errors,
+//! 2 usage/IO.
 
 use std::process::ExitCode;
 
+use pogo_script::absint::render_cfg;
 use pogo_script::{
-    analyze_bundle_with, analyze_with, compile, disassemble, AnalyzeOptions, Diagnostic, Severity,
+    analyze_bundle_with, analyze_costs, analyze_with, compile, cost_diagnostics, disassemble,
+    AnalyzeOptions, CostBudgets, Diagnostic, Severity,
 };
 
 struct Options {
@@ -32,16 +48,98 @@ struct Options {
     rust_embedded: bool,
     bundle: bool,
     deny_warnings: bool,
+    verify: bool,
+    cost: bool,
+    json: bool,
     dump_bytecode: bool,
+    dump_cfg: bool,
     analyze: AnalyzeOptions,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pogo-lint [--rust-embedded] [--no-bundle] [--allow-native NAME]... \
-         [--deny-warnings] [--dump-bytecode] FILE..."
+         [--deny-warnings] [--verify] [--cost] [--json] [--dump-bytecode] [--dump-cfg] FILE..."
     );
     ExitCode::from(2)
+}
+
+/// Counts findings and renders them as text or JSON lines.
+struct Reporter {
+    errors: usize,
+    warnings: usize,
+    json: bool,
+}
+
+impl Reporter {
+    fn finding(
+        &mut self,
+        label: &str,
+        code: &str,
+        severity: Severity,
+        line: u32,
+        message: &str,
+        rendered: Option<String>,
+    ) {
+        match severity {
+            Severity::Error => self.errors += 1,
+            Severity::Warning => self.warnings += 1,
+        }
+        if self.json {
+            println!(
+                "{{\"file\":{},\"code\":{},\"severity\":{},\"line\":{line},\"message\":{}}}",
+                json_str(label),
+                json_str(code),
+                json_str(&severity.to_string()),
+                json_str(message),
+            );
+        } else {
+            match rendered {
+                Some(r) => println!("{label}: {r}"),
+                None => println!("{label}: {severity}[{code}]: {message}"),
+            }
+        }
+    }
+
+    fn diag(&mut self, label: &str, offset: u32, source: &str, d: &Diagnostic) {
+        let mut rendered = d.render(source);
+        if offset > 0 {
+            // Re-anchor to the embedding .rs file so the location is
+            // clickable; keep the script-relative excerpt.
+            rendered = rendered.replacen(
+                &format!("line {}", d.line),
+                &format!("line {}", d.line + offset),
+                1,
+            );
+        }
+        self.finding(
+            label,
+            d.rule.code(),
+            d.severity(),
+            d.line + offset,
+            &d.message,
+            Some(rendered),
+        );
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn main() -> ExitCode {
@@ -50,7 +148,11 @@ fn main() -> ExitCode {
         rust_embedded: false,
         bundle: true,
         deny_warnings: false,
+        verify: false,
+        cost: false,
+        json: false,
         dump_bytecode: false,
+        dump_cfg: false,
         analyze: AnalyzeOptions::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -59,7 +161,11 @@ fn main() -> ExitCode {
             "--rust-embedded" => opts.rust_embedded = true,
             "--no-bundle" => opts.bundle = false,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--verify" => opts.verify = true,
+            "--cost" => opts.cost = true,
+            "--json" => opts.json = true,
             "--dump-bytecode" => opts.dump_bytecode = true,
+            "--dump-cfg" => opts.dump_cfg = true,
             "--allow-native" => match args.next() {
                 Some(name) => opts.analyze.extra_natives.push(name),
                 None => return usage(),
@@ -78,12 +184,15 @@ fn main() -> ExitCode {
     if opts.files.is_empty() {
         return usage();
     }
-    if opts.dump_bytecode && opts.rust_embedded {
-        eprintln!("pogo-lint: --dump-bytecode does not combine with --rust-embedded");
+    if (opts.dump_bytecode || opts.dump_cfg) && opts.rust_embedded {
+        eprintln!("pogo-lint: dump modes do not combine with --rust-embedded");
         return usage();
     }
     if opts.dump_bytecode {
-        return dump_bytecode(&opts.files);
+        return dump(&opts.files, |p| disassemble(p));
+    }
+    if opts.dump_cfg {
+        return dump(&opts.files, |p| render_cfg(p));
     }
 
     let mut sources: Vec<(String, String, u32)> = Vec::new(); // (label, source, line offset)
@@ -104,24 +213,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    let mut report = |label: &str, offset: u32, source: &str, d: &Diagnostic| {
-        match d.severity() {
-            Severity::Error => errors += 1,
-            Severity::Warning => warnings += 1,
-        }
-        let mut rendered = d.render(source);
-        if offset > 0 {
-            // Re-anchor to the embedding .rs file so the location is
-            // clickable; keep the script-relative excerpt.
-            rendered = rendered.replacen(
-                &format!("line {}", d.line),
-                &format!("line {}", d.line + offset),
-                1,
-            );
-        }
-        println!("{label}: {rendered}");
+    let mut rep = Reporter {
+        errors: 0,
+        warnings: 0,
+        json: opts.json,
     };
 
     if opts.rust_embedded || !opts.bundle {
@@ -129,7 +224,7 @@ fn main() -> ExitCode {
         // cross-script channel analysis over them would only guess.
         for (label, source, offset) in &sources {
             for d in analyze_with(source, &opts.analyze) {
-                report(label, *offset, source, &d);
+                rep.diag(label, *offset, source, &d);
             }
         }
     } else {
@@ -143,7 +238,58 @@ fn main() -> ExitCode {
                 .find(|(l, _, _)| *l == label)
                 .map(|(_, s, _)| s.as_str())
                 .unwrap_or("");
-            report(&label, 0, source, &d);
+            rep.diag(&label, 0, source, &d);
+        }
+    }
+
+    // Deep passes over the compiled form: structural verification and
+    // the abstract-interpretation cost bounds — the same checks
+    // `Deployment::send` runs before a spec reaches any phone.
+    if opts.verify || opts.cost {
+        for (label, source, offset) in &sources {
+            let program = match compile(source) {
+                Ok(p) => p,
+                Err(e) => {
+                    // The analyzer usually reported this already as
+                    // P000; compile-only failures still surface here.
+                    rep.finding(
+                        label,
+                        "P000",
+                        Severity::Error,
+                        *offset,
+                        &e.to_string(),
+                        None,
+                    );
+                    continue;
+                }
+            };
+            if opts.verify {
+                if let Err(e) = pogo_script::verify::check(&program) {
+                    rep.finding(
+                        label,
+                        e.code,
+                        Severity::Error,
+                        *offset,
+                        &e.to_string(),
+                        None,
+                    );
+                }
+            }
+            if opts.cost {
+                let report = analyze_costs(&program);
+                if !opts.json {
+                    print!(
+                        "{}",
+                        pogo_script::absint::render_cost_report(&report)
+                            .lines()
+                            .map(|l| format!("{label}: {l}\n"))
+                            .collect::<String>()
+                    );
+                }
+                for d in cost_diagnostics(&report, &CostBudgets::default()) {
+                    rep.diag(label, *offset, source, &d);
+                }
+            }
         }
     }
 
@@ -153,19 +299,27 @@ fn main() -> ExitCode {
     } else {
         "file(s)"
     };
-    println!("pogo-lint: {scanned} {what}, {errors} error(s), {warnings} warning(s)");
-    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+    let summary = format!(
+        "pogo-lint: {scanned} {what}, {} error(s), {} warning(s)",
+        rep.errors, rep.warnings
+    );
+    if opts.json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    if rep.errors > 0 || (opts.deny_warnings && rep.warnings > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
 }
 
-/// `--dump-bytecode`: compile each file with the bytecode compiler and
-/// print the disassembled chunks — what a deployed phone will actually
-/// execute. The output is stable for a given source (the compiler is
-/// deterministic), so golden files can pin it.
-fn dump_bytecode(files: &[String]) -> ExitCode {
+/// `--dump-bytecode` / `--dump-cfg`: compile each file and print a
+/// stable, diff-friendly rendering (the disassembly a deployed phone
+/// will actually execute, or the CFG + static cost report). The output
+/// is deterministic for a given source, so golden files can pin it.
+fn dump(files: &[String], render: impl Fn(&pogo_script::CompiledProgram) -> String) -> ExitCode {
     let mut failed = false;
     for path in files {
         let text = match std::fs::read_to_string(path) {
@@ -177,7 +331,7 @@ fn dump_bytecode(files: &[String]) -> ExitCode {
         };
         println!(";; {path}");
         match compile(&text) {
-            Ok(program) => print!("{}", disassemble(&program)),
+            Ok(program) => print!("{}", render(&program)),
             Err(e) => {
                 println!(";; compile error: {e}");
                 failed = true;

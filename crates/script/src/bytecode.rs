@@ -142,12 +142,33 @@ pub struct GlobalSite {
     pub cache: Cell<u32>,
 }
 
+impl Clone for GlobalSite {
+    /// A cloned site starts with a cold cache: the clone may be headed
+    /// for a different interpreter (or a mutation-testing harness).
+    fn clone(&self) -> Self {
+        GlobalSite {
+            name: self.name.clone(),
+            cache: Cell::new(u32::MAX),
+        }
+    }
+}
+
 /// A named property-access site with an inline cache of the property's
 /// index inside the receiver's [`crate::value::ObjMap`].
 #[derive(Debug)]
 pub struct MemberSite {
     pub name: Rc<str>,
     pub cache: Cell<u32>,
+}
+
+impl Clone for MemberSite {
+    /// A cloned site starts with a cold cache (see [`GlobalSite`]).
+    fn clone(&self) -> Self {
+        MemberSite {
+            name: self.name.clone(),
+            cache: Cell::new(u32::MAX),
+        }
+    }
 }
 
 /// Where one candidate binding for a [`ChainInfo`] lives.
@@ -166,7 +187,7 @@ pub enum ChainRef {
 /// Resolution chain for an identifier whose innermost binding may not
 /// have executed yet: candidates are probed innermost-out and the
 /// first *bound* one wins, reproducing the tree-walk scope chain.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ChainInfo {
     pub name: Rc<str>,
     pub cands: Box<[ChainRef]>,
@@ -196,10 +217,33 @@ pub struct Chunk {
     pub chains: Vec<ChainInfo>,
     /// Frame slots this function needs (locals, cells, iterators).
     pub n_slots: u16,
+    /// Set only by [`crate::verify::verify`] after every structural
+    /// check passed. The VM uses it to skip redundant bounds checks on
+    /// instruction fetch, so nothing outside the verifier may set it.
+    verified: Cell<bool>,
+}
+
+impl Clone for Chunk {
+    /// Clones are **unverified**: a clone is how test harnesses build
+    /// mutated chunks, so the fast-path privilege never carries over.
+    fn clone(&self) -> Self {
+        Chunk {
+            ops: self.ops.clone(),
+            lines: self.lines.clone(),
+            consts: self.consts.clone(),
+            protos: self.protos.clone(),
+            shapes: self.shapes.clone(),
+            globals: self.globals.clone(),
+            members: self.members.clone(),
+            chains: self.chains.clone(),
+            n_slots: self.n_slots,
+            verified: Cell::new(false),
+        }
+    }
 }
 
 /// A compiled function: parameter placement, upvalue recipe, body.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FnProto {
     pub name: Rc<str>,
     /// `(slot, is_cell)` per declared parameter, in order. Duplicate
@@ -223,6 +267,20 @@ pub struct CompiledProgram {
 }
 
 impl Chunk {
+    /// Whether this exact chunk object has passed the bytecode
+    /// verifier. Structural guarantees (jump targets in bounds, no
+    /// fall-through past the final terminator, stack never
+    /// underflows) let the VM use an unchecked instruction fetch.
+    pub fn is_verified(&self) -> bool {
+        self.verified.get()
+    }
+
+    /// Grant the verified-chunk fast path. Only `verify.rs` calls
+    /// this, and only after every check on this chunk has passed.
+    pub(crate) fn mark_verified(&self) {
+        self.verified.set(true);
+    }
+
     /// Instructions in this chunk and, recursively, its prototypes.
     pub fn total_ops(&self) -> u64 {
         self.ops.len() as u64 + self.protos.iter().map(|p| p.chunk.total_ops()).sum::<u64>()

@@ -49,8 +49,37 @@ use crate::value::Value;
 /// Parse errors, or a compile error for programs exceeding the
 /// bytecode format's (generous) size limits.
 pub fn compile(source: &str) -> Result<CompiledProgram, ScriptError> {
+    compile_with(source, &CompileOptions::default())
+}
+
+/// Knobs for [`compile_with`] / [`compile_program_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run the [`crate::opt`] bytecode passes (constant folding, jump
+    /// threading, DCE, constant-slot propagation) on every function.
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    /// Optimization defaults on; `POGO_SCRIPT_OPT=0` in the
+    /// environment turns it off process-wide (an escape hatch for
+    /// benchmarking and for bisecting a suspected optimizer bug).
+    fn default() -> Self {
+        static OPT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let optimize =
+            *OPT.get_or_init(|| std::env::var("POGO_SCRIPT_OPT").map_or(true, |v| v != "0"));
+        CompileOptions { optimize }
+    }
+}
+
+/// [`compile`] with explicit [`CompileOptions`].
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_with(source: &str, opts: &CompileOptions) -> Result<CompiledProgram, ScriptError> {
     let program = parse(source)?;
-    compile_program(&program)
+    compile_program_with(&program, opts)
 }
 
 /// Parses and compiles a source string through a per-thread cache, so
@@ -83,9 +112,52 @@ pub fn compile_cached(source: &str) -> Result<Rc<CompiledProgram>, ScriptError> 
 ///
 /// As for [`compile`].
 pub fn compile_program(program: &[Stmt]) -> Result<CompiledProgram, ScriptError> {
+    compile_program_with(program, &CompileOptions::default())
+}
+
+/// Compiles an already-parsed program with explicit options.
+///
+/// Every emitted program is structurally verified ([`crate::verify`])
+/// before it is returned; chunks that pass are marked so the VM can
+/// take its unchecked-dispatch fast path. If the optimizer ever
+/// produces a chunk the verifier rejects, the program is recompiled
+/// without optimization — an optimizer bug costs speed, not
+/// correctness (and aborts loudly in debug builds).
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_program_with(
+    program: &[Stmt],
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, ScriptError> {
+    let prog = lower_program(program, opts.optimize)?;
+    match crate::verify::verify(&prog) {
+        Ok(()) => Ok(prog),
+        Err(e) if opts.optimize => {
+            debug_assert!(false, "optimizer emitted an invalid chunk: {e}");
+            let prog = lower_program(program, false)?;
+            let fallback = crate::verify::verify(&prog);
+            debug_assert!(
+                fallback.is_ok(),
+                "compiler emitted an invalid chunk: {fallback:?}"
+            );
+            Ok(prog)
+        }
+        Err(e) => {
+            // A compiler bug: the chunk stays unverified and the VM
+            // keeps every bounds check on. Loud in debug builds.
+            debug_assert!(false, "compiler emitted an invalid chunk: {e}");
+            Ok(prog)
+        }
+    }
+}
+
+fn lower_program(program: &[Stmt], optimize: bool) -> Result<CompiledProgram, ScriptError> {
     let mut c = Compiler {
         funcs: Vec::new(),
         math_ok: program_math_ok(program),
+        optimize,
     };
     c.push_func(collect_captured(program));
     // The top-level scope is the shared global environment, not a
@@ -111,7 +183,10 @@ pub fn compile_program(program: &[Stmt]) -> Result<CompiledProgram, ScriptError>
     }
     c.emit(Op::ReturnResult);
     let fun = c.funcs.pop().expect("main function context");
-    let chunk = fun.finish();
+    let mut chunk = fun.finish();
+    if optimize {
+        crate::opt::optimize_chunk(&mut chunk, &[]);
+    }
     let op_count = chunk.total_ops();
     let fn_count = 1 + chunk.total_fns();
     Ok(CompiledProgram {
@@ -204,6 +279,8 @@ struct Compiler {
     /// `Math` is provably the untouched builtin everywhere in this
     /// program, enabling direct `MathCall` dispatch.
     math_ok: bool,
+    /// Run [`crate::opt`] on every chunk as it is finished.
+    optimize: bool,
 }
 
 const LIMIT_ERR: &str = "script too large to compile";
@@ -582,11 +659,17 @@ impl Compiler {
         self.compile_stmts(body)?;
         self.emit(Op::ReturnNull);
         let fun = self.funcs.pop().expect("function context");
+        let param_info = fun.param_info.clone();
+        let upvals = fun.upvals.clone();
+        let mut chunk = fun.finish();
+        if self.optimize {
+            crate::opt::optimize_chunk(&mut chunk, &param_info);
+        }
         let proto = FnProto {
             name,
-            params: fun.param_info.clone(),
-            upvals: fun.upvals.clone(),
-            chunk: fun.finish(),
+            params: param_info,
+            upvals,
+            chunk,
         };
         let n = self.fun().chunk.protos.len();
         let idx = self.limit(n)?;

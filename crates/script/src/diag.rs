@@ -79,6 +79,23 @@ pub enum Rule {
     UnusedFunction,
     /// P207 — a named function's parameter is never used in its body.
     UnusedParam,
+    /// P301 — the *guaranteed minimum* static cost of a callback
+    /// (instruction steps + charged bytes on every execution path)
+    /// exceeds the watchdog budget: the callback cannot complete even
+    /// once, so deploying it only burns device budgets.
+    CostBudgetExceeded,
+    /// P302 — a callback's worst-case cost is statically unbounded
+    /// (a loop with no inferable trip count, recursion, or a call
+    /// through a value the analyzer cannot resolve). Legal — the
+    /// watchdog still protects the phone — but worth knowing before
+    /// tasking a fleet.
+    CostUnbounded,
+    /// P303 — the worst-case cost bound is finite but exceeds the
+    /// watchdog budget: some inputs will trip the watchdog.
+    CostMayExceedBudget,
+    /// P304 — one event can fan out into a large or unbounded number
+    /// of `publish` calls, multiplying radio/broker load per trigger.
+    PublishFanout,
     /// P401 — a call to a name that is neither declared in the script
     /// nor part of the Pogo API: it only works if the host registers
     /// an extension native with that name.
@@ -109,6 +126,10 @@ impl Rule {
             Rule::UnusedVariable => "P205",
             Rule::UnusedFunction => "P206",
             Rule::UnusedParam => "P207",
+            Rule::CostBudgetExceeded => "P301",
+            Rule::CostUnbounded => "P302",
+            Rule::CostMayExceedBudget => "P303",
+            Rule::PublishFanout => "P304",
             Rule::UnknownNative => "P401",
             Rule::WriteOnlyGlobal => "P402",
         }
@@ -124,7 +145,10 @@ impl Rule {
             | Rule::UndeclaredWrite
             | Rule::WrongArity
             | Rule::NotCallable
-            | Rule::BadArgType => Severity::Error,
+            | Rule::BadArgType
+            // A minimum-cost bound over budget predicts a guaranteed
+            // watchdog kill, same class as a guaranteed runtime fault.
+            | Rule::CostBudgetExceeded => Severity::Error,
             Rule::DuplicateDecl
             | Rule::Shadowing
             | Rule::UnpublishedChannel
@@ -135,6 +159,9 @@ impl Rule {
             | Rule::UnusedVariable
             | Rule::UnusedFunction
             | Rule::UnusedParam
+            | Rule::CostUnbounded
+            | Rule::CostMayExceedBudget
+            | Rule::PublishFanout
             | Rule::UnknownNative
             | Rule::WriteOnlyGlobal => Severity::Warning,
         }
@@ -229,6 +256,10 @@ mod tests {
             Rule::UnusedVariable,
             Rule::UnusedFunction,
             Rule::UnusedParam,
+            Rule::CostBudgetExceeded,
+            Rule::CostUnbounded,
+            Rule::CostMayExceedBudget,
+            Rule::PublishFanout,
             Rule::UnknownNative,
             Rule::WriteOnlyGlobal,
         ];

@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod absint;
 pub mod analyze;
 pub mod ast;
 pub mod builtins;
@@ -55,19 +56,23 @@ pub mod env;
 pub mod error;
 pub mod interp;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod pretty;
 pub mod sloc;
 pub mod token;
 pub mod value;
+pub mod verify;
 pub(crate) mod vm;
 
+pub use absint::{analyze_costs, cost_diagnostics, Bound, Cost, CostBudgets, CostReport, Max};
 pub use analyze::{analyze, analyze_bundle, analyze_bundle_with, analyze_with, AnalyzeOptions};
 pub use bytecode::{disassemble, CompiledProgram};
-pub use compile::{compile, compile_cached, compile_program};
+pub use compile::{compile, compile_cached, compile_program, compile_with, CompileOptions};
 pub use diag::{Diagnostic, Rule, Severity};
 pub use error::{ErrorKind, ScriptError};
 pub use interp::{Engine, Interpreter};
 pub use parser::parse;
 pub use sloc::{count_sloc, SourceStats};
 pub use value::{NativeFn, ObjMap, Value};
+pub use verify::{verify, VerifyError, VERIFY_CODES};

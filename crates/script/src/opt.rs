@@ -1,0 +1,506 @@
+//! Bytecode optimization passes.
+//!
+//! Runs over a finished [`Chunk`] between compilation and execution:
+//! constant folding, branch folding, jump threading, dead-code
+//! elimination, and constant-slot propagation (backed by the
+//! [`crate::absint`] lattice). Every pass preserves the observable
+//! semantics the differential oracle pins down — results, published
+//! messages, error codes *and* watchdog accounting:
+//!
+//! * **String concatenation is never folded.** The interpreter bills
+//!   produced bytes against the instruction budget; folding `'a' + 'b'`
+//!   would change how much a script is charged.
+//! * Arithmetic folds use the exact `f64` operations the VM executes
+//!   (`/` by zero folds to the same infinity the VM would produce).
+//! * `==`/`!=` fold through [`Value`]'s own `PartialEq`, the strict
+//!   equality both engines share.
+//!
+//! The compiler re-verifies every optimized chunk ([`crate::verify`])
+//! and falls back to the unoptimized form if a pass ever emits an
+//! invalid chunk, so an optimizer bug degrades performance, never
+//! correctness.
+
+use crate::bytecode::{Chunk, Op};
+use crate::value::Value;
+
+/// Upper bound on fold/thread/DCE rounds per chunk. Each round only
+/// runs if the previous one changed something; three rounds reach a
+/// fixpoint on everything the test corpus produces.
+const MAX_ROUNDS: usize = 4;
+
+/// Optimizes one function's chunk in place. `params` is the owning
+/// prototype's parameter list (needed to seed the abstract entry state
+/// for constant-slot propagation). Nested prototypes are *not*
+/// visited: the compiler calls this once per function as each chunk is
+/// finished.
+pub fn optimize_chunk(chunk: &mut Chunk, params: &[(u16, bool)]) {
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = propagate_const_slots(chunk, params);
+        changed |= fold_constants(chunk);
+        changed |= thread_jumps(chunk);
+        changed |= eliminate_dead_code(chunk);
+        if !changed {
+            return;
+        }
+    }
+}
+
+// ---- shared helpers ---------------------------------------------------------
+
+/// The constant an op pushes, if it is a pure single-constant push.
+fn const_of(chunk: &Chunk, op: Op) -> Option<Value> {
+    match op {
+        Op::Const(i) => chunk.consts.get(i as usize).cloned(),
+        Op::PushTrue => Some(Value::Bool(true)),
+        Op::PushFalse => Some(Value::Bool(false)),
+        Op::PushNull => Some(Value::Null),
+        _ => None,
+    }
+}
+
+/// The op that pushes `v`, interning into the constant pool when
+/// needed. Returns `None` if the pool is full (folding just doesn't
+/// happen then).
+fn op_for_const(chunk: &mut Chunk, v: &Value) -> Option<Op> {
+    match v {
+        Value::Bool(true) => return Some(Op::PushTrue),
+        Value::Bool(false) => return Some(Op::PushFalse),
+        Value::Null => return Some(Op::PushNull),
+        _ => {}
+    }
+    let found = chunk.consts.iter().position(|c| match (c, v) {
+        // Bit-exact match so NaN payloads and -0.0 round-trip.
+        (Value::Num(a), Value::Num(b)) => a.to_bits() == b.to_bits(),
+        (Value::Str(a), Value::Str(b)) => a == b,
+        _ => false,
+    });
+    let idx = match found {
+        Some(i) => i,
+        None if chunk.consts.len() < u16::MAX as usize => {
+            chunk.consts.push(v.clone());
+            chunk.consts.len() - 1
+        }
+        None => return None,
+    };
+    Some(Op::Const(idx as u16))
+}
+
+/// Every instruction index some jump lands on. Ops in this set must
+/// keep their position-relative meaning, so peephole windows never
+/// rewrite across them.
+fn jump_targets(chunk: &Chunk) -> Vec<bool> {
+    let mut t = vec![false; chunk.ops.len()];
+    for &op in &chunk.ops {
+        if let Some(dst) = jump_target(op) {
+            if let Some(slot) = t.get_mut(dst) {
+                *slot = true;
+            }
+        }
+    }
+    t
+}
+
+fn jump_target(op: Op) -> Option<usize> {
+    match op {
+        Op::Jump(t)
+        | Op::JumpIfFalse(t)
+        | Op::JumpIfTruePeek(t)
+        | Op::JumpIfFalsePeek(t)
+        | Op::ForInNext(_, t) => Some(t as usize),
+        _ => None,
+    }
+}
+
+fn with_target(op: Op, t: u32) -> Op {
+    match op {
+        Op::Jump(_) => Op::Jump(t),
+        Op::JumpIfFalse(_) => Op::JumpIfFalse(t),
+        Op::JumpIfTruePeek(_) => Op::JumpIfTruePeek(t),
+        Op::JumpIfFalsePeek(_) => Op::JumpIfFalsePeek(t),
+        Op::ForInNext(s, _) => Op::ForInNext(s, t),
+        _ => op,
+    }
+}
+
+fn is_terminal(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Return | Op::ReturnNull | Op::ReturnResult | Op::FlowErr(_) | Op::Jump(_)
+    )
+}
+
+/// Rebuilds `ops`/`lines` keeping only `keep[i]` instructions and
+/// remapping every jump target. A deleted target is mapped to the next
+/// kept instruction — the passes only delete instructions whose
+/// execution is a no-op from that entry point (or that are
+/// unreachable), so "continue at the next survivor" is exact.
+fn compact(chunk: &mut Chunk, keep: &[bool]) {
+    let n = chunk.ops.len();
+    // map[i] = new index of instruction i (or of the next survivor).
+    let mut map = vec![0u32; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        map[i] = next;
+        if keep[i] {
+            next += 1;
+        }
+    }
+    let mut ops = Vec::with_capacity(next as usize);
+    let mut lines = Vec::with_capacity(next as usize);
+    for (i, &kept) in keep.iter().enumerate().take(n) {
+        if !kept {
+            continue;
+        }
+        let mut op = chunk.ops[i];
+        if let Some(t) = jump_target(op) {
+            op = with_target(op, map[t]);
+        }
+        ops.push(op);
+        lines.push(chunk.lines[i]);
+    }
+    chunk.ops = ops;
+    chunk.lines = lines;
+}
+
+// ---- pass: constant folding -------------------------------------------------
+
+/// Exact fold of one binary op over two constants, mirroring the VM's
+/// arithmetic byte for byte. `None` = not foldable (strings under `+`
+/// stay live because concat *charges* the budget; non-numeric operands
+/// of arithmetic/ordering ops raise runtime errors we must preserve).
+fn fold_binary(op: Op, a: &Value, b: &Value) -> Option<Value> {
+    match op {
+        Op::Eq => Some(Value::Bool(a == b)),
+        Op::Ne => Some(Value::Bool(a != b)),
+        _ => {
+            let (Value::Num(x), Value::Num(y)) = (a, b) else {
+                return None;
+            };
+            let (x, y) = (*x, *y);
+            Some(match op {
+                Op::Add => Value::Num(x + y),
+                Op::Sub => Value::Num(x - y),
+                Op::Mul => Value::Num(x * y),
+                Op::Div => Value::Num(x / y),
+                Op::Rem => Value::Num(x % y),
+                Op::Lt => Value::Bool(x < y),
+                Op::Gt => Value::Bool(x > y),
+                Op::Le => Value::Bool(x <= y),
+                Op::Ge => Value::Bool(x >= y),
+                _ => return None,
+            })
+        }
+    }
+}
+
+/// Peephole constant/branch folding. Every window requires that its
+/// interior instructions are not jump targets (execution cannot enter
+/// mid-window) — entering at the window *head* is always fine because
+/// the rewrite preserves head-entry behavior.
+fn fold_constants(chunk: &mut Chunk) -> bool {
+    let n = chunk.ops.len();
+    let targets = jump_targets(chunk);
+    let mut keep = vec![true; n];
+    let mut replace: Vec<Option<Op>> = vec![None; n];
+    let mut changed = false;
+
+    let mut i = 0;
+    while i < n {
+        let op0 = chunk.ops[i];
+        // Window: const, const, binop  →  folded const.
+        if i + 2 < n && !targets[i + 1] && !targets[i + 2] {
+            let (op1, op2) = (chunk.ops[i + 1], chunk.ops[i + 2]);
+            if let (Some(a), Some(b)) = (const_of(chunk, op0), const_of(chunk, op1)) {
+                if let Some(v) = fold_binary(op2, &a, &b) {
+                    // Never fold a concat: `Add` on strings bills the
+                    // produced bytes at runtime.
+                    let is_concat = matches!(op2, Op::Add)
+                        && (matches!(a, Value::Str(_)) || matches!(b, Value::Str(_)));
+                    if !is_concat {
+                        if let Some(new_op) = op_for_const(chunk, &v) {
+                            replace[i] = Some(new_op);
+                            keep[i + 1] = false;
+                            keep[i + 2] = false;
+                            changed = true;
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // Windows over a single constant.
+        if i + 1 < n && !targets[i + 1] {
+            if let Some(v) = const_of(chunk, op0) {
+                match chunk.ops[i + 1] {
+                    Op::Not => {
+                        replace[i] = Some(if v.is_truthy() {
+                            Op::PushFalse
+                        } else {
+                            Op::PushTrue
+                        });
+                        keep[i + 1] = false;
+                        changed = true;
+                        i += 2;
+                        continue;
+                    }
+                    Op::Neg => {
+                        if let Value::Num(x) = v {
+                            if let Some(new_op) = op_for_const(chunk, &Value::Num(-x)) {
+                                replace[i] = Some(new_op);
+                                keep[i + 1] = false;
+                                changed = true;
+                                i += 2;
+                                continue;
+                            }
+                        }
+                    }
+                    Op::UnaryPlus => {
+                        if matches!(v, Value::Num(_)) {
+                            keep[i + 1] = false;
+                            changed = true;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    Op::TypeOf => {
+                        if let Some(new_op) = op_for_const(chunk, &Value::str(v.type_name())) {
+                            replace[i] = Some(new_op);
+                            keep[i + 1] = false;
+                            changed = true;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    Op::JumpIfFalse(t) => {
+                        if v.is_truthy() {
+                            // Branch never taken: push + pop cancel.
+                            keep[i] = false;
+                            keep[i + 1] = false;
+                        } else {
+                            // Branch always taken.
+                            keep[i] = false;
+                            replace[i + 1] = Some(Op::Jump(t));
+                        }
+                        changed = true;
+                        i += 2;
+                        continue;
+                    }
+                    Op::JumpIfTruePeek(t) => {
+                        if v.is_truthy() {
+                            // Value stays on the stack and we jump.
+                            replace[i + 1] = Some(Op::Jump(t));
+                        } else {
+                            // Value stays, execution falls through.
+                            keep[i + 1] = false;
+                        }
+                        changed = true;
+                        i += 2;
+                        continue;
+                    }
+                    Op::JumpIfFalsePeek(t) => {
+                        if v.is_truthy() {
+                            keep[i + 1] = false;
+                        } else {
+                            replace[i + 1] = Some(Op::Jump(t));
+                        }
+                        changed = true;
+                        i += 2;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        i += 1;
+    }
+
+    if !changed {
+        return false;
+    }
+    for (i, r) in replace.into_iter().enumerate() {
+        if let Some(op) = r {
+            chunk.ops[i] = op;
+        }
+    }
+    compact(chunk, &keep);
+    true
+}
+
+// ---- pass: jump threading ---------------------------------------------------
+
+/// Retargets jumps whose destination is itself an unconditional jump,
+/// and deletes jumps to the immediately following instruction.
+fn thread_jumps(chunk: &mut Chunk) -> bool {
+    let n = chunk.ops.len();
+    let mut changed = false;
+    for i in 0..n {
+        let Some(mut t) = jump_target(chunk.ops[i]) else {
+            continue;
+        };
+        // Follow Jump→Jump chains; the visited set breaks Jump cycles
+        // (an empty `while(true);` compiles to a self-jump).
+        let mut seen = vec![i];
+        while let Op::Jump(next) = chunk.ops[t] {
+            if seen.contains(&(next as usize)) {
+                break;
+            }
+            seen.push(t);
+            t = next as usize;
+        }
+        if t != jump_target(chunk.ops[i]).unwrap() {
+            chunk.ops[i] = with_target(chunk.ops[i], t as u32);
+            changed = true;
+        }
+    }
+    // Jump-to-next is a no-op; deleting it maps inbound jumps to the
+    // next survivor, which is exactly the old destination.
+    let mut keep = vec![true; n];
+    let mut deleted = false;
+    for (i, kept) in keep.iter_mut().enumerate().take(n) {
+        if let Op::Jump(t) = chunk.ops[i] {
+            if t as usize == i + 1 {
+                *kept = false;
+                deleted = true;
+            }
+        }
+    }
+    if deleted {
+        compact(chunk, &keep);
+    }
+    changed | deleted
+}
+
+// ---- pass: dead-code elimination --------------------------------------------
+
+/// Removes instructions no path from the entry reaches. Anything that
+/// jumps *to* an unreachable instruction is itself unreachable, so the
+/// remap in [`compact`] never rewires live control flow.
+fn eliminate_dead_code(chunk: &mut Chunk) -> bool {
+    let n = chunk.ops.len();
+    if n == 0 {
+        return false;
+    }
+    let mut live = vec![false; n];
+    let mut work = vec![0usize];
+    while let Some(ip) = work.pop() {
+        if ip >= n || live[ip] {
+            continue;
+        }
+        live[ip] = true;
+        let op = chunk.ops[ip];
+        if let Some(t) = jump_target(op) {
+            work.push(t);
+        }
+        if !is_terminal(op) {
+            work.push(ip + 1);
+        }
+    }
+    if live.iter().all(|&l| l) {
+        return false;
+    }
+    // Keep the final instruction even if dead: the verifier requires a
+    // non-empty stream, and an unreachable trailing terminal is the
+    // cheapest way to keep "last op" well-formed when everything after
+    // an infinite loop dies.
+    if !live[n - 1] && is_terminal(chunk.ops[n - 1]) && live.iter().filter(|&&l| l).count() == 0 {
+        return false;
+    }
+    compact(chunk, &live);
+    true
+}
+
+// ---- pass: constant-slot propagation ----------------------------------------
+
+/// Replaces `LoadLocal(s)` with a constant push when the abstract
+/// interpreter proves the slot holds that exact constant at that
+/// point. One-for-one replacement: no indices shift, no jump targets
+/// move. Cells and chains are left alone (they can be observed by
+/// closures / rebound at runtime).
+fn propagate_const_slots(chunk: &mut Chunk, params: &[(u16, bool)]) -> bool {
+    use crate::absint::{analyze_chunk, AbsVal, SlotAbs};
+
+    if !chunk.ops.iter().any(|op| matches!(op, Op::LoadLocal(_))) {
+        return false;
+    }
+    let analysis = analyze_chunk(chunk, params, None);
+    let mut edits: Vec<(usize, Value)> = Vec::new();
+    for (ip, &op) in chunk.ops.iter().enumerate() {
+        let Op::LoadLocal(s) = op else { continue };
+        let Some(st) = &analysis.in_states[ip] else {
+            continue;
+        };
+        let Some(SlotAbs::Val(v)) = st.slots.get(s as usize) else {
+            continue;
+        };
+        let c = match v {
+            AbsVal::ConstNum(bits) => Value::Num(f64::from_bits(*bits)),
+            AbsVal::ConstStr(rc) => Value::Str(rc.clone()),
+            AbsVal::ConstBool(b) => Value::Bool(*b),
+            AbsVal::ConstNull => Value::Null,
+            _ => continue,
+        };
+        edits.push((ip, c));
+    }
+    let mut changed = false;
+    for (ip, c) in edits {
+        if let Some(new_op) = op_for_const(chunk, &c) {
+            chunk.ops[ip] = new_op;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::disassemble;
+    use crate::compile::{compile_with, CompileOptions};
+
+    fn opts(optimize: bool) -> CompileOptions {
+        CompileOptions { optimize }
+    }
+
+    fn ops_of(src: &str, optimize: bool) -> String {
+        let prog = compile_with(src, &opts(optimize)).expect("compile");
+        disassemble(&prog)
+    }
+
+    #[test]
+    fn folds_numeric_arithmetic() {
+        let dis = ops_of("var x = 2 + 3 * 4;", true);
+        assert!(!dis.contains("Mul"), "{dis}");
+        assert!(!dis.contains("Add"), "{dis}");
+    }
+
+    #[test]
+    fn never_folds_string_concat() {
+        // Concat bills produced bytes at runtime; it must stay live.
+        let dis = ops_of("var s = 'a' + 'b';", true);
+        assert!(dis.contains("Add"), "{dis}");
+    }
+
+    #[test]
+    fn folds_constant_branches_and_drops_dead_code() {
+        let unopt = ops_of("if (false) { publish('x', 1); } var y = 2;", false);
+        let opt = ops_of("if (false) { publish('x', 1); } var y = 2;", true);
+        assert!(unopt.contains("JumpIfFalse"), "{unopt}");
+        assert!(!opt.contains("JumpIfFalse"), "{opt}");
+        assert!(!opt.contains("publish"), "{opt}");
+    }
+
+    #[test]
+    fn optimized_chunks_verify() {
+        let srcs = [
+            "var x = 1 + 2; if (x == 3) { publish('ch', x); }",
+            "if (true) { var a = 1; } else { var b = 2; }",
+            "var i = 0; while (true) { i = i + 1; if (i > 3) { break; } }",
+            "var t = typeof 3; var n = -(2 * 2); var u = !false;",
+        ];
+        for src in srcs {
+            let prog = compile_with(src, &opts(true)).expect(src);
+            crate::verify::check(&prog).expect(src);
+        }
+    }
+}

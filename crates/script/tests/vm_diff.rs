@@ -18,466 +18,20 @@
 //! ("internal: unbound slot access" is a compiler bug by definition).
 //! Programs with injected scope bugs stay in the corpus so the error
 //! paths of both engines are compared too.
+//!
+//! A fourth, since the bytecode optimizer landed: the optimized
+//! pipeline (the default) must be observationally identical to the
+//! unoptimized one — same results, same emit sequence, same error
+//! kind *and message*. Note the main differential above already runs
+//! the optimizer (it is on by default), so tree-walk vs optimized-VM
+//! equivalence is covered there; the dedicated test below pins
+//! optimized-VM vs unoptimized-VM so an optimizer bug cannot hide
+//! behind a matching tree-walk bug.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+mod common;
 
-use pogo_script::{Engine, ErrorKind, Interpreter, Value};
-
-// ---- structural value equality ---------------------------------------------
-
-/// Structural equality across engine heaps: numbers with `NaN == NaN`,
-/// containers element-wise, functions by type only (closure identity is
-/// meaningless across engines).
-fn eq_val(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Num(x), Value::Num(y)) => x == y || (x.is_nan() && y.is_nan()),
-        (Value::Array(x), Value::Array(y)) => {
-            let (x, y) = (x.borrow(), y.borrow());
-            x.len() == y.len() && x.iter().zip(y.iter()).all(|(a, b)| eq_val(a, b))
-        }
-        (Value::Object(x), Value::Object(y)) => {
-            let (x, y) = (x.borrow(), y.borrow());
-            x.len() == y.len()
-                && x.iter()
-                    .zip(y.iter())
-                    .all(|((ka, va), (kb, vb))| ka == kb && eq_val(va, vb))
-        }
-        (Value::Func(_), Value::Func(_)) => true,
-        (Value::Native(_), Value::Native(_)) => true,
-        _ => a == b,
-    }
-}
-
-/// One engine's observation of a program: result or error, plus every
-/// value the program passed to `emit` (rendered, so heap identity does
-/// not leak in).
-struct Run {
-    result: Result<Value, (ErrorKind, String)>,
-    emitted: Vec<String>,
-}
-
-fn run_engine(engine: Engine, src: &str) -> Run {
-    let emitted = Rc::new(RefCell::new(Vec::new()));
-    let sink = Rc::clone(&emitted);
-    let mut interp = Interpreter::with_engine(engine);
-    interp.register_native("emit", move |_, args| {
-        let mut out = sink.borrow_mut();
-        for a in args {
-            out.push(a.to_display_string());
-        }
-        Ok(Value::Null)
-    });
-    let result = interp
-        .eval(src)
-        .map_err(|e| (e.kind(), e.message().to_owned()));
-    Run {
-        result,
-        emitted: Rc::try_unwrap(emitted)
-            .map(RefCell::into_inner)
-            .unwrap_or_else(|rc| rc.borrow().clone()),
-    }
-}
-
-// ---- program generator ------------------------------------------------------
-
-/// Random-program generator aimed at the compiler's hard spots: slot vs
-/// chain resolution (use-before-decl, shadowing, conditional
-/// declarations), cells (closures capturing loop variables), evaluation
-/// order (compound assignment, update expressions, call arguments),
-/// `Math` fast-path eligibility, and the error paths (undeclared
-/// reads/writes, bad operand types).
-struct VmGen {
-    rng: rand::rngs::SmallRng,
-    /// Scope chain of declared names (name, holds-a-number), innermost
-    /// last. The numeric flag steers expression leaves toward
-    /// well-typed operands; a small leak of any-typed names keeps the
-    /// operator-type-error paths in the corpus without drowning it.
-    scopes: Vec<Vec<(String, bool)>>,
-    /// Names statically known to hold callable functions, with arity.
-    funcs: Vec<(String, usize)>,
-    next_id: usize,
-    out: String,
-}
-
-impl VmGen {
-    fn generate(seed: u64) -> String {
-        use rand::SeedableRng;
-        let mut g = VmGen {
-            rng: rand::rngs::SmallRng::seed_from_u64(seed),
-            scopes: vec![Vec::new()],
-            funcs: Vec::new(),
-            next_id: 0,
-            out: String::new(),
-        };
-        let n = g.range(4, 11);
-        for _ in 0..n {
-            g.stmt(0);
-        }
-        // Always end observing the accumulated state so structurally
-        // different-but-silent divergence cannot hide.
-        if let Some(name) = g.declared_name() {
-            g.out.push_str(&format!("emit({name});\n{name};\n"));
-        }
-        g.out
-    }
-
-    fn range(&mut self, lo: usize, hi: usize) -> usize {
-        use rand::Rng;
-        self.rng.gen_range(lo..hi)
-    }
-
-    fn chance(&mut self, percent: usize) -> bool {
-        self.range(0, 100) < percent
-    }
-
-    fn fresh_name(&mut self) -> String {
-        let id = self.next_id;
-        self.next_id += 1;
-        format!("v{id}")
-    }
-
-    fn declared_name(&mut self) -> Option<String> {
-        let all: Vec<String> = self
-            .scopes
-            .iter()
-            .flatten()
-            .map(|(n, _)| n.clone())
-            .collect();
-        if all.is_empty() {
-            return None;
-        }
-        let i = self.range(0, all.len());
-        Some(all[i].clone())
-    }
-
-    fn numeric_name(&mut self) -> Option<String> {
-        let all: Vec<String> = self
-            .scopes
-            .iter()
-            .flatten()
-            .filter(|(_, num)| *num)
-            .map(|(n, _)| n.clone())
-            .collect();
-        if all.is_empty() {
-            return None;
-        }
-        let i = self.range(0, all.len());
-        Some(all[i].clone())
-    }
-
-    fn declare_here(&mut self, name: String, numeric: bool) {
-        self.scopes.last_mut().unwrap().push((name, numeric));
-    }
-
-    /// Re-marks `name` after a plain assignment changed its type.
-    fn set_numeric(&mut self, name: &str, numeric: bool) {
-        for scope in self.scopes.iter_mut().rev() {
-            if let Some(entry) = scope.iter_mut().rev().find(|(n, _)| n == name) {
-                entry.1 = numeric;
-                return;
-            }
-        }
-    }
-
-    /// A numeric-ish expression; `buggy` percent chance of an
-    /// undeclared-name leaf (exercising the Reference error path).
-    fn expr(&mut self, depth: usize, buggy: usize) -> String {
-        if depth < 3 && self.chance(45) {
-            return match self.range(0, 8) {
-                0 | 1 => {
-                    let op = ["+", "-", "*", "%"][self.range(0, 4)];
-                    format!(
-                        "({} {op} {})",
-                        self.expr(depth + 1, buggy),
-                        self.expr(depth + 1, buggy)
-                    )
-                }
-                2 => {
-                    let op = ["<", ">", "<=", ">=", "==", "!="][self.range(0, 6)];
-                    format!(
-                        "(({} {op} {}) ? {} : {})",
-                        self.expr(depth + 1, buggy),
-                        self.expr(depth + 1, buggy),
-                        self.expr(depth + 1, buggy),
-                        self.expr(depth + 1, buggy)
-                    )
-                }
-                3 => {
-                    let op = ["&&", "||"][self.range(0, 2)];
-                    format!(
-                        "({} {op} {})",
-                        self.expr(depth + 1, buggy),
-                        self.expr(depth + 1, buggy)
-                    )
-                }
-                4 => {
-                    let f = ["Math.abs", "Math.floor", "Math.sqrt", "Math.round"][self.range(0, 4)];
-                    format!("{f}({})", self.expr(depth + 1, buggy))
-                }
-                5 => {
-                    let f = ["Math.min", "Math.max", "Math.pow"][self.range(0, 3)];
-                    format!(
-                        "{f}({}, {})",
-                        self.expr(depth + 1, buggy),
-                        self.expr(depth + 1, buggy)
-                    )
-                }
-                6 => format!("(-{})", self.expr(depth + 1, buggy)),
-                _ => match self
-                    .funcs
-                    .clone()
-                    .get(self.range(0, self.funcs.len().max(1)))
-                {
-                    Some((name, arity)) if !self.funcs.is_empty() => {
-                        let args: Vec<String> =
-                            (0..*arity).map(|_| self.expr(depth + 1, buggy)).collect();
-                        format!("{name}({})", args.join(", "))
-                    }
-                    _ => self.leaf(buggy),
-                },
-            };
-        }
-        self.leaf(buggy)
-    }
-
-    fn leaf(&mut self, buggy: usize) -> String {
-        if self.chance(buggy) {
-            return format!("undeclared_{}", self.range(0, 3));
-        }
-        if self.chance(7) {
-            // Any-typed leak: keeps operator-type errors in the corpus.
-            if let Some(name) = self.declared_name() {
-                return name;
-            }
-        }
-        match self.numeric_name() {
-            Some(name) if self.chance(60) => name,
-            _ => {
-                if self.chance(15) {
-                    format!("{}.5", self.range(0, 50))
-                } else {
-                    format!("{}", self.range(0, 100))
-                }
-            }
-        }
-    }
-
-    fn stmt(&mut self, depth: usize) {
-        // Past depth 3, only non-recursing statement kinds: unbounded
-        // block nesting would overflow the host (and parser) stack.
-        let kind = if depth >= 3 {
-            self.range(0, 8)
-        } else {
-            self.range(0, 16)
-        };
-        match kind {
-            // var declaration: number, string, array, or object init
-            0..=2 => {
-                let name = self.fresh_name();
-                let (init, numeric) = match self.range(0, 6) {
-                    0..=2 => (self.expr(0, 2), true),
-                    3 => (format!("'s{}'", self.range(0, 10)), false),
-                    4 => {
-                        let a = self.expr(1, 1);
-                        let b = self.expr(1, 1);
-                        (format!("[{a}, {b}, {}]", self.range(0, 9)), false)
-                    }
-                    _ => {
-                        let v = self.expr(1, 1);
-                        (
-                            format!(
-                                "{{ k{}: {v}, tag: 't{}' }}",
-                                self.range(0, 3),
-                                self.range(0, 5)
-                            ),
-                            false,
-                        )
-                    }
-                };
-                self.out.push_str(&format!("var {name} = {init};\n"));
-                self.declare_here(name, numeric);
-            }
-            // assignment — plain, compound, or rarely undeclared
-            3..=4 => {
-                let plain = self.chance(40);
-                let target = if self.chance(3) {
-                    Some(format!("undeclared_{}", self.range(0, 3)))
-                } else if plain {
-                    // Plain `=` retypes the target to a number, so any
-                    // name is fair game.
-                    self.declared_name()
-                } else {
-                    self.numeric_name()
-                };
-                if let Some(target) = target {
-                    let op = if plain {
-                        "="
-                    } else {
-                        ["+=", "-=", "*="][self.range(0, 3)]
-                    };
-                    let value = self.expr(0, 2);
-                    self.out.push_str(&format!("{target} {op} {value};\n"));
-                    if plain {
-                        self.set_numeric(&target, true);
-                    }
-                }
-            }
-            // update statement / emit of an update expression
-            5 => {
-                if let Some(name) = self.numeric_name() {
-                    match self.range(0, 3) {
-                        0 => self.out.push_str(&format!("{name}++;\n")),
-                        1 => self.out.push_str(&format!("--{name};\n")),
-                        _ => self.out.push_str(&format!("emit({name}++ + {name});\n")),
-                    }
-                }
-            }
-            // observe an expression
-            6..=7 => {
-                let e = self.expr(0, 3);
-                self.out.push_str(&format!("emit({e});\n"));
-            }
-            // use-before-declaration (chain fall-through), sometimes
-            // with an outer binding of the same name (shadow timing)
-            8 if self.chance(25) => {
-                let name = self.fresh_name();
-                if self.chance(50) {
-                    self.out.push_str(&format!(
-                        "emit(undeclared_probe_{name});\nvar {name} = 1;\n",
-                    ));
-                } else {
-                    self.out
-                        .push_str(&format!("{name} = 7;\nvar {name} = 2;\nemit({name});\n"));
-                }
-                self.declare_here(name, true);
-            }
-            // if / else, with conditional declaration leaking out
-            8..=9 => {
-                let c = self.expr(1, 1);
-                let name = self.fresh_name();
-                self.out.push_str(&format!("if ({c} < 50) {{\n"));
-                self.block(depth);
-                self.out.push_str("} else {\n");
-                self.out.push_str(&format!("var {name}_inner = 3;\n"));
-                self.block(depth);
-                self.out.push_str("}\n");
-            }
-            // bounded counter loop (while or for), break/continue
-            // inside. The counter is deliberately NOT registered as a
-            // declared name while the body is generated: a random
-            // `--i` / `i = 0` inside the body would loop forever under
-            // the unlimited differential budget.
-            10..=11 if depth < 2 => {
-                let i = self.fresh_name();
-                let bound = self.range(2, 5);
-                let is_while = self.chance(50);
-                if is_while {
-                    self.out
-                        .push_str(&format!("var {i} = 0;\nwhile ({i} < {bound}) {{\n{i}++;\n"));
-                } else {
-                    self.out
-                        .push_str(&format!("for (var {i} = 0; {i} < {bound}; {i}++) {{\n"));
-                }
-                self.scopes.push(Vec::new());
-                if self.chance(30) {
-                    self.out
-                        .push_str(&format!("if ({i} == 1) {{ continue; }}\n"));
-                }
-                let n = self.range(1, 3);
-                for _ in 0..n {
-                    self.stmt(depth + 1);
-                }
-                if self.chance(20) {
-                    self.out.push_str("break;\n");
-                }
-                self.scopes.pop();
-                self.out.push_str("}\n");
-                if is_while {
-                    // Post-loop the counter is safely mutable.
-                    self.declare_here(i, true);
-                }
-            }
-            // function declaration (pure, bounded) then a call
-            12 => {
-                let name = self.fresh_name();
-                let arity = self.range(0, 3);
-                let params: Vec<String> = (0..arity).map(|k| format!("p{k}")).collect();
-                self.scopes
-                    .push(params.iter().map(|p| (p.clone(), true)).collect());
-                let body = self.expr(1, 1);
-                self.scopes.pop();
-                self.out.push_str(&format!(
-                    "function {name}({}) {{ return {body}; }}\n",
-                    params.join(", ")
-                ));
-                // Only top-level functions stay callable later: a decl
-                // hoisted inside a block is out of scope after it.
-                if depth == 0 {
-                    self.funcs.push((name.clone(), arity));
-                }
-                self.declare_here(name.clone(), false);
-                let args: Vec<String> = (0..arity).map(|_| self.expr(1, 1)).collect();
-                self.out
-                    .push_str(&format!("emit({name}({}));\n", args.join(", ")));
-            }
-            // closures over a loop variable — the cell-per-iteration case
-            13 if depth < 2 => {
-                let fs = self.fresh_name();
-                let i = self.fresh_name();
-                let mult = self.range(1, 5);
-                self.out.push_str(&format!(
-                    "var {fs} = [];\n\
-                     for (var {i} = 0; {i} < 3; {i}++) {{\n\
-                     \x20 var c{i} = {i} * {mult};\n\
-                     \x20 {fs}.push(function () {{ return c{i}; }});\n\
-                     }}\n\
-                     emit({fs}[0]() + {fs}[1]() + {fs}[2]());\n"
-                ));
-                self.declare_here(fs, false);
-            }
-            // for-in over an array or object
-            14 if depth < 2 => {
-                let k = self.fresh_name();
-                let acc = self.fresh_name();
-                let obj = if self.chance(50) {
-                    let a = self.expr(1, 1);
-                    format!("[{a}, {}, {}]", self.range(0, 9), self.range(0, 9))
-                } else {
-                    format!("{{ a: {}, b: {} }}", self.range(0, 9), self.range(0, 9))
-                };
-                self.out.push_str(&format!(
-                    "var {acc} = '';\nfor (var {k} in {obj}) {{ {acc} += {k}; }}\nemit({acc});\n"
-                ));
-                self.declare_here(acc, false);
-            }
-            // type-confusion error path: call a number, index a number
-            15 if self.chance(12) => {
-                let n = self.range(0, 9);
-                if self.chance(50) {
-                    self.out.push_str(&format!("emit(({n})());\n"));
-                } else {
-                    self.out.push_str(&format!("emit(({n}).length);\n"));
-                }
-            }
-            // nested block
-            _ => {
-                self.out.push_str("{\n");
-                self.block(depth);
-                self.out.push_str("}\n");
-            }
-        }
-    }
-
-    fn block(&mut self, depth: usize) {
-        self.scopes.push(Vec::new());
-        let n = self.range(1, 4);
-        for _ in 0..n {
-            self.stmt(depth + 1);
-        }
-        self.scopes.pop();
-    }
-}
+use common::{eq_val, run_bytecode_with, run_engine, VmGen};
+use pogo_script::{CompileOptions, Engine, ErrorKind};
 
 // ---- the differential property ----------------------------------------------
 
@@ -564,4 +118,40 @@ fn analyzer_clean_programs_never_trip_vm_slot_invariants() {
         clean > 100,
         "too few analyzer-clean programs: {clean}/{CASES}"
     );
+}
+
+/// The bytecode optimizer must be semantics-preserving under the same
+/// observational criteria as the engine differential: results,
+/// emit order, and error kind + message all identical between the
+/// optimized (default) and unoptimized pipelines, across the whole
+/// random corpus.
+#[test]
+fn optimizer_preserves_observable_behavior() {
+    const CASES: u64 = 1200;
+    let on = CompileOptions { optimize: true };
+    let off = CompileOptions { optimize: false };
+    for seed in 0..CASES {
+        let src = VmGen::generate(seed);
+        let opt = run_bytecode_with(&src, &on);
+        let raw = run_bytecode_with(&src, &off);
+
+        assert_eq!(
+            raw.emitted, opt.emitted,
+            "seed {seed}: optimizer changed the emitted sequence\n--- script ---\n{src}"
+        );
+        match (&raw.result, &opt.result) {
+            (Ok(a), Ok(b)) => assert!(
+                eq_val(a, b),
+                "seed {seed}: optimizer changed the result: {a:?} vs {b:?}\n--- script ---\n{src}"
+            ),
+            (Err(a), Err(b)) => assert_eq!(
+                a, b,
+                "seed {seed}: optimizer changed the error\n--- script ---\n{src}"
+            ),
+            (a, b) => panic!(
+                "seed {seed}: optimizer changed success/failure:\n\
+                 unoptimized: {a:?}\noptimized: {b:?}\n--- script ---\n{src}"
+            ),
+        }
+    }
 }

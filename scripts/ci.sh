@@ -49,6 +49,20 @@ if [[ "$run_lint" == 1 ]]; then
     cargo clippy --all-targets -- -D warnings
     ./target/release/pogo-lint --allow-native geolocate assets/scripts/*.js
     ./target/release/pogo-lint --rust-embedded examples/*.rs
+    # Verifier + cost gate over the deployable bundle, on exact rule
+    # codes: any structural VERIFY_* defect or guaranteed-over-budget
+    # P301 fails CI; unbounded/may-exceed cost (P302/P303) and publish
+    # fan-out (P304) stay warnings here, mirroring the deploy gate.
+    gate_json="$(./target/release/pogo-lint --allow-native geolocate \
+        --verify --cost --json assets/scripts/*.js)"
+    if echo "$gate_json" | grep -E '"code":"(VERIFY_[A-Z_]+|P301)"' ; then
+        echo "ci.sh: verifier/cost gate found blocking findings" >&2
+        exit 1
+    fi
+    if echo "$gate_json" | grep '"severity":"error"' ; then
+        echo "ci.sh: verifier/cost gate found error-severity findings" >&2
+        exit 1
+    fi
 fi
 
 if [[ "$run_perf" == 1 ]]; then
