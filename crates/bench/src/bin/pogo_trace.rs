@@ -246,9 +246,11 @@ fn run_quickstart() -> Obs {
 
 /// A compressed chaos soak (three phones, four simulated hours, a
 /// seeded `pogo-chaos` fault plan) with tracing on, so the fault and
-/// invariant-verdict events render next to the radio/cpu lanes.
+/// invariant-verdict events render next to the radio/cpu lanes. The
+/// plan is extended with a guaranteed bearer-flap storm and clock-skew
+/// window so every fault-class event category appears in the trace.
 fn run_chaos() -> Obs {
-    use pogo::chaos::{ChaosController, FaultPlan, InvariantHarness};
+    use pogo::chaos::{ChaosController, Fault, FaultKind, FaultPlan, InvariantHarness};
 
     let sim = Sim::new();
     let mut testbed = Testbed::with_obs(&sim, ObsConfig::on());
@@ -287,7 +289,26 @@ fn run_chaos() -> Obs {
         .devices(3)
         .window(SimTime::ZERO + SimDuration::from_mins(10), end)
         .mean_gap(SimDuration::from_mins(15))
-        .build();
+        .build()
+        .extended(vec![
+            Fault {
+                at: SimTime::ZERO + SimDuration::from_mins(20),
+                kind: FaultKind::BearerFlap {
+                    device: 0,
+                    flaps: 12,
+                    period: SimDuration::from_secs(10),
+                },
+            },
+            Fault {
+                at: SimTime::ZERO + SimDuration::from_mins(40),
+                kind: FaultKind::ClockSkew {
+                    device: 1,
+                    step: SimDuration::from_secs(30),
+                    drift_ppm: 5_000,
+                    duration: SimDuration::from_mins(10),
+                },
+            },
+        ]);
     let _controller = ChaosController::install(&testbed, &plan);
     sim.run_until(end);
 

@@ -38,6 +38,14 @@ struct Inner {
     degrade_depth: Vec<u32>,
     /// Per-device overlap counters for roster churn windows.
     churn_depth: Vec<u32>,
+    /// Per-device overlap counters for bearer-flap storms.
+    flap_depth: Vec<u32>,
+    /// Bearer to restore when the last overlapping flap storm ends
+    /// (outer `Option` = "is a storm running", inner = the pre-storm
+    /// bearer, which may itself be offline).
+    flap_saved: Vec<Option<Option<Bearer>>>,
+    /// Per-device overlap counters for clock-skew windows.
+    skew_depth: Vec<u32>,
     /// Bearer to restore when a battery death heals.
     saved_bearer: Vec<Option<Bearer>>,
     injected: u64,
@@ -92,6 +100,9 @@ impl ChaosController {
                 outage_depth: 0,
                 degrade_depth: vec![0; n],
                 churn_depth: vec![0; n],
+                flap_depth: vec![0; n],
+                flap_saved: vec![None; n],
+                skew_depth: vec![0; n],
                 saved_bearer: vec![None; n],
                 injected: 0,
                 skipped: 0,
@@ -143,6 +154,17 @@ impl ChaosController {
                 device,
                 rejoin_after,
             } => self.roster_churn(*device, *rejoin_after),
+            FaultKind::BearerFlap {
+                device,
+                flaps,
+                period,
+            } => self.bearer_flap(*device, *flaps, *period),
+            FaultKind::ClockSkew {
+                device,
+                step,
+                drift_ppm,
+                duration,
+            } => self.clock_skew(*device, *step, *drift_ppm, *duration),
         }
     }
 
@@ -295,6 +317,84 @@ impl ChaosController {
         });
     }
 
+    fn bearer_flap(&self, device: usize, flaps: u32, period: SimDuration) {
+        let (sim, node) = {
+            let inner = self.inner.borrow();
+            (inner.sim.clone(), inner.devices[device].clone())
+        };
+        if node.is_powered_off() {
+            self.note_skip("bearer-flap", Some(&node.jid()));
+            return;
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.flap_depth[device] += 1;
+            if inner.flap_depth[device] == 1 {
+                inner.flap_saved[device] = Some(node.phone().connectivity().active());
+            }
+        }
+        self.note_inject("bearer-flap", Some(&node.jid()), period.mul(flaps as u64));
+        for i in 0..flaps {
+            let node = node.clone();
+            sim.schedule_in(period.mul(i as u64), move || {
+                if node.is_powered_off() {
+                    return;
+                }
+                let conn = node.phone().connectivity().clone();
+                let next = match conn.active() {
+                    Some(Bearer::Wifi) => Bearer::Cellular,
+                    _ => Bearer::Wifi,
+                };
+                conn.set_active(Some(next));
+            });
+        }
+        let me = self.clone();
+        sim.schedule_in(period.mul(flaps as u64), move || {
+            let restore = {
+                let mut inner = me.inner.borrow_mut();
+                inner.flap_depth[device] -= 1;
+                if inner.flap_depth[device] == 0 {
+                    inner.flap_saved[device].take()
+                } else {
+                    None
+                }
+            };
+            if let Some(bearer) = restore {
+                if !node.is_powered_off() {
+                    node.phone().connectivity().set_active(bearer);
+                }
+            }
+            me.note_heal("bearer-flap", Some(&node.jid()));
+        });
+    }
+
+    fn clock_skew(&self, device: usize, step: SimDuration, drift_ppm: i64, duration: SimDuration) {
+        let (sim, node) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.skew_depth[device] += 1;
+            (inner.sim.clone(), inner.devices[device].clone())
+        };
+        // The RTC drifts whether or not the OS is up, so a powered-off
+        // target is not a skip: its clock is wrong when it revives.
+        node.phone()
+            .clock()
+            .set_skew(step.as_millis() as i64, drift_ppm);
+        self.note_inject("clock-skew", Some(&node.jid()), duration);
+        let me = self.clone();
+        sim.schedule_in(duration, move || {
+            let healed = {
+                let mut inner = me.inner.borrow_mut();
+                inner.skew_depth[device] -= 1;
+                inner.skew_depth[device] == 0
+            };
+            if healed {
+                // NITZ-style time fix: snap back to network truth.
+                node.phone().clock().clear();
+            }
+            me.note_heal("clock-skew", Some(&node.jid()));
+        });
+    }
+
     // ------------------------------ bookkeeping ------------------------------
 
     fn obs_for(&self, device: Option<&Jid>) -> Obs {
@@ -340,6 +440,8 @@ fn class_metric(class: &'static str) -> &'static str {
         "reboot" => "chaos.reboot",
         "battery-death" => "chaos.battery_death",
         "roster-churn" => "chaos.roster_churn",
+        "bearer-flap" => "chaos.fault.bearer_flap",
+        "clock-skew" => "chaos.fault.clock_skew",
         _ => "chaos.other",
     }
 }
@@ -414,6 +516,57 @@ mod tests {
             tb.devices()[0].is_booted(),
             "device revives after the battery-death window"
         );
+    }
+
+    #[test]
+    fn bearer_flap_toggles_and_restores() {
+        let sim = Sim::new();
+        let tb = testbed(&sim, 1);
+        let phone = tb.devices()[0].phone();
+        let before = phone.connectivity().active();
+        let plan = FaultPlan::scripted(vec![Fault {
+            at: SimTime::from_millis(1_000),
+            kind: FaultKind::BearerFlap {
+                device: 0,
+                flaps: 6,
+                period: SimDuration::from_secs(5),
+            },
+        }]);
+        let ctl = ChaosController::install(&tb, &plan);
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(ctl.injected(), 1);
+        // 6 toggles; the restore is a no-op because an even flap count
+        // lands back on the pre-storm bearer.
+        assert_eq!(phone.connectivity().change_count(), 6);
+        assert_eq!(
+            phone.connectivity().active(),
+            before,
+            "pre-storm bearer restored after the heal"
+        );
+    }
+
+    #[test]
+    fn clock_skew_heals_back_to_truth() {
+        let sim = Sim::new();
+        let tb = testbed(&sim, 1);
+        let phone = tb.devices()[0].phone();
+        let plan = FaultPlan::scripted(vec![Fault {
+            at: SimTime::from_millis(1_000),
+            kind: FaultKind::ClockSkew {
+                device: 0,
+                step: SimDuration::from_secs(30),
+                drift_ppm: 10_000,
+                duration: SimDuration::from_mins(2),
+            },
+        }]);
+        let ctl = ChaosController::install(&tb, &plan);
+        sim.run_for(SimDuration::from_secs(60));
+        assert!(phone.clock().is_skewed(), "skew active mid-window");
+        assert!(phone.clock().now_ms() > sim.now().as_millis() as i64);
+        sim.run_for(SimDuration::from_mins(3));
+        assert!(!phone.clock().is_skewed(), "NITZ fix at window end");
+        assert_eq!(phone.clock().now_ms(), sim.now().as_millis() as i64);
+        assert_eq!(ctl.injected(), 1);
     }
 
     #[test]

@@ -1,25 +1,34 @@
 //! Delivery invariants checked during and after a chaos run.
 //!
-//! The harness watches one experiment channel at the collector and the
-//! `chaos-sent` log each device script appends to, and asserts the
-//! §4.6 reliability contract:
+//! The harness audits N experiment channels at the collector against
+//! the per-device *sent logs* each script appends to, and asserts the
+//! §4.6 reliability contract on every channel:
 //!
 //! 1. **Exactly-once arrival** — the at-least-once transport plus the
 //!    collector's dedup filter never surface the same sample twice.
 //! 2. **No phantoms** — everything delivered was actually published by
 //!    a device (the log is written in the same atomic script step as
 //!    the publish).
-//! 3. **Frozen state never regresses** — each device's sample counter,
-//!    persisted with `freeze()` before every publish, survives reboots
-//!    and battery deaths: the sent log is exactly `1, 2, 3, …` with no
-//!    repeats and no gaps.
+//! 3. **Frozen state never regresses** — where a script persists a
+//!    counter with `freeze()` before every publish (the audit's
+//!    `monotonic` flag), the sent log is exactly `1, 2, 3, …` with no
+//!    repeats and no gaps, surviving reboots and battery deaths.
 //! 4. **Expiry is the only loss** — after a final drain, every
 //!    published sample is delivered, still buffered, or accounted for
-//!    by the [`MessageStore`](pogo_net::MessageStore) age purge.
+//!    by the [`MessageStore`](pogo_net::MessageStore) age purge. Loss
+//!    is accounted per device *across* channels, because the purge
+//!    counter is store-wide.
+//!
+//! Which channels to audit, and with what semantics, comes from the
+//! workload's [`ChannelAudit`](crate::workload::ChannelAudit) list —
+//! the same harness audits the synthetic counter soak, the
+//! localization pipeline, RogueFinder's geofenced stream, and the
+//! table-4 cohort replay.
 //!
 //! Violations are deduplicated (a standing failure reports once, not
 //! once per check) and mirrored as `chaos`/`violation` obs events so
-//! they land in the trace next to the fault that caused them.
+//! they land in the trace next to the fault that caused them; a
+//! per-workload gauge tracks the running violation count.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -29,6 +38,8 @@ use pogo_core::{DeviceNode, Msg, Testbed};
 use pogo_obs::{field, Obs};
 use pogo_sim::{Sim, SimTime};
 
+use crate::workload::ChannelAudit;
+
 /// One invariant violation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
@@ -36,6 +47,9 @@ pub struct Violation {
     pub at: SimTime,
     /// JID of the device involved.
     pub device: String,
+    /// Audited channel the violation was found on (`*` for cross-channel
+    /// checks like loss accounting).
+    pub channel: String,
     /// Which invariant broke: `duplicate-delivery`, `phantom-delivery`,
     /// `frozen-state-regression`, or `untracked-loss`.
     pub kind: &'static str,
@@ -47,16 +61,19 @@ struct Inner {
     sim: Sim,
     devices: Vec<DeviceNode>,
     obs: Obs,
-    /// Sample counters delivered at the collector, per device JID, in
-    /// arrival order (duplicates included — that is the point).
-    delivered: BTreeMap<String, Vec<i64>>,
+    workload: &'static str,
+    audits: Vec<ChannelAudit>,
+    /// Sample counters delivered at the collector, keyed by
+    /// `(audit index, device JID)`, in arrival order (duplicates
+    /// included — that is the point).
+    delivered: BTreeMap<(usize, String), Vec<i64>>,
     /// Dedup keys of violations already reported.
     reported: BTreeSet<String>,
     violations: Vec<Violation>,
     checks: u64,
 }
 
-/// Watches a chaos experiment and asserts its delivery invariants; see
+/// Watches a chaos workload and asserts its delivery invariants; see
 /// the module docs. Cheap to clone; clones share state.
 #[derive(Clone)]
 pub struct InvariantHarness {
@@ -67,6 +84,8 @@ impl std::fmt::Debug for InvariantHarness {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.borrow();
         f.debug_struct("InvariantHarness")
+            .field("workload", &inner.workload)
+            .field("audits", &inner.audits.len())
             .field("checks", &inner.checks)
             .field("violations", &inner.violations.len())
             .finish()
@@ -74,47 +93,70 @@ impl std::fmt::Debug for InvariantHarness {
 }
 
 impl InvariantHarness {
-    /// Subscribes to `channel` on experiment `exp` at the testbed's
-    /// collector. Install *before* deploying the experiment so the
-    /// subscription is mirrored to devices from the start.
+    /// Subscribes to every audited channel at the testbed's collector.
+    /// Install *before* deploying the workload so the subscriptions are
+    /// mirrored to devices from the start.
     ///
-    /// Device scripts must publish `{ n: <counter> }` samples on the
-    /// channel and append the same counter to their `chaos-sent` log in
-    /// the same script step.
-    pub fn install(testbed: &Testbed, exp: &str, channel: &str) -> Self {
+    /// For each audit, device scripts must publish samples carrying the
+    /// audit's `key_field` and append the same number to the audit's
+    /// `sent_log` in the same script step.
+    pub fn for_workload(
+        testbed: &Testbed,
+        workload: &'static str,
+        audits: Vec<ChannelAudit>,
+    ) -> Self {
         let harness = InvariantHarness {
             inner: Rc::new(RefCell::new(Inner {
                 sim: testbed.sim().clone(),
                 devices: testbed.devices().to_vec(),
                 obs: testbed.obs().clone(),
+                workload,
+                audits: audits.clone(),
                 delivered: BTreeMap::new(),
                 reported: BTreeSet::new(),
                 violations: Vec::new(),
                 checks: 0,
             })),
         };
-        let inner = harness.inner.clone();
-        testbed.collector().on_data(exp, channel, move |msg, from| {
-            // A sample without a numeric `n` is recorded as -1: the
-            // phantom check flags it, with the device attributed.
-            let n = msg
-                .get("n")
-                .and_then(Msg::as_num)
-                .map(|v| v as i64)
-                .unwrap_or(-1);
-            inner
-                .borrow_mut()
-                .delivered
-                .entry(from.to_owned())
-                .or_default()
-                .push(n);
-        });
+        for (idx, audit) in audits.iter().enumerate() {
+            let inner = harness.inner.clone();
+            let key_field = audit.key_field.clone();
+            testbed
+                .collector()
+                .on_data(&audit.exp, &audit.channel, move |msg, from| {
+                    // A sample without the numeric key is recorded as -1:
+                    // the phantom check flags it, with the device
+                    // attributed.
+                    let n = msg
+                        .get(&key_field)
+                        .and_then(Msg::as_num)
+                        .map(|v| v as i64)
+                        .unwrap_or(-1);
+                    inner
+                        .borrow_mut()
+                        .delivered
+                        .entry((idx, from.to_owned()))
+                        .or_default()
+                        .push(n);
+                });
+        }
         harness
     }
 
+    /// The single-channel counter harness: subscribes to `channel` on
+    /// experiment `exp`, expecting `{ n: <counter> }` samples mirrored
+    /// to a `chaos-sent` log.
+    pub fn install(testbed: &Testbed, exp: &str, channel: &str) -> Self {
+        Self::for_workload(
+            testbed,
+            "counter",
+            vec![ChannelAudit::new(exp, channel, "chaos-sent", "n")],
+        )
+    }
+
     /// Runs the always-valid invariants (exactly-once, no phantoms,
-    /// frozen-state monotonicity) and returns the number of *new*
-    /// violations found.
+    /// frozen-state monotonicity) on every audited channel and returns
+    /// the number of *new* violations found.
     pub fn check(&self) -> usize {
         self.run_check(false)
     }
@@ -131,7 +173,8 @@ impl InvariantHarness {
         self.inner.borrow().violations.clone()
     }
 
-    /// Total samples delivered at the collector (duplicates included).
+    /// Total samples delivered at the collector across all audited
+    /// channels (duplicates included).
     pub fn delivered_total(&self) -> u64 {
         self.inner
             .borrow()
@@ -141,7 +184,8 @@ impl InvariantHarness {
             .sum()
     }
 
-    /// Distinct samples delivered at the collector.
+    /// Distinct samples delivered at the collector across all audited
+    /// channels.
     pub fn delivered_distinct(&self) -> u64 {
         self.inner
             .borrow()
@@ -151,43 +195,66 @@ impl InvariantHarness {
             .sum()
     }
 
+    /// Total samples the devices logged as sent across all audits.
+    pub fn sent_total(&self) -> u64 {
+        let inner = self.inner.borrow();
+        let mut total = 0u64;
+        for audit in &inner.audits {
+            for node in &inner.devices {
+                total += node.logs().lines(&audit.sent_log).len() as u64;
+            }
+        }
+        total
+    }
+
     /// Number of check passes run.
     pub fn checks_run(&self) -> u64 {
         self.inner.borrow().checks
     }
 
     fn run_check(&self, full: bool) -> usize {
-        let devices = self.inner.borrow().devices.clone();
+        let (devices, audits) = {
+            let inner = self.inner.borrow();
+            (inner.devices.clone(), inner.audits.clone())
+        };
         let before = self.inner.borrow().violations.len();
-        for node in &devices {
-            let jid = node.jid().to_string();
-            let sent: Vec<i64> = node
-                .logs()
-                .lines("chaos-sent")
-                .iter()
-                .filter_map(|line| line.trim().parse::<f64>().ok())
-                .map(|v| v as i64)
-                .collect();
-            let delivered = self
-                .inner
-                .borrow()
-                .delivered
-                .get(&jid)
-                .cloned()
-                .unwrap_or_default();
-            self.check_exactly_once(&jid, &delivered);
-            self.check_no_phantoms(&jid, &sent, &delivered);
-            self.check_frozen_monotonic(&jid, &sent);
-            if full {
-                self.check_loss_accounting(node, &jid, &sent, &delivered);
+        for (idx, audit) in audits.iter().enumerate() {
+            for node in &devices {
+                let jid = node.jid().to_string();
+                let sent = self.sent_log(node, audit);
+                let delivered = self
+                    .inner
+                    .borrow()
+                    .delivered
+                    .get(&(idx, jid.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                self.check_exactly_once(&jid, &audit.channel, &delivered);
+                self.check_no_phantoms(&jid, &audit.channel, &sent, &delivered);
+                if audit.monotonic {
+                    self.check_frozen_monotonic(&jid, &audit.channel, &sent);
+                }
             }
         }
-        let (new, checks) = {
+        if full {
+            // Loss is accounted per device across every audited channel:
+            // the store's purge counter does not distinguish channels.
+            for node in &devices {
+                self.check_loss_accounting(node, &audits);
+            }
+        }
+        let (new, checks, workload, total) = {
             let mut inner = self.inner.borrow_mut();
             inner.checks += 1;
-            (inner.violations.len() - before, inner.checks)
+            (
+                inner.violations.len() - before,
+                inner.checks,
+                inner.workload,
+                inner.violations.len(),
+            )
         };
-        self.inner.borrow().obs.event(
+        let obs = self.inner.borrow().obs.clone();
+        obs.event(
             "chaos",
             if full {
                 "final-check"
@@ -196,10 +263,20 @@ impl InvariantHarness {
             },
             vec![field("check", checks), field("new_violations", new)],
         );
+        obs.metrics().gauge(violation_gauge(workload), total as f64);
         new
     }
 
-    fn check_exactly_once(&self, jid: &str, delivered: &[i64]) {
+    fn sent_log(&self, node: &DeviceNode, audit: &ChannelAudit) -> Vec<i64> {
+        node.logs()
+            .lines(&audit.sent_log)
+            .iter()
+            .filter_map(|line| line.trim().parse::<f64>().ok())
+            .map(|v| v as i64)
+            .collect()
+    }
+
+    fn check_exactly_once(&self, jid: &str, channel: &str, delivered: &[i64]) {
         let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
         for &n in delivered {
             *counts.entry(n).or_insert(0) += 1;
@@ -208,6 +285,7 @@ impl InvariantHarness {
             if count > 1 {
                 self.report(
                     jid,
+                    channel,
                     "duplicate-delivery",
                     format!("sample n={n} delivered {count} times"),
                 );
@@ -215,12 +293,13 @@ impl InvariantHarness {
         }
     }
 
-    fn check_no_phantoms(&self, jid: &str, sent: &[i64], delivered: &[i64]) {
+    fn check_no_phantoms(&self, jid: &str, channel: &str, sent: &[i64], delivered: &[i64]) {
         let sent: BTreeSet<i64> = sent.iter().copied().collect();
         for &n in delivered {
             if !sent.contains(&n) {
                 self.report(
                     jid,
+                    channel,
                     "phantom-delivery",
                     format!("sample n={n} delivered but never logged as sent"),
                 );
@@ -228,12 +307,13 @@ impl InvariantHarness {
         }
     }
 
-    fn check_frozen_monotonic(&self, jid: &str, sent: &[i64]) {
+    fn check_frozen_monotonic(&self, jid: &str, channel: &str, sent: &[i64]) {
         for (i, &n) in sent.iter().enumerate() {
             let expected = i as i64 + 1;
             if n != expected {
                 self.report(
                     jid,
+                    channel,
                     "frozen-state-regression",
                     format!("sent log position {i} holds n={n}, expected {expected}"),
                 );
@@ -244,14 +324,26 @@ impl InvariantHarness {
         }
     }
 
-    fn check_loss_accounting(&self, node: &DeviceNode, jid: &str, sent: &[i64], delivered: &[i64]) {
-        let distinct = delivered.iter().collect::<BTreeSet<_>>().len() as u64;
+    fn check_loss_accounting(&self, node: &DeviceNode, audits: &[ChannelAudit]) {
+        let jid = node.jid().to_string();
+        let mut sent_total = 0u64;
+        let mut distinct = 0u64;
+        for (idx, audit) in audits.iter().enumerate() {
+            sent_total += self.sent_log(node, audit).len() as u64;
+            distinct += self
+                .inner
+                .borrow()
+                .delivered
+                .get(&(idx, jid.clone()))
+                .map(|v| v.iter().collect::<BTreeSet<_>>().len() as u64)
+                .unwrap_or(0);
+        }
         let purged = node.purged();
         let buffered = node.buffered() as u64;
-        let sent_total = sent.len() as u64;
         if sent_total > distinct + purged + buffered {
             self.report(
-                jid,
+                &jid,
+                "*",
                 "untracked-loss",
                 format!(
                     "{sent_total} sent but only {distinct} delivered + {purged} expired \
@@ -261,8 +353,8 @@ impl InvariantHarness {
         }
     }
 
-    fn report(&self, device: &str, kind: &'static str, detail: String) {
-        let key = format!("{device}|{kind}|{detail}");
+    fn report(&self, device: &str, channel: &str, kind: &'static str, detail: String) {
+        let key = format!("{device}|{channel}|{kind}|{detail}");
         {
             let mut inner = self.inner.borrow_mut();
             if !inner.reported.insert(key) {
@@ -272,6 +364,7 @@ impl InvariantHarness {
             inner.violations.push(Violation {
                 at,
                 device: device.to_owned(),
+                channel: channel.to_owned(),
                 kind,
                 detail: detail.clone(),
             });
@@ -283,10 +376,23 @@ impl InvariantHarness {
             vec![
                 field("kind", kind),
                 field("device", device.to_owned()),
+                field("channel", channel.to_owned()),
                 field("detail", detail),
             ],
         );
         obs.metrics().inc("chaos.violations", 1);
+    }
+}
+
+/// Static per-workload violation gauge names (metrics keys must not
+/// allocate on the hot path and must be stable across versions).
+fn violation_gauge(workload: &str) -> &'static str {
+    match workload {
+        "counter" => "chaos.violations.counter",
+        "localization" => "chaos.violations.localization",
+        "roguefinder" => "chaos.violations.roguefinder",
+        "table4" => "chaos.violations.table4",
+        _ => "chaos.violations.workload",
     }
 }
 
@@ -338,12 +444,13 @@ mod tests {
             .inner
             .borrow_mut()
             .delivered
-            .get_mut("phone-0@pogo")
+            .get_mut(&(0, "phone-0@pogo".to_string()))
             .expect("samples arrived")
             .push(1);
         assert_eq!(harness.check(), 1);
         assert_eq!(harness.check(), 0, "standing violation reports once");
         assert_eq!(harness.violations()[0].kind, "duplicate-delivery");
+        assert_eq!(harness.violations()[0].channel, "chaos-data");
     }
 
     #[test]
@@ -355,7 +462,7 @@ mod tests {
             .inner
             .borrow_mut()
             .delivered
-            .get_mut("phone-0@pogo")
+            .get_mut(&(0, "phone-0@pogo".to_string()))
             .expect("samples arrived")
             .push(9_999);
         harness.check();
@@ -363,5 +470,67 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.kind == "phantom-delivery"));
+    }
+
+    /// Two audited channels are tracked independently: a duplicate
+    /// fabricated on one never bleeds into the other's bookkeeping.
+    #[test]
+    fn audits_are_tracked_per_channel() {
+        let sim = Sim::new();
+        let mut tb = Testbed::new(&sim);
+        tb.add(
+            DeviceSetup::named("phone-0")
+                .configure(|c| c.with_flush_policy(FlushPolicy::Immediate)),
+        );
+        let harness = InvariantHarness::for_workload(
+            &tb,
+            "dual",
+            vec![
+                ChannelAudit::new("chaos", "chaos-data", "chaos-sent", "n"),
+                ChannelAudit::new("chaos", "chaos-echo", "chaos-echo-sent", "n"),
+            ],
+        );
+        let jids = vec![tb.devices()[0].jid()];
+        // One script, two channels, two sent logs.
+        let src = "var n = 0;\n\
+                   function tick() {\n\
+                       n = n + 1;\n\
+                       publish('chaos-data', { n: n });\n\
+                       logTo('chaos-sent', n);\n\
+                       publish('chaos-echo', { n: n });\n\
+                       logTo('chaos-echo-sent', n);\n\
+                       setTimeout(tick, 60000);\n\
+                   }\n\
+                   tick();\n";
+        tb.collector()
+            .deployment(&ExperimentSpec {
+                id: "chaos".into(),
+                scripts: vec![ScriptSpec {
+                    name: "dual.js".into(),
+                    source: src.into(),
+                }],
+            })
+            .to(&jids)
+            .send()
+            .expect("dual script passes lint");
+        sim.run_for(SimDuration::from_mins(20));
+        assert_eq!(harness.final_check(), 0, "{:?}", harness.violations());
+        // Both channels saw the same distinct counters.
+        let inner = harness.inner.borrow();
+        let a = inner.delivered.get(&(0, "phone-0@pogo".into())).unwrap();
+        let b = inner.delivered.get(&(1, "phone-0@pogo".into())).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        drop(inner);
+        // A duplicate on channel 1 is attributed to channel 1 only.
+        harness
+            .inner
+            .borrow_mut()
+            .delivered
+            .get_mut(&(1, "phone-0@pogo".to_string()))
+            .unwrap()
+            .push(1);
+        assert_eq!(harness.check(), 1);
+        assert_eq!(harness.violations()[0].channel, "chaos-echo");
     }
 }

@@ -7,19 +7,26 @@
 //!
 //! * [`FaultPlan`] — a seed-driven (or hand-scripted) schedule of
 //!   faults: switchboard restarts and outages, per-link loss/jitter
-//!   degradation, device reboots, battery deaths, roster churn.
+//!   degradation, device reboots, battery deaths, roster churn,
+//!   bearer-flap storms, and clock skew.
 //! * [`ChaosController`] — injects a plan into a live
 //!   [`Testbed`](pogo_core::Testbed), healing every fault window
 //!   deterministically and recording each injection as `chaos` obs
 //!   events and metrics.
+//! * [`WorkloadSpec`] — describes a deployable workload and the
+//!   channels to audit; [`CounterWorkload`] is the synthetic original,
+//!   and the root crate implements localization, RogueFinder, and the
+//!   table-4 cohort replay on the same trait.
 //! * [`InvariantHarness`] — watches the collector and asserts the
-//!   delivery invariants after every fault window: exactly-once arrival
-//!   per device, no phantom data, frozen script state never regresses,
-//!   and the only permitted loss is [`MessageStore`] age expiry.
-//! * [`run_soak`] — the whole thing as one function: an 8-phone,
-//!   multi-day soak under a fixed seed, returning a [`SoakReport`].
-//!   The `chaos_soak` binary wraps it for CI (`--check` runs the soak
-//!   twice and byte-compares the obs traces).
+//!   delivery invariants on every audited channel after every fault
+//!   window: exactly-once arrival per device, no phantom data, frozen
+//!   script state never regresses, and the only permitted loss is
+//!   [`MessageStore`] age expiry.
+//! * [`run_workload_soak`] — the whole thing as one function: a
+//!   multi-day fleet soak of any workload under a fixed seed,
+//!   returning a [`SoakReport`]. [`run_soak`] is the counter-workload
+//!   shorthand. The `chaos_soak` binary wraps both for CI (`--check`
+//!   runs the soak twice and byte-compares the obs traces).
 //!
 //! Everything is seeded: the same [`SoakConfig`] produces the same
 //! faults, the same packet drops, and byte-identical observability
@@ -31,8 +38,10 @@ mod inject;
 mod invariant;
 mod plan;
 mod soak;
+mod workload;
 
 pub use inject::ChaosController;
 pub use invariant::{InvariantHarness, Violation};
 pub use plan::{Fault, FaultKind, FaultPlan, FaultPlanBuilder};
-pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use soak::{run_soak, run_workload_soak, SoakConfig, SoakReport};
+pub use workload::{ChannelAudit, CounterWorkload, WorkloadSpec};

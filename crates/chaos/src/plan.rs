@@ -61,6 +61,32 @@ pub enum FaultKind {
         /// How long until the administrator re-adds the device.
         rejoin_after: SimDuration,
     },
+    /// Bearer handover storm: the active interface flaps Wifi↔Cellular
+    /// every `period`, `flaps` times, then the pre-storm bearer is
+    /// restored. Each handover drops the session's in-flight envelopes
+    /// (§4.6), hammering reconnect, tail-sync, and store-and-forward.
+    BearerFlap {
+        /// Device index in testbed creation order.
+        device: usize,
+        /// Number of handovers in the storm.
+        flaps: u32,
+        /// Gap between consecutive handovers.
+        period: SimDuration,
+    },
+    /// Clock skew: the device's real-time clock steps forward by `step`
+    /// and gains `drift_ppm` local ms per 1e6 true ms until the window
+    /// ends, when an NITZ-style fix snaps it back to truth. Timers are
+    /// unaffected (elapsed-time semantics); sensor timestamps are not.
+    ClockSkew {
+        /// Device index in testbed creation order.
+        device: usize,
+        /// Forward step applied at injection.
+        step: SimDuration,
+        /// Drift rate while the fault is active (may be negative).
+        drift_ppm: i64,
+        /// How long the clock stays skewed.
+        duration: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -73,6 +99,8 @@ impl FaultKind {
             FaultKind::Reboot { .. } => "reboot",
             FaultKind::BatteryDeath { .. } => "battery-death",
             FaultKind::RosterChurn { .. } => "roster-churn",
+            FaultKind::BearerFlap { .. } => "bearer-flap",
+            FaultKind::ClockSkew { .. } => "clock-skew",
         }
     }
 
@@ -85,6 +113,8 @@ impl FaultKind {
             FaultKind::LinkDegrade { duration, .. } => *duration,
             FaultKind::BatteryDeath { off_for, .. } => *off_for,
             FaultKind::RosterChurn { rejoin_after, .. } => *rejoin_after,
+            FaultKind::BearerFlap { flaps, period, .. } => period.mul(*flaps as u64),
+            FaultKind::ClockSkew { duration, .. } => *duration,
         }
     }
 
@@ -95,7 +125,9 @@ impl FaultKind {
             FaultKind::LinkDegrade { device, .. }
             | FaultKind::Reboot { device }
             | FaultKind::BatteryDeath { device, .. }
-            | FaultKind::RosterChurn { device, .. } => Some(*device),
+            | FaultKind::RosterChurn { device, .. }
+            | FaultKind::BearerFlap { device, .. }
+            | FaultKind::ClockSkew { device, .. } => Some(*device),
         }
     }
 }
@@ -169,6 +201,15 @@ impl FaultPlan {
             .max()
             .unwrap_or(SimTime::ZERO)
     }
+
+    /// The plan plus `extra` hand-picked faults, re-sorted by injection
+    /// time. Keeps the seed, so link-loss randomness is unchanged —
+    /// used to guarantee specific fault classes appear in a seeded run.
+    pub fn extended(mut self, extra: Vec<Fault>) -> Self {
+        self.faults.extend(extra);
+        self.faults.sort_by_key(|f| f.at);
+        self
+    }
 }
 
 /// Builder for seed-generated fault plans; see [`FaultPlan::seeded`].
@@ -230,27 +271,29 @@ impl FaultPlanBuilder {
         }
     }
 
-    /// Weighted kind choice: link trouble and reboots dominate (they do
-    /// in the field), server-wide and administrative faults are rarer.
+    /// Weighted kind choice: link trouble, reboots, and bearer handover
+    /// storms dominate (they do in the field), server-wide and
+    /// administrative faults are rarer; clock trouble is the background
+    /// hum every deployment has.
     fn pick_kind(&self, rng: &mut SimRng, remaining: SimDuration) -> FaultKind {
         let device = rng.index(self.devices);
         let roll = rng.unit();
-        if roll < 0.27 {
+        if roll < 0.22 {
             FaultKind::Reboot { device }
-        } else if roll < 0.55 {
+        } else if roll < 0.45 {
             FaultKind::LinkDegrade {
                 device,
                 loss: rng.range_f64(0.05, 0.5),
                 jitter: SimDuration::from_millis(rng.range_u64(10, 400)),
                 duration: SimDuration::from_mins(rng.range_u64(1, 10)).min(remaining),
             }
-        } else if roll < 0.70 {
+        } else if roll < 0.57 {
             FaultKind::ServerRestart
-        } else if roll < 0.82 {
+        } else if roll < 0.67 {
             FaultKind::ServerOutage {
                 down_for: SimDuration::from_secs(rng.range_u64(30, 300)).min(remaining),
             }
-        } else if roll < 0.92 {
+        } else if roll < 0.76 {
             FaultKind::BatteryDeath {
                 device,
                 // Up to 90 minutes dark: long deaths outlive the default
@@ -258,10 +301,29 @@ impl FaultPlanBuilder {
                 // (the one loss the invariants permit).
                 off_for: SimDuration::from_mins(rng.range_u64(5, 90)).min(remaining),
             }
-        } else {
+        } else if roll < 0.83 {
             FaultKind::RosterChurn {
                 device,
                 rejoin_after: SimDuration::from_mins(rng.range_u64(1, 15)).min(remaining),
+            }
+        } else if roll < 0.93 {
+            let period = SimDuration::from_secs(rng.range_u64(5, 30)).min(remaining);
+            let flaps = rng.range_u64(10, 40) as u32;
+            // Clamp the whole storm inside the window so it heals by
+            // `end`, like every other fault.
+            let max_flaps = (remaining.as_millis() / period.as_millis().max(1)).max(1) as u32;
+            FaultKind::BearerFlap {
+                device,
+                flaps: flaps.min(max_flaps),
+                period,
+            }
+        } else {
+            let sign = if rng.chance(0.5) { 1 } else { -1 };
+            FaultKind::ClockSkew {
+                device,
+                step: SimDuration::from_secs(rng.range_u64(1, 120)),
+                drift_ppm: sign * rng.range_u64(500, 20_000) as i64,
+                duration: SimDuration::from_mins(rng.range_u64(2, 20)).min(remaining),
             }
         }
     }
@@ -303,10 +365,29 @@ mod tests {
     fn seeded_plans_cover_many_classes() {
         let p = plan(1);
         assert!(
-            p.classes().len() >= 4,
+            p.classes().len() >= 6,
             "expected a varied plan, got {:?}",
             p.classes()
         );
+        assert!(p.classes().contains("bearer-flap"), "{:?}", p.classes());
+        assert!(p.classes().contains("clock-skew"), "{:?}", p.classes());
+    }
+
+    #[test]
+    fn extended_plans_keep_seed_and_stay_sorted() {
+        let p = plan(5).extended(vec![Fault {
+            at: SimTime::ZERO + SimDuration::from_mins(11),
+            kind: FaultKind::BearerFlap {
+                device: 0,
+                flaps: 4,
+                period: SimDuration::from_secs(10),
+            },
+        }]);
+        assert_eq!(p.seed(), 5);
+        assert_eq!(p.len(), plan(5).len() + 1);
+        for pair in p.faults().windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
     }
 
     #[test]

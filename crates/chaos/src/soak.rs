@@ -1,24 +1,25 @@
 //! The chaos soak: a whole fleet, days of simulated time, one seed.
 //!
-//! [`run_soak`] assembles a testbed, deploys a counting script to every
-//! phone, generates a [`FaultPlan`] from the config seed, injects it,
-//! checks invariants after every fault window, drains the fleet, and
-//! runs the final loss accounting. The returned [`SoakReport`] carries
-//! the verdict plus the full obs trace as JSONL — two runs of the same
-//! config produce byte-identical traces, which the `chaos_soak --check`
-//! CI gate asserts.
+//! [`run_workload_soak`] assembles a testbed, runs a
+//! [`WorkloadSpec`]'s setup and deployment around the invariant
+//! harness, generates a [`FaultPlan`] from the config seed, injects
+//! it, checks invariants after every fault window, drains the fleet,
+//! and runs the final loss accounting. The returned [`SoakReport`]
+//! carries the verdict plus the full obs trace as JSONL — two runs of
+//! the same config produce byte-identical traces, which the
+//! `chaos_soak --check` CI gate asserts. [`run_soak`] is the original
+//! synthetic-counter entry point, now a thin wrapper.
 
 use std::collections::BTreeMap;
 
-use pogo_core::proto::{ExperimentSpec, ScriptSpec};
-use pogo_core::{DeviceNode, DeviceSetup, ObsConfig, Testbed};
-use pogo_net::{FlushPolicy, Jid};
+use pogo_core::{ObsConfig, Testbed};
 use pogo_platform::Bearer;
 use pogo_sim::{Sim, SimDuration, SimTime};
 
 use crate::inject::ChaosController;
 use crate::invariant::{InvariantHarness, Violation};
 use crate::plan::FaultPlan;
+use crate::workload::{CounterWorkload, WorkloadSpec};
 
 /// Quiet time between a fault window closing and the invariant check,
 /// so in-flight retransmissions settle.
@@ -67,6 +68,8 @@ impl Default for SoakConfig {
 /// What a soak run saw; see [`run_soak`].
 #[derive(Debug, Clone)]
 pub struct SoakReport {
+    /// The workload that was soaked.
+    pub workload: String,
     /// The seed the run used.
     pub seed: u64,
     /// Faults injected.
@@ -106,8 +109,9 @@ impl SoakReport {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "chaos soak seed=0x{seed:x}: {injected} faults injected ({skipped} skipped) \
-             across {classes} classes\n",
+            "chaos soak [{workload}] seed=0x{seed:x}: {injected} faults injected \
+             ({skipped} skipped) across {classes} classes\n",
+            workload = self.workload,
             seed = self.seed,
             injected = self.faults_injected,
             skipped = self.faults_skipped,
@@ -159,41 +163,27 @@ pub(crate) fn tick_script(period: SimDuration) -> String {
     )
 }
 
-/// Runs one soak; see the module docs.
+/// Runs one soak of the synthetic counter workload; see the module
+/// docs.
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    run_workload_soak(cfg, &CounterWorkload)
+}
+
+/// Runs one soak of an arbitrary [`WorkloadSpec`]; see the module docs.
+pub fn run_workload_soak(cfg: &SoakConfig, workload: &dyn WorkloadSpec) -> SoakReport {
     let sim = Sim::new();
     let obs_cfg = ObsConfig::on()
         .ring_capacity(1 << 20)
         .only_categories(["chaos", "pogo"]);
     let mut testbed = Testbed::with_obs(&sim, obs_cfg);
-    let age = cfg.max_msg_age;
-    for i in 0..cfg.phones {
-        testbed.add(
-            DeviceSetup::named(&format!("phone-{i}")).configure(move |c| {
-                c.with_flush_policy(FlushPolicy::Interval(SimDuration::from_secs(90)))
-                    .with_max_msg_age(age)
-            }),
-        );
-    }
+    workload.setup(&mut testbed, cfg);
 
-    let harness = InvariantHarness::install(&testbed, "chaos", "chaos-data");
-    let jids: Vec<Jid> = testbed.devices().iter().map(DeviceNode::jid).collect();
-    testbed
-        .collector()
-        .deployment(&ExperimentSpec {
-            id: "chaos".into(),
-            scripts: vec![ScriptSpec {
-                name: "tick.js".into(),
-                source: tick_script(cfg.publish_period),
-            }],
-        })
-        .to(&jids)
-        .send()
-        .expect("chaos tick script passes the lint gate");
+    let harness = InvariantHarness::for_workload(&testbed, workload.name(), workload.audits());
+    workload.deploy(&testbed, cfg);
 
-    let end = SimTime::ZERO + cfg.duration;
+    let end = SimTime::ZERO + workload.duration(cfg);
     let plan = FaultPlan::seeded(cfg.seed)
-        .devices(cfg.phones)
+        .devices(testbed.devices().len())
         .window(SimTime::ZERO + SimDuration::from_mins(30), end)
         .mean_gap(cfg.mean_fault_gap)
         .build();
@@ -222,11 +212,10 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     sim.run_for(DRAIN);
     harness.final_check();
 
-    let mut published = 0u64;
+    let published = harness.sent_total();
     let mut purged = 0u64;
     let mut buffered = 0u64;
     for node in testbed.devices() {
-        published += node.logs().lines("chaos-sent").len() as u64;
         purged += node.purged();
         buffered += node.buffered() as u64;
     }
@@ -236,6 +225,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         String::new()
     };
     SoakReport {
+        workload: workload.name().to_owned(),
         seed: cfg.seed,
         faults_injected: controller.injected(),
         faults_skipped: controller.skipped(),

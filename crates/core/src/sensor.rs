@@ -490,7 +490,9 @@ impl SensorManager {
             inner.obs.metrics().inc(Kind::Battery.samples_metric(), 1);
             (
                 inner.phone.battery().clone(),
-                inner.phone.sim().now().as_millis(),
+                // The message timestamp comes from the device's own
+                // (skewable) clock; sources see true sim time below.
+                inner.phone.clock().now_ms(),
             )
         };
         let msg = Msg::obj([
@@ -615,7 +617,7 @@ impl SensorManager {
                     ])
                 })
                 .collect();
-            let now_ms = self.inner.borrow().phone.sim().now().as_millis();
+            let now_ms = self.inner.borrow().phone.clock().now_ms();
             let msg = Msg::obj([
                 ("timestamp", Msg::Num(now_ms as f64)),
                 ("aps", Msg::Arr(aps)),

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pogo_sim::Sim;
+use pogo_sim::{DeviceClock, Sim};
 
 use crate::battery::{Battery, DEFAULT_CAPACITY_JOULES};
 use crate::connectivity::{Bearer, Connectivity};
@@ -64,6 +64,7 @@ pub struct Phone {
     wifi: WifiRadio,
     connectivity: Connectivity,
     battery: Battery,
+    clock: DeviceClock,
 }
 
 impl Phone {
@@ -75,6 +76,7 @@ impl Phone {
         let wifi = WifiRadio::new(sim, &meter, config.wifi);
         let connectivity = Connectivity::new(config.initial_bearer);
         let battery = Battery::new(&meter, config.battery_capacity_joules);
+        let clock = DeviceClock::new(sim);
         Phone {
             sim: sim.clone(),
             meter,
@@ -83,6 +85,7 @@ impl Phone {
             wifi,
             connectivity,
             battery,
+            clock,
         }
     }
 
@@ -119,6 +122,13 @@ impl Phone {
     /// The battery.
     pub fn battery(&self) -> &Battery {
         &self.battery
+    }
+
+    /// The device's real-time clock. Identity on [`Sim::now`] until a
+    /// skew is injected; sensor timestamps are stamped from it, timers
+    /// are not (they keep elapsed-time semantics on the global clock).
+    pub fn clock(&self) -> &DeviceClock {
+        &self.clock
     }
 
     /// Sends `tx`/`rx` bytes over whichever bearer is active; `done` fires

@@ -1,0 +1,92 @@
+//! Clock-skew sanity: a skewed [`DeviceClock`] never disturbs the
+//! event queue (timers have elapsed-time semantics), and skewed
+//! timestamps normalize back to truth at the collector side.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pogo_sim::{DeviceClock, Sim, SimDuration};
+
+/// The timer queue never fires in the past, no matter what the device
+/// clock does mid-run: every callback observes a monotone `sim.now()`
+/// and fires exactly at its scheduled true delay.
+#[test]
+fn timers_ignore_device_clock_skew() {
+    let sim = Sim::new();
+    let clock = DeviceClock::new(&sim);
+    let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+
+    for i in 1..=10u64 {
+        let f = fired.clone();
+        let sim2 = sim.clone();
+        sim.schedule_in(SimDuration::from_secs(i * 10), move || {
+            f.borrow_mut().push(sim2.now().as_millis());
+        });
+    }
+    // Aggressive skew changes while the timers are pending.
+    let c = clock.clone();
+    sim.schedule_in(SimDuration::from_secs(15), move || {
+        c.set_skew(3_600_000, 200_000)
+    });
+    let c = clock.clone();
+    sim.schedule_in(SimDuration::from_secs(45), move || c.set_skew(0, -150_000));
+    let c = clock.clone();
+    sim.schedule_in(SimDuration::from_secs(75), move || c.clear());
+
+    sim.run_for(SimDuration::from_secs(120));
+
+    let fired = fired.borrow();
+    let expected: Vec<u64> = (1..=10).map(|i| i * 10_000).collect();
+    assert_eq!(*fired, expected, "timers fire at true elapsed time");
+    for pair in fired.windows(2) {
+        assert!(pair[0] <= pair[1], "the queue never runs backwards");
+    }
+}
+
+/// Timestamps taken from a skewed clock map back to the true instants
+/// through `normalize` — the §4.1-style collector can line samples from
+/// a fast phone up against the rest of the fleet.
+#[test]
+fn skewed_timestamps_normalize_at_the_collector() {
+    let sim = Sim::new();
+    let clock = DeviceClock::new(&sim);
+    sim.run_for(SimDuration::from_mins(10));
+    clock.set_skew(90_000, 50_000); // 90 s ahead, 5% fast
+
+    let mut samples: Vec<(i64, i64)> = Vec::new(); // (local, truth)
+    for _ in 0..20 {
+        sim.run_for(SimDuration::from_secs(30));
+        samples.push((clock.now_ms(), sim.now().as_millis() as i64));
+    }
+    for &(local, truth) in &samples {
+        assert!(local > truth, "the skewed clock runs ahead");
+        let normalized = clock.normalize(local);
+        assert!(
+            (normalized - truth).abs() <= 1,
+            "normalize({local}) = {normalized}, truth {truth}"
+        );
+    }
+    // Normalization is order-preserving, so per-device sequences stay
+    // monotone after correction.
+    for pair in samples.windows(2) {
+        assert!(clock.normalize(pair[0].0) < clock.normalize(pair[1].0));
+    }
+}
+
+/// A skew injected and later cleared leaves no residue: the clock
+/// rejoins truth exactly, which is what lets a healed ClockSkew fault
+/// produce byte-identical traces across same-seed runs.
+#[test]
+fn cleared_skew_rejoins_truth_exactly() {
+    let sim = Sim::new();
+    let clock = DeviceClock::new(&sim);
+    sim.run_for(SimDuration::from_secs(30));
+    clock.set_skew(12_345, 77_000);
+    sim.run_for(SimDuration::from_secs(300));
+    clock.clear();
+    for _ in 0..5 {
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(clock.now_ms(), sim.now().as_millis() as i64);
+        assert_eq!(clock.skew_ms(), 0);
+    }
+}

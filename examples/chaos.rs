@@ -2,7 +2,8 @@
 //!
 //! Two phones run a counting script while an exact, hand-written
 //! [`FaultPlan`] bounces the switchboard, degrades a link, reboots a
-//! phone, kills a battery, and churns the roster. The
+//! phone, storms the bearer with Wifi↔Cellular handovers, kills a
+//! battery, skews a device clock, and churns the roster. The
 //! [`InvariantHarness`] then proves the §4.6 reliability contract held:
 //! every published sample arrived exactly once, nothing phantom showed
 //! up, and the frozen counters never regressed. Seeded plans
@@ -79,8 +80,29 @@ fn main() {
             },
         },
         Fault {
+            at: at(30),
+            // 20 handovers in 200 s: every switch drops the session's
+            // in-flight envelopes, hammering reconnect and tail-sync.
+            kind: FaultKind::BearerFlap {
+                device: 0,
+                flaps: 20,
+                period: SimDuration::from_secs(10),
+            },
+        },
+        Fault {
             at: at(35),
             kind: FaultKind::Reboot { device: 1 },
+        },
+        Fault {
+            at: at(42),
+            // Device 1's clock jumps a minute ahead and gains 1% until
+            // an NITZ-style fix snaps it back; timers keep true time.
+            kind: FaultKind::ClockSkew {
+                device: 1,
+                step: SimDuration::from_secs(60),
+                drift_ppm: 10_000,
+                duration: SimDuration::from_mins(12),
+            },
         },
         Fault {
             at: at(50),

@@ -70,11 +70,12 @@ if [[ "$run_perf" == 1 ]]; then
         --min-speedup script_vm:25
 fi
 
-# Chaos gate: the fixed-seed 8-phone soak must inject >=100 faults over
-# >=3 classes with zero delivery-invariant violations, and two
+# Chaos gate: the fixed-seed table4 cohort replay (24 days, 8 phones)
+# must inject >=100 faults over >=4 classes — bearer-flap and clock-skew
+# among them — with zero delivery-invariant violations, and two
 # back-to-back runs must produce byte-identical obs traces.
 if [[ "$run_chaos" == 1 ]]; then
-    ./target/release/chaos_soak --check
+    ./target/release/chaos_soak --workload table4 --check
 fi
 
 # pogo-trace smoke: the quickstart workload with tracing on must emit

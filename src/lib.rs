@@ -49,6 +49,7 @@ pub use pogo_platform as platform;
 pub use pogo_script as script;
 pub use pogo_sim as sim;
 
+pub mod chaos_workloads;
 pub mod error;
 pub mod glue;
 

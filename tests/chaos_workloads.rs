@@ -1,0 +1,63 @@
+//! The real workloads under the chaos harness: miniature soaks of the
+//! localization pipeline, RogueFinder, and the Table 4 cohort replay.
+//! The full-size runs live in the `chaos_soak` binary (CI runs the
+//! table4 one with `--check`).
+
+use pogo::chaos::{run_workload_soak, SoakConfig};
+use pogo::chaos_workloads::{LocalizationWorkload, RogueFinderWorkload, Table4ChaosWorkload};
+use pogo::sim::SimDuration;
+
+fn small(seed: u64, phones: usize, hours: u64) -> SoakConfig {
+    SoakConfig {
+        seed,
+        phones,
+        duration: SimDuration::from_hours(hours),
+        mean_fault_gap: SimDuration::from_mins(15),
+        capture_trace: false,
+        ..SoakConfig::default()
+    }
+}
+
+#[test]
+fn localization_soak_holds_the_invariants() {
+    let report = run_workload_soak(&small(21, 3, 5), &LocalizationWorkload);
+    assert_eq!(report.workload, "localization");
+    assert!(report.faults_injected >= 8, "{}", report.summary());
+    assert!(report.passed(), "{}", report.summary());
+    assert!(
+        report.delivered_distinct >= 10,
+        "clusters flowed: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn roguefinder_soak_holds_the_invariants() {
+    let report = run_workload_soak(&small(22, 2, 5), &RogueFinderWorkload);
+    assert_eq!(report.workload, "roguefinder");
+    assert!(report.faults_injected >= 8, "{}", report.summary());
+    assert!(report.passed(), "{}", report.summary());
+    assert!(
+        report.delivered_distinct >= 10,
+        "geofenced scans flowed: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn table4_soak_holds_the_invariants() {
+    let cfg = SoakConfig {
+        seed: 23,
+        duration: SimDuration::ZERO, // workload supplies its own length
+        mean_fault_gap: SimDuration::from_mins(45),
+        max_msg_age: SimDuration::from_hours(24),
+        capture_trace: false,
+        ..SoakConfig::default()
+    };
+    let report = run_workload_soak(&cfg, &Table4ChaosWorkload::new(2));
+    assert_eq!(report.workload, "table4");
+    assert!(report.faults_injected >= 20, "{}", report.summary());
+    assert!(report.classes() >= 3, "{}", report.summary());
+    assert!(report.passed(), "{}", report.summary());
+    assert!(report.delivered_distinct > 0, "{}", report.summary());
+}
