@@ -1,9 +1,9 @@
 //! `perf_smoke` — deterministic hot-path microbenchmarks.
 //!
-//! Default mode runs the five workloads (broker fan-out, JSON codec,
+//! Default mode runs the six workloads (broker fan-out, JSON codec,
 //! streaming DBSCAN, tree-walk interpreter, bytecode-VM callback
-//! delivery) and writes the results to `BENCH_pr6.json` (override with
-//! `--out PATH`).
+//! delivery, collector ingestion) and writes the results to
+//! `BENCH_pr9.json` (override with `--out PATH`).
 //!
 //! `--check PATH` instead compares the fresh run against a committed
 //! baseline file and exits non-zero if any bench regressed by more than
@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use pogo_bench::{perf, report};
 
 fn main() -> ExitCode {
-    let mut out_path = String::from("BENCH_pr6.json");
+    let mut out_path = String::from("BENCH_pr9.json");
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.25;
     let mut min_speedups: Vec<(String, f64)> = Vec::new();

@@ -6,7 +6,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use pogo::core::{DeviceSetup, Msg, Obs, ObsConfig, Testbed};
+use pogo::core::{ChannelSchema, DeviceSetup, Msg, Obs, ObsConfig, ScanQuery, Template, Testbed};
 use pogo_platform::{NetAppConfig, PeriodicNetApp, RadioState};
 use pogo_sim::{Sim, SimDuration, SimTime};
 
@@ -41,6 +41,9 @@ pub struct Figure4 {
     pub events: Vec<Event>,
     /// Batch sizes Pogo pushed (the paper: "reported in batches of five").
     pub batch_sizes: Vec<usize>,
+    /// Battery samples the collector's sample store ingested over the
+    /// whole run (typed `f64` voltages via the channel registry).
+    pub battery_samples: usize,
 }
 
 /// Captures a 15-minute slice of the Table 3 "with Pogo" scenario.
@@ -59,12 +62,16 @@ fn run_with(obs_config: ObsConfig) -> (Figure4, Obs) {
     let sim = Sim::new();
     let mut testbed = Testbed::with_obs(&sim, obs_config);
     let (device, phone) = testbed.add(DeviceSetup::named("galaxy-nexus"));
-    let ctx = testbed.collector().create_experiment("power");
-    ctx.broker().subscribe(
-        "battery",
-        Msg::obj([("interval", Msg::Num(60_000.0))]),
-        |_, _, _| {},
-    );
+    testbed
+        .collector()
+        .registry()
+        .register_with_params(
+            "power",
+            "battery",
+            Msg::obj([("interval", Msg::Num(60_000.0))]),
+            ChannelSchema::new(Template::F64).field("voltage"),
+        )
+        .expect("battery channel registers");
     testbed
         .collector()
         .deployment(&pogo::core::ExperimentSpec {
@@ -136,10 +143,16 @@ fn run_with(obs_config: ObsConfig) -> (Figure4, Obs) {
     let mut events = events.borrow().clone();
     events.retain(|e| e.at_secs >= 0.0);
     let batch_sizes = batches.borrow().clone();
+    let battery_samples = testbed
+        .collector()
+        .store()
+        .scan(&ScanQuery::exp("power").channel("battery"))
+        .len();
     (
         Figure4 {
             events,
             batch_sizes,
+            battery_samples,
         },
         obs,
     )
@@ -178,6 +191,14 @@ mod tests {
         for &batch in &fig.batch_sizes {
             assert_eq!(batch, 5);
         }
+        // Every delivered sample landed in the typed sample store; the
+        // whole run (steady-state warmup + slice) covers at least the
+        // slice's batches.
+        assert!(
+            fig.battery_samples >= fig.batch_sizes.iter().sum::<usize>(),
+            "store ingested {} battery samples",
+            fig.battery_samples
+        );
         // Every Pogo flush happens within seconds of a radio ramp-up.
         let ramp_times: Vec<f64> = fig
             .events

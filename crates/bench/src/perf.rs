@@ -1,10 +1,11 @@
 //! Hot-path microbenchmarks — the workloads behind the `perf_smoke`
 //! binary.
 //!
-//! Five deterministic workloads exercise the paths the optimization
+//! Six deterministic workloads exercise the paths the optimization
 //! passes touched: broker fan-out, the JSON codec, the streaming
-//! clusterer, the tree-walk PogoScript interpreter, and bytecode-VM
-//! callback delivery. Workload *content* is fixed by seeds and
+//! clusterer, the tree-walk PogoScript interpreter, bytecode-VM
+//! callback delivery, and the collector's ingestion pipeline (batch
+//! builder + columnar store). Workload *content* is fixed by seeds and
 //! guarded by checksums; only the wall-clock measurement varies between
 //! machines. Every measurement is the fastest of [`RUNS`] repetitions
 //! after one warm-up (the least-interrupted run of a deterministic
@@ -48,6 +49,9 @@ pub const DBSCAN_SCANS: usize = 33_000;
 pub const INTERP_EVALS: usize = 40;
 /// Script VM workload: callback deliveries per timed run.
 pub const VM_CALLBACK_EVENTS: usize = 20_000;
+/// Ingest workload: samples appended through the batch builder into the
+/// sample store per timed run.
+pub const INGEST_SAMPLES: usize = 200_000;
 
 /// One benchmark's outcome.
 #[derive(Debug, Clone)]
@@ -714,10 +718,70 @@ pub fn bench_script_vm() -> BenchRecord {
 }
 
 // ---------------------------------------------------------------------------
+// Collector ingestion
+// ---------------------------------------------------------------------------
+
+/// Ingestion workload: a fixed stream of typed samples (4 channels × 8
+/// devices, i64 and f64 templates) appended through the pipeline's
+/// batch builders and flushed into the columnar store. Measures the
+/// whole write side — schema check, column append, size-watermark
+/// flush, store retention — per sample.
+pub fn bench_ingest() -> BenchRecord {
+    use pogo_core::Obs;
+    use pogo_ingest::{ChannelSchema, IngestPipeline, SampleValue, Template, Watermarks};
+    use pogo_sim::{Sim, SimDuration};
+
+    const CHANNELS: usize = 4;
+    const DEVICES: usize = 8;
+    let devices: Vec<String> = (0..DEVICES).map(|d| format!("phone-{d}@pogo")).collect();
+
+    let wall = best_wall_ns(|| {
+        let sim = Sim::new();
+        let pipeline = IngestPipeline::with_watermarks(
+            &sim,
+            &Obs::off(),
+            Watermarks {
+                max_rows: 256,
+                max_age: SimDuration::from_secs(60),
+            },
+        );
+        for c in 0..CHANNELS {
+            let template = if c % 2 == 0 {
+                Template::I64
+            } else {
+                Template::F64
+            };
+            pipeline
+                .register("bench", &format!("ch{c}"), ChannelSchema::new(template))
+                .expect("fresh channel registers");
+        }
+        for i in 0..INGEST_SAMPLES {
+            let c = i % CHANNELS;
+            let value = if c % 2 == 0 {
+                SampleValue::I64(i as i64)
+            } else {
+                SampleValue::F64(i as f64 * 0.5)
+            };
+            pipeline
+                .append("bench", &format!("ch{c}"), &devices[i % DEVICES], value)
+                .expect("valid sample ingests");
+        }
+        pipeline.flush_all();
+        let stats = pipeline.stats();
+        assert_eq!(
+            black_box(stats.store_rows),
+            INGEST_SAMPLES as u64,
+            "ingest workload checksum"
+        );
+    });
+    record("ingest", INGEST_SAMPLES as u64, wall, None)
+}
+
+// ---------------------------------------------------------------------------
 // Harness plumbing
 // ---------------------------------------------------------------------------
 
-/// Runs all five workloads.
+/// Runs all six workloads.
 pub fn run_all() -> Vec<BenchRecord> {
     // The clustering replay goes first: it streams a multi-megabyte scan
     // trace, and allocating that trace on the fresh heap (before the
@@ -730,6 +794,7 @@ pub fn run_all() -> Vec<BenchRecord> {
         dbscan,
         bench_interpreter(),
         bench_script_vm(),
+        bench_ingest(),
     ]
 }
 

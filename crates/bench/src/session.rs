@@ -6,7 +6,7 @@ use std::cell::RefCell;
 
 use pogo::cluster::{ClusterSummary, StreamConfig};
 use pogo::core::sensor::SensorSources;
-use pogo::core::{Obs, ObsConfig, Testbed};
+use pogo::core::{ChannelSchema, Msg, Obs, ObsConfig, SampleValue, ScanQuery, Testbed};
 use pogo::glue;
 use pogo::mobility::{
     GeolocationService, ScanSynthesizer, UserScenario, UserSpec, Whereabouts, World,
@@ -119,7 +119,14 @@ fn run_session_with(
     drive_connectivity(&sim, &phone, &scenario);
     schedule_disruptions(&sim, &device, &testbed, &scenario, use_freeze);
 
-    // Deploy the localization experiment.
+    // Deploy the localization experiment. The registry ingests every
+    // location summary into the collector's sample store alongside the
+    // collect.js script that geolocates them.
+    testbed
+        .collector()
+        .registry()
+        .register("loc", "locations", ChannelSchema::json())
+        .expect("locations channel registers");
     let service = GeolocationService::new(world.clone());
     testbed
         .collector()
@@ -144,11 +151,19 @@ fn run_session_with(
     // Harvest.
     let raw_lines = device.logs().lines("raw-scans");
     let truth = glue::ground_truth_from_log(&raw_lines, StreamConfig::default());
-    let collected: Vec<ClusterSummary> =
-        glue::places_from_log(&testbed.collector().logs().lines("places"))
-            .into_iter()
-            .map(|(_, s, _)| s)
-            .collect();
+    let collected: Vec<ClusterSummary> = testbed
+        .collector()
+        .store()
+        .scan(&ScanQuery::exp("loc").channel("locations"))
+        .iter()
+        .filter_map(|row| match &row.value {
+            SampleValue::Json(raw) => {
+                let msg = Msg::from_json(raw).ok()?;
+                glue::summary_from_msg(&msg)
+            }
+            _ => None,
+        })
+        .collect();
     let raw_bytes = raw_lines.iter().map(String::len).sum();
     let location_bytes = truth.iter().map(summary_bytes).sum::<usize>();
     let obs = testbed.obs().clone();
@@ -171,7 +186,6 @@ fn run_session_with(
 /// Serialized size of one location summary (for the Size column), as
 /// clustering.js would publish it.
 fn summary_bytes(s: &ClusterSummary) -> usize {
-    use pogo::core::Msg;
     let aps: Vec<Msg> = s
         .representative
         .aps()

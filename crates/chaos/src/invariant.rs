@@ -1,8 +1,13 @@
 //! Delivery invariants checked during and after a chaos run.
 //!
 //! The harness audits N experiment channels at the collector against
-//! the per-device *sent logs* each script appends to, and asserts the
-//! §4.6 reliability contract on every channel:
+//! the per-device *sent logs* each script appends to. Each audited
+//! channel is declared on the collector's registry with an integer
+//! schema extracting the audit's key field, so the delivered side of
+//! every check is a [`SampleStore`](pogo_core::SampleStore) scan — the
+//! same queryable store the benches export from — rather than a
+//! harness-private callback tally. The checks assert the §4.6
+//! reliability contract on every channel:
 //!
 //! 1. **Exactly-once arrival** — the at-least-once transport plus the
 //!    collector's dedup filter never surface the same sample twice.
@@ -34,7 +39,9 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use pogo_core::{DeviceNode, Msg, Testbed};
+use pogo_core::{
+    ChannelSchema, CollectorNode, DeviceNode, SampleValue, ScanQuery, Template, Testbed,
+};
 use pogo_obs::{field, Obs};
 use pogo_sim::{Sim, SimTime};
 
@@ -60,13 +67,12 @@ pub struct Violation {
 struct Inner {
     sim: Sim,
     devices: Vec<DeviceNode>,
+    /// The audited collector; delivered counters are scans of its
+    /// sample store (duplicates included — that is the point).
+    collector: CollectorNode,
     obs: Obs,
     workload: &'static str,
     audits: Vec<ChannelAudit>,
-    /// Sample counters delivered at the collector, keyed by
-    /// `(audit index, device JID)`, in arrival order (duplicates
-    /// included — that is the point).
-    delivered: BTreeMap<(usize, String), Vec<i64>>,
     /// Dedup keys of violations already reported.
     reported: BTreeSet<String>,
     violations: Vec<Violation>,
@@ -93,54 +99,46 @@ impl std::fmt::Debug for InvariantHarness {
 }
 
 impl InvariantHarness {
-    /// Subscribes to every audited channel at the testbed's collector.
+    /// Registers every audited channel on the testbed collector's
+    /// registry (an `i64` schema extracting the audit's key field).
     /// Install *before* deploying the workload so the subscriptions are
     /// mirrored to devices from the start.
     ///
     /// For each audit, device scripts must publish samples carrying the
     /// audit's `key_field` and append the same number to the audit's
-    /// `sent_log` in the same script step.
+    /// `sent_log` in the same script step. A sample *without* the
+    /// numeric key is rejected by the schema check and surfaces as
+    /// `INGEST_SCHEMA_MISMATCH` in the collector's error log and
+    /// stats, instead of reaching the store.
     pub fn for_workload(
         testbed: &Testbed,
         workload: &'static str,
         audits: Vec<ChannelAudit>,
     ) -> Self {
-        let harness = InvariantHarness {
+        for audit in &audits {
+            testbed
+                .collector()
+                .registry()
+                .register(
+                    &audit.exp,
+                    &audit.channel,
+                    ChannelSchema::new(Template::I64).field(&audit.key_field),
+                )
+                .expect("audit channel registers on the collector");
+        }
+        InvariantHarness {
             inner: Rc::new(RefCell::new(Inner {
                 sim: testbed.sim().clone(),
                 devices: testbed.devices().to_vec(),
+                collector: testbed.collector().clone(),
                 obs: testbed.obs().clone(),
                 workload,
-                audits: audits.clone(),
-                delivered: BTreeMap::new(),
+                audits,
                 reported: BTreeSet::new(),
                 violations: Vec::new(),
                 checks: 0,
             })),
-        };
-        for (idx, audit) in audits.iter().enumerate() {
-            let inner = harness.inner.clone();
-            let key_field = audit.key_field.clone();
-            testbed
-                .collector()
-                .on_data(&audit.exp, &audit.channel, move |msg, from| {
-                    // A sample without the numeric key is recorded as -1:
-                    // the phantom check flags it, with the device
-                    // attributed.
-                    let n = msg
-                        .get(&key_field)
-                        .and_then(Msg::as_num)
-                        .map(|v| v as i64)
-                        .unwrap_or(-1);
-                    inner
-                        .borrow_mut()
-                        .delivered
-                        .entry((idx, from.to_owned()))
-                        .or_default()
-                        .push(n);
-                });
         }
-        harness
     }
 
     /// The single-channel counter harness: subscribes to `channel` on
@@ -174,25 +172,60 @@ impl InvariantHarness {
     }
 
     /// Total samples delivered at the collector across all audited
-    /// channels (duplicates included).
+    /// channels (duplicates included) — a sample-store row count.
     pub fn delivered_total(&self) -> u64 {
-        self.inner
-            .borrow()
-            .delivered
-            .values()
-            .map(|v| v.len() as u64)
+        let (collector, audits) = self.collector_and_audits();
+        let store = collector.store();
+        audits
+            .iter()
+            .map(|a| {
+                store
+                    .scan(&ScanQuery::exp(&a.exp).channel(&a.channel))
+                    .len() as u64
+            })
             .sum()
     }
 
-    /// Distinct samples delivered at the collector across all audited
-    /// channels.
+    /// Distinct samples delivered at the collector, per audited channel
+    /// per device.
     pub fn delivered_distinct(&self) -> u64 {
-        self.inner
-            .borrow()
-            .delivered
-            .values()
-            .map(|v| v.iter().collect::<BTreeSet<_>>().len() as u64)
-            .sum()
+        let (collector, audits) = self.collector_and_audits();
+        let store = collector.store();
+        let mut total = 0u64;
+        for audit in &audits {
+            let mut per_device: BTreeMap<String, BTreeSet<i64>> = BTreeMap::new();
+            for row in store.scan(&ScanQuery::exp(&audit.exp).channel(&audit.channel)) {
+                if let SampleValue::I64(n) = row.value {
+                    per_device.entry(row.device).or_default().insert(n);
+                }
+            }
+            total += per_device.values().map(|s| s.len() as u64).sum::<u64>();
+        }
+        total
+    }
+
+    fn collector_and_audits(&self) -> (CollectorNode, Vec<ChannelAudit>) {
+        let inner = self.inner.borrow();
+        (inner.collector.clone(), inner.audits.clone())
+    }
+
+    /// The delivered key sequence for one audit channel and device, in
+    /// arrival order, scanned from the collector's sample store.
+    fn delivered_seq(&self, audit: &ChannelAudit, jid: &str) -> Vec<i64> {
+        let collector = self.inner.borrow().collector.clone();
+        collector
+            .store()
+            .scan(
+                &ScanQuery::exp(&audit.exp)
+                    .channel(&audit.channel)
+                    .device(jid),
+            )
+            .into_iter()
+            .filter_map(|row| match row.value {
+                SampleValue::I64(n) => Some(n),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Total samples the devices logged as sent across all audits.
@@ -218,17 +251,11 @@ impl InvariantHarness {
             (inner.devices.clone(), inner.audits.clone())
         };
         let before = self.inner.borrow().violations.len();
-        for (idx, audit) in audits.iter().enumerate() {
+        for audit in &audits {
             for node in &devices {
                 let jid = node.jid().to_string();
                 let sent = self.sent_log(node, audit);
-                let delivered = self
-                    .inner
-                    .borrow()
-                    .delivered
-                    .get(&(idx, jid.clone()))
-                    .cloned()
-                    .unwrap_or_default();
+                let delivered = self.delivered_seq(audit, &jid);
                 self.check_exactly_once(&jid, &audit.channel, &delivered);
                 self.check_no_phantoms(&jid, &audit.channel, &sent, &delivered);
                 if audit.monotonic {
@@ -328,15 +355,13 @@ impl InvariantHarness {
         let jid = node.jid().to_string();
         let mut sent_total = 0u64;
         let mut distinct = 0u64;
-        for (idx, audit) in audits.iter().enumerate() {
+        for audit in audits {
             sent_total += self.sent_log(node, audit).len() as u64;
             distinct += self
-                .inner
-                .borrow()
-                .delivered
-                .get(&(idx, jid.clone()))
-                .map(|v| v.iter().collect::<BTreeSet<_>>().len() as u64)
-                .unwrap_or(0);
+                .delivered_seq(audit, &jid)
+                .iter()
+                .collect::<BTreeSet<_>>()
+                .len() as u64;
         }
         let purged = node.purged();
         let buffered = node.buffered() as u64;
@@ -404,6 +429,22 @@ mod tests {
     use pogo_net::FlushPolicy;
     use pogo_sim::SimDuration;
 
+    /// Forges a sample straight into the collector-side broker, as if a
+    /// device had published it — it flows through the registry's real
+    /// ingest path into the store, which is what the checks scan.
+    fn forge(tb: &Testbed, channel: &str, n: f64) {
+        use pogo_core::Msg;
+        tb.collector()
+            .context("chaos")
+            .expect("experiment exists")
+            .broker()
+            .publish_from(
+                channel,
+                &Msg::obj([("n", Msg::Num(n))]),
+                Some("phone-0@pogo"),
+            );
+    }
+
     fn ticking_testbed(sim: &Sim) -> (Testbed, InvariantHarness) {
         let mut tb = Testbed::new(sim);
         tb.add(
@@ -438,15 +479,9 @@ mod tests {
     #[test]
     fn fabricated_duplicate_is_caught_once() {
         let sim = Sim::new();
-        let (_tb, harness) = ticking_testbed(&sim);
+        let (tb, harness) = ticking_testbed(&sim);
         sim.run_for(SimDuration::from_mins(10));
-        harness
-            .inner
-            .borrow_mut()
-            .delivered
-            .get_mut(&(0, "phone-0@pogo".to_string()))
-            .expect("samples arrived")
-            .push(1);
+        forge(&tb, "chaos-data", 1.0);
         assert_eq!(harness.check(), 1);
         assert_eq!(harness.check(), 0, "standing violation reports once");
         assert_eq!(harness.violations()[0].kind, "duplicate-delivery");
@@ -456,15 +491,9 @@ mod tests {
     #[test]
     fn fabricated_phantom_is_caught() {
         let sim = Sim::new();
-        let (_tb, harness) = ticking_testbed(&sim);
+        let (tb, harness) = ticking_testbed(&sim);
         sim.run_for(SimDuration::from_mins(10));
-        harness
-            .inner
-            .borrow_mut()
-            .delivered
-            .get_mut(&(0, "phone-0@pogo".to_string()))
-            .expect("samples arrived")
-            .push(9_999);
+        forge(&tb, "chaos-data", 9_999.0);
         harness.check();
         assert!(harness
             .violations()
@@ -516,20 +545,14 @@ mod tests {
         sim.run_for(SimDuration::from_mins(20));
         assert_eq!(harness.final_check(), 0, "{:?}", harness.violations());
         // Both channels saw the same distinct counters.
-        let inner = harness.inner.borrow();
-        let a = inner.delivered.get(&(0, "phone-0@pogo".into())).unwrap();
-        let b = inner.delivered.get(&(1, "phone-0@pogo".into())).unwrap();
+        let data_audit = ChannelAudit::new("chaos", "chaos-data", "chaos-sent", "n");
+        let echo_audit = ChannelAudit::new("chaos", "chaos-echo", "chaos-echo-sent", "n");
+        let a = harness.delivered_seq(&data_audit, "phone-0@pogo");
+        let b = harness.delivered_seq(&echo_audit, "phone-0@pogo");
         assert!(!a.is_empty());
         assert_eq!(a, b);
-        drop(inner);
         // A duplicate on channel 1 is attributed to channel 1 only.
-        harness
-            .inner
-            .borrow_mut()
-            .delivered
-            .get_mut(&(1, "phone-0@pogo".to_string()))
-            .unwrap()
-            .push(1);
+        forge(&tb, "chaos-echo", 1.0);
         assert_eq!(harness.check(), 1);
         assert_eq!(harness.violations()[0].channel, "chaos-echo");
     }

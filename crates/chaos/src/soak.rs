@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use pogo_core::{ObsConfig, Testbed};
+use pogo_core::{ObsConfig, ScanQuery, Testbed};
 use pogo_platform::Bearer;
 use pogo_sim::{Sim, SimDuration, SimTime};
 
@@ -92,6 +92,11 @@ pub struct SoakReport {
     pub violations: Vec<Violation>,
     /// The obs trace as JSONL, empty unless `capture_trace` was set.
     pub trace_jsonl: String,
+    /// The audited channels' sample-store rows exported as CSV —
+    /// deterministic per seed, which the determinism gate asserts.
+    pub store_csv: String,
+    /// The same rows as JSONL.
+    pub store_jsonl: String,
 }
 
 impl SoakReport {
@@ -224,6 +229,13 @@ pub fn run_workload_soak(cfg: &SoakConfig, workload: &dyn WorkloadSpec) -> SoakR
     } else {
         String::new()
     };
+    let store = testbed.collector().store();
+    let mut store_rows = Vec::new();
+    for audit in workload.audits() {
+        store_rows.extend(store.scan(&ScanQuery::exp(&audit.exp).channel(&audit.channel)));
+    }
+    let store_csv = pogo_ingest::export::to_csv(&store_rows);
+    let store_jsonl = pogo_ingest::export::to_jsonl(&store_rows);
     SoakReport {
         workload: workload.name().to_owned(),
         seed: cfg.seed,
@@ -241,6 +253,8 @@ pub fn run_workload_soak(cfg: &SoakConfig, workload: &dyn WorkloadSpec) -> SoakR
         buffered,
         violations: harness.violations(),
         trace_jsonl,
+        store_csv,
+        store_jsonl,
     }
 }
 

@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
+use pogo_ingest::{ChannelSchema, IngestError, IngestPipeline, SampleStore};
 use pogo_net::{DedupFilter, Envelope, Jid, MessageStore, Payload, Session, Switchboard};
 use pogo_obs::{field, Obs};
 use pogo_platform::{Cpu, CpuConfig, EnergyMeter};
@@ -21,7 +22,9 @@ use pogo_sim::{Sim, SimDuration};
 use crate::context::CollectorContext;
 use crate::host::{LogStore, ScriptHost};
 use crate::proto::{ControlMsg, ExperimentSpec};
+use crate::registry::{self, ChannelFilter, ChannelRegistry, CollectorStats, SampleEvent};
 use crate::scheduler::Scheduler;
+use crate::value::Msg;
 
 /// Retransmission backstop for pending control messages (presence is the
 /// fast path; this covers acks lost in flight).
@@ -154,6 +157,12 @@ struct Inner {
     dedup: DedupFilter,
     logs: LogStore,
     versions: HashMap<String, u64>,
+    /// The ingestion pipeline behind the registry API: registered
+    /// channels, batch builders, and the queryable sample store.
+    pipeline: IngestPipeline,
+    /// Push consumers attached with `attach_listener`, fired after a
+    /// sample is accepted into the pipeline.
+    listeners: Vec<(ChannelFilter, registry::Listener)>,
     data_received: u64,
     retry_armed: bool,
     /// A reconnect retry is already scheduled (server kicked us).
@@ -231,6 +240,8 @@ impl CollectorNode {
                 dedup: DedupFilter::new(),
                 logs,
                 versions: HashMap::new(),
+                pipeline: IngestPipeline::new(sim, &obs),
+                listeners: Vec::new(),
                 data_received: 0,
                 retry_armed: false,
                 reconnect_pending: false,
@@ -314,8 +325,137 @@ impl CollectorNode {
     }
 
     /// Data messages received from devices.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `stats().data_received` — `CollectorStats` folds this and the \
+                ingestion counters into one snapshot"
+    )]
     pub fn data_received(&self) -> u64 {
         self.inner.borrow().data_received
+    }
+
+    /// A snapshot of the collector's counters: transport receipts, the
+    /// ingestion pipeline's write-side stats, and diagnostic log sizes.
+    pub fn stats(&self) -> CollectorStats {
+        let inner = self.inner.borrow();
+        CollectorStats {
+            data_received: inner.data_received,
+            ingest: inner.pipeline.stats(),
+            lint_findings: inner.logs.lines("pogo-lint").len(),
+            errors_logged: inner.logs.lines("pogo-errors").len(),
+        }
+    }
+
+    /// The registry handle for declaring typed channels on this
+    /// collector — the consumption API (see [`crate::registry`]).
+    pub fn registry(&self) -> ChannelRegistry {
+        ChannelRegistry::new(self)
+    }
+
+    /// The queryable sample store behind the registry. Flushes every
+    /// pending batch first, so a scan right after a run sees all
+    /// ingested samples regardless of the flush watermarks.
+    pub fn store(&self) -> SampleStore {
+        let pipeline = self.pipeline();
+        pipeline.flush_all();
+        pipeline.store()
+    }
+
+    pub(crate) fn pipeline(&self) -> IngestPipeline {
+        self.inner.borrow().pipeline.clone()
+    }
+
+    /// Attaches a push consumer: `f` runs for every sample matching
+    /// `filter` *after* it is accepted into the ingestion pipeline
+    /// (schema-mismatched samples are rejected and never reach
+    /// listeners). When the filter names a single `(exp, channel)`,
+    /// the channel is auto-registered with the catch-all JSON schema —
+    /// so attaching a listener alone is enough to start consuming, as
+    /// `on_data` was. Filters broader than one channel only see
+    /// channels that were (or later are) registered.
+    pub fn attach_listener(&self, filter: ChannelFilter, f: impl Fn(&SampleEvent) + 'static) {
+        if let (Some(exp), Some(channel)) = (filter.exp_name(), filter.channel_name()) {
+            let (exp, channel) = (exp.to_owned(), channel.to_owned());
+            // An existing registration (any schema) already ingests the
+            // channel; a conflict here just means the listener rides on
+            // the declared schema instead of the catch-all.
+            let _ = self.register_channel(&exp, &channel, Msg::Null, ChannelSchema::json());
+        }
+        self.inner.borrow_mut().listeners.push((filter, Rc::new(f)));
+    }
+
+    /// Registers a channel in the pipeline and, when newly registered,
+    /// creates its collector-side broker subscription (mirrored to
+    /// devices like any other subscription). The subscription's sink
+    /// is the ingest path: extract per schema → append → listeners.
+    pub(crate) fn register_channel(
+        &self,
+        exp: &str,
+        channel: &str,
+        params: Msg,
+        schema: ChannelSchema,
+    ) -> Result<(), IngestError> {
+        let newly = self.pipeline().register(exp, channel, schema)?;
+        if !newly {
+            return Ok(());
+        }
+        let ctx = self.create_experiment(exp);
+        let me = self.clone();
+        let exp_owned = exp.to_owned();
+        ctx.broker()
+            .subscribe(channel, params, move |channel, msg, from| {
+                me.ingest_data(&exp_owned, channel, from.unwrap_or(""), msg);
+            });
+        Ok(())
+    }
+
+    /// One sample arrived on a registered channel's subscription.
+    fn ingest_data(&self, exp: &str, channel: &str, device: &str, msg: &Msg) {
+        let pipeline = self.pipeline();
+        let Some(schema) = pipeline.schema(exp, channel) else {
+            return;
+        };
+        match registry::extract_sample(&schema, msg) {
+            Ok(value) => match pipeline.append(exp, channel, device, value) {
+                Ok(()) => self.dispatch_listeners(exp, channel, device, msg),
+                Err(e) => self.log_ingest_error(&e),
+            },
+            Err(got) => {
+                let e = pipeline.reject_mismatch(exp, channel, device, &got);
+                self.log_ingest_error(&e);
+            }
+        }
+    }
+
+    fn dispatch_listeners(&self, exp: &str, channel: &str, device: &str, msg: &Msg) {
+        let (at, matching) = {
+            let inner = self.inner.borrow();
+            if inner.listeners.is_empty() {
+                return;
+            }
+            let matching: Vec<registry::Listener> = inner
+                .listeners
+                .iter()
+                .filter(|(filter, _)| filter.matches(exp, channel, device))
+                .map(|(_, listener)| listener.clone())
+                .collect();
+            (inner.sim.now(), matching)
+        };
+        let event = SampleEvent {
+            exp,
+            channel,
+            device,
+            at,
+            msg,
+        };
+        for listener in matching {
+            listener(&event);
+        }
+    }
+
+    fn log_ingest_error(&self, e: &IngestError) {
+        let logs = self.logs();
+        logs.append("pogo-errors", format!("[{}] {e}", e.code()));
     }
 
     /// This node's observability handle (scoped to its JID; off unless
@@ -793,17 +933,27 @@ impl CollectorNode {
     /// Registers a Rust-side data listener on an experiment channel —
     /// how benches and examples read collected data without going through
     /// a collector script.
+    ///
+    /// One-release shim over the registry API: registers the channel
+    /// with the catch-all JSON schema (so samples also land in the
+    /// [`SampleStore`]) and attaches a listener. The wire behavior is
+    /// identical — one subscription, mirrored to devices.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `attach_listener(ChannelFilter::exp(exp).channel(channel), …)`; \
+                declare a typed schema with `registry().register(…)` to also get \
+                store queries and export"
+    )]
     pub fn on_data(
         &self,
         exp: &str,
         channel: &str,
         f: impl Fn(&crate::value::Msg, &str) + 'static,
     ) {
-        let ctx = self.create_experiment(exp);
-        ctx.broker()
-            .subscribe(channel, crate::value::Msg::Null, move |_, msg, from| {
-                f(msg, from.unwrap_or(""));
-            });
+        self.attach_listener(
+            ChannelFilter::exp(exp).channel(channel),
+            move |event: &SampleEvent| f(event.msg, event.device),
+        );
     }
 }
 
@@ -888,9 +1038,21 @@ mod tests {
         let (sim, _server, collector, device, _phone) = testbed();
         let readings = Rc::new(RefCell::new(Vec::new()));
         let r = readings.clone();
-        collector.on_data("exp", "battery", move |msg, from| {
-            r.borrow_mut().push((from.to_owned(), msg.clone()));
-        });
+        collector
+            .registry()
+            .register(
+                "exp",
+                "battery",
+                ChannelSchema::new(pogo_ingest::Template::F64).field("voltage"),
+            )
+            .unwrap();
+        collector.attach_listener(
+            ChannelFilter::exp("exp").channel("battery"),
+            move |event: &SampleEvent| {
+                r.borrow_mut()
+                    .push((event.device.to_owned(), event.msg.clone()));
+            },
+        );
         collector
             .deployment(&ExperimentSpec {
                 id: "exp".into(),
@@ -913,6 +1075,98 @@ mod tests {
         );
         assert_eq!(readings[0].0, "device-1@pogo");
         assert!(readings[0].1.get("voltage").is_some());
+        // The registered schema extracted the voltage field into the
+        // store's f64 column.
+        let rows = collector
+            .store()
+            .scan(&pogo_ingest::ScanQuery::exp("exp").channel("battery"));
+        assert_eq!(rows.len(), readings.len());
+        assert!(matches!(rows[0].value, pogo_ingest::SampleValue::F64(_)));
+    }
+
+    #[test]
+    fn schema_mismatch_rejects_sample_and_logs_stable_code() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        collector
+            .registry()
+            .register(
+                "exp",
+                "readings",
+                ChannelSchema::new(pogo_ingest::Template::I64).field("n"),
+            )
+            .unwrap();
+        let heard = Rc::new(RefCell::new(0u32));
+        let h = heard.clone();
+        collector.attach_listener(ChannelFilter::exp("exp").channel("readings"), move |_| {
+            *h.borrow_mut() += 1
+        });
+        collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "send.js".into(),
+                    // One good sample, one string where an integer
+                    // belongs.
+                    source: "publish('readings', { n: 1 });\n\
+                             publish('readings', { n: 'oops' });"
+                        .into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
+            .expect("scripts pass pre-deployment analysis");
+        sim.run_for(SimDuration::from_mins(2));
+        let stats = collector.stats();
+        assert_eq!(stats.ingest.ingested_rows, 1);
+        assert_eq!(stats.ingest.schema_mismatches, 1);
+        // The rejected sample never reached listeners …
+        assert_eq!(*heard.borrow(), 1);
+        // … and surfaced in the error log with the stable code.
+        let errors = collector.logs().lines("pogo-errors").join("\n");
+        assert!(
+            errors.contains("INGEST_SCHEMA_MISMATCH") && errors.contains("readings"),
+            "mismatch logged: {errors:?}"
+        );
+        // The store holds only the well-typed sample.
+        let rows = collector
+            .store()
+            .scan(&pogo_ingest::ScanQuery::exp("exp").channel("readings"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value, pogo_ingest::SampleValue::I64(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn on_data_shim_still_delivers_and_ingests() {
+        let (sim, _server, collector, device, _phone) = testbed();
+        let heard = Rc::new(RefCell::new(Vec::new()));
+        let h = heard.clone();
+        collector.on_data("exp", "pings", move |msg, from| {
+            h.borrow_mut().push((from.to_owned(), msg.clone()));
+        });
+        collector
+            .deployment(&ExperimentSpec {
+                id: "exp".into(),
+                scripts: vec![ScriptSpec {
+                    name: "send.js".into(),
+                    source: "publish('pings', { hello: 1 });".into(),
+                }],
+            })
+            .to(&[device.jid()])
+            .send()
+            .expect("scripts pass pre-deployment analysis");
+        sim.run_for(SimDuration::from_mins(2));
+        assert_eq!(heard.borrow().len(), 1);
+        assert_eq!(heard.borrow()[0].0, "device-1@pogo");
+        // The shim auto-registered the channel with the JSON schema.
+        let rows = collector
+            .store()
+            .scan(&pogo_ingest::ScanQuery::exp("exp").channel("pings"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].value,
+            pogo_ingest::SampleValue::Json("{\"hello\":1}".into())
+        );
     }
 
     #[test]
@@ -1047,7 +1301,7 @@ mod tests {
         // Nothing was sent: the device never hears about the experiment.
         sim.run_for(SimDuration::from_mins(5));
         assert!(device.context("exp").is_none());
-        assert_eq!(collector.data_received(), 0);
+        assert_eq!(collector.stats().data_received, 0);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! * [`tail::TailDetector`] — §4.7's frozen-`Thread.sleep` traffic
 //!   detector driving transmission synchronization;
 //! * [`device::DeviceNode`] / [`collector::CollectorNode`] — the two node
-//!   roles, and [`testbed::Testbed`] wiring a whole deployment together.
+//!   roles, and [`testbed::Testbed`] wiring a whole deployment together;
+//! * [`registry`] — the collector's typed consumption API: declared
+//!   channel schemas feeding the `pogo-ingest` pipeline and its
+//!   queryable sample store.
 
 pub mod accounting;
 pub mod assignment;
@@ -37,6 +40,7 @@ pub mod device;
 pub mod host;
 pub mod privacy;
 pub mod proto;
+pub mod registry;
 pub mod scheduler;
 pub mod sensor;
 pub mod tail;
@@ -48,9 +52,14 @@ pub use broker::{Broker, SubscriptionId};
 pub use collector::{CollectorNode, DeployError, Deployment, LintPolicy};
 pub use device::{DeviceConfig, DeviceNode};
 pub use host::{ScriptHost, WATCHDOG_BUDGET};
+pub use pogo_ingest::{
+    ChannelSchema, IngestError, IngestStats, Retention, SampleStore, SampleValue, ScanQuery,
+    Template,
+};
 pub use pogo_obs::{Obs, ObsConfig};
 pub use privacy::PrivacyPolicy;
 pub use proto::ExperimentSpec;
+pub use registry::{ChannelFilter, ChannelRegistry, CollectorStats, SampleEvent};
 pub use scheduler::Scheduler;
 pub use tail::TailDetector;
 pub use testbed::{DeviceSetup, Testbed};

@@ -184,9 +184,13 @@ mod tests {
         }
         let received = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let r = received.clone();
-        tb.collector().on_data("smoke", "pings", move |msg, from| {
-            r.borrow_mut().push((from.to_owned(), msg.clone()));
-        });
+        tb.collector().attach_listener(
+            crate::registry::ChannelFilter::exp("smoke").channel("pings"),
+            move |event| {
+                r.borrow_mut()
+                    .push((event.device.to_owned(), event.msg.clone()));
+            },
+        );
         let device_jids: Vec<Jid> = tb.devices().iter().map(DeviceNode::jid).collect();
         tb.collector()
             .deployment(&ExperimentSpec {
@@ -208,5 +212,11 @@ mod tests {
             froms,
             vec!["device-0@pogo", "device-1@pogo", "device-2@pogo"]
         );
+        // The auto-registered channel also recorded into the store.
+        let rows = tb
+            .collector()
+            .store()
+            .scan(&pogo_ingest::ScanQuery::exp("smoke").channel("pings"));
+        assert_eq!(rows.len(), 3, "one store row per ping");
     }
 }

@@ -87,7 +87,7 @@ impl Msg {
     /// Size in bytes of the JSON serialization (what travels the wire;
     /// computed without allocating for hot paths).
     pub fn json_size(&self) -> u64 {
-        let mut counter = ByteCounter(0);
+        let mut counter = pogo_ingest::jsonw::ByteCounter(0);
         let _ = write_json(self, &mut counter);
         counter.0
     }
@@ -205,34 +205,18 @@ impl From<&str> for Msg {
 
 // ---- serialization -----------------------------------------------------------
 
-/// `fmt::Write` sink that only counts bytes — `json_size` serializes
-/// into this instead of materializing a `String`.
-struct ByteCounter(u64);
-
-impl fmt::Write for ByteCounter {
-    fn write_str(&mut self, s: &str) -> fmt::Result {
-        self.0 += s.len() as u64;
-        Ok(())
-    }
-}
+// The scalar primitives — stack-buffer integers, run-based string
+// escaping, byte counting — live in `pogo_ingest::jsonw` so the ingest
+// exporters share them; only the `Msg` tree walk is defined here.
+use pogo_ingest::jsonw;
 
 fn write_json<W: fmt::Write>(msg: &Msg, out: &mut W) -> fmt::Result {
     match msg {
         Msg::Null => out.write_str("null")?,
         Msg::Bool(true) => out.write_str("true")?,
         Msg::Bool(false) => out.write_str("false")?,
-        Msg::Num(n) => {
-            if !n.is_finite() {
-                out.write_str("null")?;
-            } else if n.fract() == 0.0 && n.abs() < 1e15 {
-                write_json_int(*n as i64, out)?;
-            } else {
-                // Writes digits straight into the sink — no intermediate
-                // `format!` String.
-                write!(out, "{n}")?;
-            }
-        }
-        Msg::Str(s) => write_json_string(s, out)?,
+        Msg::Num(n) => jsonw::write_num(*n, out)?,
+        Msg::Str(s) => jsonw::write_str(s, out)?,
         Msg::Arr(items) => {
             out.write_char('[')?;
             for (i, item) in items.iter().enumerate() {
@@ -249,7 +233,7 @@ fn write_json<W: fmt::Write>(msg: &Msg, out: &mut W) -> fmt::Result {
                 if i > 0 {
                     out.write_char(',')?;
                 }
-                write_json_string(k, out)?;
+                jsonw::write_str(k, out)?;
                 out.write_char(':')?;
                 write_json(v, out)?;
             }
@@ -257,56 +241,6 @@ fn write_json<W: fmt::Write>(msg: &Msg, out: &mut W) -> fmt::Result {
         }
     }
     Ok(())
-}
-
-/// Formats an integer into a stack buffer and writes it in one call,
-/// bypassing the general `Display` machinery on the hottest number path
-/// (timestamps, counters, sensor readings are all integral).
-fn write_json_int<W: fmt::Write>(value: i64, out: &mut W) -> fmt::Result {
-    let mut buf = [0u8; 20]; // i64::MIN is 20 bytes with the sign
-    let mut pos = buf.len();
-    let negative = value < 0;
-    // Work in negative space so i64::MIN doesn't overflow on negation.
-    let mut rest = if negative { value } else { -value };
-    loop {
-        pos -= 1;
-        buf[pos] = (b'0' as i64 - rest % 10) as u8;
-        rest /= 10;
-        if rest == 0 {
-            break;
-        }
-    }
-    if negative {
-        pos -= 1;
-        buf[pos] = b'-';
-    }
-    out.write_str(std::str::from_utf8(&buf[pos..]).expect("ASCII digits"))
-}
-
-fn write_json_string<W: fmt::Write>(s: &str, out: &mut W) -> fmt::Result {
-    out.write_char('"')?;
-    // Fast path: runs of characters that need no escaping go out as one
-    // `write_str` slice instead of char-by-char pushes.
-    let mut plain_start = 0;
-    for (i, c) in s.char_indices() {
-        let escape: Option<&str> = match c {
-            '"' => Some("\\\""),
-            '\\' => Some("\\\\"),
-            '\n' => Some("\\n"),
-            '\t' => Some("\\t"),
-            '\r' => Some("\\r"),
-            c if (c as u32) < 0x20 => None, // \uXXXX, handled below
-            _ => continue,
-        };
-        out.write_str(&s[plain_start..i])?;
-        match escape {
-            Some(esc) => out.write_str(esc)?,
-            None => write!(out, "\\u{:04x}", c as u32)?,
-        }
-        plain_start = i + c.len_utf8();
-    }
-    out.write_str(&s[plain_start..])?;
-    out.write_char('"')
 }
 
 // ---- parsing ---------------------------------------------------------------

@@ -1,0 +1,87 @@
+//! Ingest-layer errors with stable `INGEST_*` codes.
+//!
+//! The codes follow the same contract as the umbrella crate's
+//! `pogo::ErrorCode`: the string form is machine-readable, asserted on
+//! by chaos/CI, and never renamed — only added. The umbrella crate
+//! lifts [`IngestError`] into `pogo::Error::Ingest`.
+
+use std::fmt;
+
+use crate::schema::Template;
+
+/// An error raised by the ingestion pipeline or sample store.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// A sample did not match its channel's declared type template
+    /// (e.g. a string arriving on a numerical channel). The sample is
+    /// rejected, never silently coerced.
+    SchemaMismatch {
+        /// Experiment the channel belongs to.
+        exp: String,
+        /// Channel the sample arrived on.
+        channel: String,
+        /// Device that sent the sample (empty when not applicable).
+        device: String,
+        /// The template the channel was registered with.
+        expected: Template,
+        /// Short description of what actually arrived.
+        got: String,
+    },
+    /// A channel was registered twice with incompatible schemas.
+    ChannelConflict {
+        /// Experiment the channel belongs to.
+        exp: String,
+        /// The conflicting channel.
+        channel: String,
+    },
+    /// An operation referenced a channel nobody registered.
+    UnknownChannel {
+        /// Experiment the channel belongs to.
+        exp: String,
+        /// The unknown channel.
+        channel: String,
+    },
+}
+
+impl IngestError {
+    /// The stable string code for this error (`INGEST_*`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            IngestError::SchemaMismatch { .. } => "INGEST_SCHEMA_MISMATCH",
+            IngestError::ChannelConflict { .. } => "INGEST_CHANNEL_CONFLICT",
+            IngestError::UnknownChannel { .. } => "INGEST_UNKNOWN_CHANNEL",
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::SchemaMismatch {
+                exp,
+                channel,
+                device,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "sample on {exp}/{channel} from {device:?} does not match \
+                     template {expected:?}: got {got}"
+                )
+            }
+            IngestError::ChannelConflict { exp, channel } => {
+                write!(
+                    f,
+                    "channel {exp}/{channel} already registered with a different schema"
+                )
+            }
+            IngestError::UnknownChannel { exp, channel } => {
+                write!(f, "channel {exp}/{channel} is not registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}

@@ -1,0 +1,232 @@
+//! Multi-format exporters over store scans: CSV, JSONL, and SenML.
+//!
+//! All three reuse the allocation-free JSON writer ([`crate::jsonw`])
+//! for numbers and string escaping, and all three are deterministic:
+//! the same rows always serialize to the same bytes, which the chaos
+//! determinism gate asserts across same-seed re-runs.
+
+use crate::jsonw;
+use crate::schema::SampleValue;
+use crate::store::Row;
+
+/// Writes the typed value as a JSON fragment (raw for `Json`, which is
+/// already serialized).
+fn write_value_json(value: &SampleValue, out: &mut String) {
+    match value {
+        SampleValue::I64(n) => {
+            let _ = jsonw::write_int(*n, out);
+        }
+        SampleValue::F64(n) => {
+            let _ = jsonw::write_num(*n, out);
+        }
+        SampleValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        SampleValue::Str(s) => {
+            let _ = jsonw::write_str(s, out);
+        }
+        SampleValue::Json(raw) => out.push_str(raw),
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline.
+fn write_csv_field(field: &str, out: &mut String) {
+    if field.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Exports rows as CSV with an `exp,channel,device,t_ms,value` header.
+/// Timestamps are integral sim milliseconds; values render as their
+/// JSON fragment (then CSV-quoted if needed).
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut out = String::from("exp,channel,device,t_ms,value\n");
+    let mut value = String::new();
+    for row in rows {
+        write_csv_field(&row.exp, &mut out);
+        out.push(',');
+        write_csv_field(&row.channel, &mut out);
+        out.push(',');
+        write_csv_field(&row.device, &mut out);
+        out.push(',');
+        let _ = jsonw::write_int(row.at.as_millis() as i64, &mut out);
+        out.push(',');
+        value.clear();
+        write_value_json(&row.value, &mut value);
+        write_csv_field(&value, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Exports rows as JSONL: one `{"exp":…,"channel":…,"device":…,"t":…,
+/// "v":…}` object per line, `t` in sim milliseconds.
+pub fn to_jsonl(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str("{\"exp\":");
+        let _ = jsonw::write_str(&row.exp, &mut out);
+        out.push_str(",\"channel\":");
+        let _ = jsonw::write_str(&row.channel, &mut out);
+        out.push_str(",\"device\":");
+        let _ = jsonw::write_str(&row.device, &mut out);
+        out.push_str(",\"t\":");
+        let _ = jsonw::write_int(row.at.as_millis() as i64, &mut out);
+        out.push_str(",\"v\":");
+        write_value_json(&row.value, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Exports rows as a SenML-style pack (RFC 8428 shape): the first
+/// record carries the base name `exp/channel/` and base time (seconds),
+/// each record names its device with a relative time. Numbers use `v`,
+/// strings `vs`, booleans `vb`, and pre-serialized JSON trees ride in
+/// `vd` (data) as a string.
+pub fn to_senml(rows: &[Row]) -> String {
+    let mut out = String::from("[");
+    let base = rows
+        .first()
+        .map(|r| (r.exp.clone(), r.channel.clone(), r.at));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let (base_exp, base_channel, bt) = base.as_ref().expect("rows non-empty");
+        if i == 0 {
+            out.push_str("\"bn\":");
+            let _ = jsonw::write_str(&format!("{base_exp}/{base_channel}/"), &mut out);
+            out.push_str(",\"bt\":");
+            let _ = jsonw::write_num(bt.as_secs_f64(), &mut out);
+            out.push(',');
+        }
+        out.push_str("\"n\":");
+        if row.exp == *base_exp && row.channel == *base_channel {
+            let _ = jsonw::write_str(&row.device, &mut out);
+        } else {
+            // Outside the base name: spell the full name.
+            let _ = jsonw::write_str(
+                &format!("{}/{}/{}", row.exp, row.channel, row.device),
+                &mut out,
+            );
+        }
+        out.push_str(",\"t\":");
+        let dt = row.at.as_secs_f64() - bt.as_secs_f64();
+        let _ = jsonw::write_num(dt, &mut out);
+        out.push(',');
+        match &row.value {
+            SampleValue::I64(n) => {
+                out.push_str("\"v\":");
+                let _ = jsonw::write_int(*n, &mut out);
+            }
+            SampleValue::F64(n) => {
+                out.push_str("\"v\":");
+                let _ = jsonw::write_num(*n, &mut out);
+            }
+            SampleValue::Bool(b) => {
+                out.push_str("\"vb\":");
+                out.push_str(if *b { "true" } else { "false" });
+            }
+            SampleValue::Str(s) => {
+                out.push_str("\"vs\":");
+                let _ = jsonw::write_str(s, &mut out);
+            }
+            SampleValue::Json(raw) => {
+                out.push_str("\"vd\":");
+                let _ = jsonw::write_str(raw, &mut out);
+            }
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pogo_sim::{SimDuration, SimTime};
+
+    fn row(channel: &str, device: &str, secs: u64, value: SampleValue) -> Row {
+        Row {
+            exp: "e".into(),
+            channel: channel.into(),
+            device: device.into(),
+            at: SimTime::ZERO + SimDuration::from_secs(secs),
+            value,
+        }
+    }
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            row("counts", "phone-1@pogo", 10, SampleValue::I64(42)),
+            row("counts", "phone-2@pogo", 11, SampleValue::F64(2.5)),
+            row("flags", "phone-1@pogo", 12, SampleValue::Bool(true)),
+            row(
+                "tags",
+                "phone-1@pogo",
+                13,
+                SampleValue::Str("a,\"b\"".into()),
+            ),
+            row(
+                "scans",
+                "phone-2@pogo",
+                14,
+                SampleValue::Json("{\"aps\":[1,2]}".into()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn csv_golden() {
+        assert_eq!(
+            to_csv(&sample_rows()),
+            "exp,channel,device,t_ms,value\n\
+             e,counts,phone-1@pogo,10000,42\n\
+             e,counts,phone-2@pogo,11000,2.5\n\
+             e,flags,phone-1@pogo,12000,true\n\
+             e,tags,phone-1@pogo,13000,\"\"\"a,\\\"\"b\\\"\"\"\"\"\n\
+             e,scans,phone-2@pogo,14000,\"{\"\"aps\"\":[1,2]}\"\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_golden() {
+        assert_eq!(
+            to_jsonl(&sample_rows()),
+            "{\"exp\":\"e\",\"channel\":\"counts\",\"device\":\"phone-1@pogo\",\"t\":10000,\"v\":42}\n\
+             {\"exp\":\"e\",\"channel\":\"counts\",\"device\":\"phone-2@pogo\",\"t\":11000,\"v\":2.5}\n\
+             {\"exp\":\"e\",\"channel\":\"flags\",\"device\":\"phone-1@pogo\",\"t\":12000,\"v\":true}\n\
+             {\"exp\":\"e\",\"channel\":\"tags\",\"device\":\"phone-1@pogo\",\"t\":13000,\"v\":\"a,\\\"b\\\"\"}\n\
+             {\"exp\":\"e\",\"channel\":\"scans\",\"device\":\"phone-2@pogo\",\"t\":14000,\"v\":{\"aps\":[1,2]}}\n"
+        );
+    }
+
+    #[test]
+    fn senml_golden() {
+        assert_eq!(
+            to_senml(&sample_rows()),
+            "[{\"bn\":\"e/counts/\",\"bt\":10,\"n\":\"phone-1@pogo\",\"t\":0,\"v\":42},\
+             {\"n\":\"phone-2@pogo\",\"t\":1,\"v\":2.5},\
+             {\"n\":\"e/flags/phone-1@pogo\",\"t\":2,\"vb\":true},\
+             {\"n\":\"e/tags/phone-1@pogo\",\"t\":3,\"vs\":\"a,\\\"b\\\"\"},\
+             {\"n\":\"e/scans/phone-2@pogo\",\"t\":4,\"vd\":\"{\\\"aps\\\":[1,2]}\"}]"
+        );
+        assert_eq!(to_senml(&[]), "[]");
+    }
+
+    #[test]
+    fn empty_exports() {
+        assert_eq!(to_csv(&[]), "exp,channel,device,t_ms,value\n");
+        assert_eq!(to_jsonl(&[]), "");
+    }
+}

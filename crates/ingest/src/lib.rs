@@ -1,0 +1,33 @@
+//! # pogo-ingest — the collector's ingestion pipeline
+//!
+//! Per-(experiment, channel, device) sample streams are accumulated by
+//! a [`BatchBuilder`] into typed columnar batches (i64/f64/bool/str/
+//! json value columns plus a [`pogo_sim::SimTime`] timestamp column),
+//! flushed by size/age watermarks ([`Watermarks`]) into a queryable
+//! [`SampleStore`] with per-channel [`Retention`] and time-range /
+//! device / channel predicate scans ([`ScanQuery`]), and exported via
+//! CSV, JSONL, and SenML-style writers ([`export`]) that reuse the
+//! allocation-free JSON writer ([`jsonw`]).
+//!
+//! This crate sits *below* `pogo-core`: it knows nothing about the
+//! message model or the network. The collector extracts a
+//! [`SampleValue`] from each inbound message per the channel's
+//! declared [`ChannelSchema`] and appends it to the [`IngestPipeline`];
+//! everything downstream of that point — batching, retention, scans,
+//! export — lives here.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod error;
+pub mod export;
+pub mod jsonw;
+pub mod pipeline;
+pub mod schema;
+pub mod store;
+
+pub use batch::{Batch, BatchBuilder, Column, Watermarks};
+pub use error::IngestError;
+pub use pipeline::{IngestPipeline, IngestStats};
+pub use schema::{ChannelSchema, Retention, SampleValue, Template};
+pub use store::{ChannelCounters, Row, SampleStore, ScanQuery};

@@ -1,0 +1,148 @@
+//! Channel schemas: type templates, value extraction, retention.
+//!
+//! A [`ChannelSchema`] is what a consumer declares when registering a
+//! channel with the collector's registry — the SensApp shape of
+//! `register sensor → schema { template } → push data`. The template
+//! names the typed column the channel's samples land in; the optional
+//! `value_field` picks one field out of the message objects the
+//! middleware actually carries (device scripts publish objects, not
+//! bare scalars); retention bounds what the store keeps.
+
+use pogo_sim::SimDuration;
+
+/// The typed column a channel's samples are stored in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Template {
+    /// Integral numbers (sequence counters, timestamps, levels).
+    I64,
+    /// Any finite float.
+    F64,
+    /// Booleans.
+    Bool,
+    /// Strings.
+    Str,
+    /// Arbitrary message trees, stored pre-serialized as compact JSON.
+    Json,
+}
+
+/// How much of a channel's history the [`crate::SampleStore`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// Keep every flushed batch (the default; fine at simulation scale).
+    #[default]
+    KeepAll,
+    /// Keep at most this many newest rows, evicting whole oldest
+    /// batches once the total goes over.
+    MaxRows(usize),
+    /// Keep only batches whose newest sample is younger than this.
+    MaxAge(SimDuration),
+}
+
+/// Declared shape of one registered channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelSchema {
+    /// The typed column samples are stored in.
+    pub template: Template,
+    /// For scalar templates: the message field holding the value
+    /// (`None` means the message itself must be a bare scalar). Ignored
+    /// for [`Template::Json`] unless set, in which case only that field
+    /// is serialized.
+    pub value_field: Option<String>,
+    /// Store retention for this channel.
+    pub retention: Retention,
+}
+
+impl ChannelSchema {
+    /// A schema storing the given typed column, whole-message, keep-all.
+    pub fn new(template: Template) -> Self {
+        ChannelSchema {
+            template,
+            value_field: None,
+            retention: Retention::KeepAll,
+        }
+    }
+
+    /// The catch-all schema: whole messages as compact JSON, keep-all.
+    /// What `attach_listener` auto-registers for undeclared channels.
+    pub fn json() -> Self {
+        Self::new(Template::Json)
+    }
+
+    /// Extracts the sample value from the named message field instead
+    /// of the message root.
+    #[must_use]
+    pub fn field(mut self, name: &str) -> Self {
+        self.value_field = Some(name.to_owned());
+        self
+    }
+
+    /// Sets the store retention for this channel.
+    #[must_use]
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
+    }
+}
+
+/// One extracted sample value, ready for its typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// An integral number.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// A message tree, pre-serialized as compact JSON.
+    Json(String),
+}
+
+impl SampleValue {
+    /// Whether this value belongs in a `template` column.
+    pub fn matches(&self, template: Template) -> bool {
+        matches!(
+            (self, template),
+            (SampleValue::I64(_), Template::I64)
+                | (SampleValue::F64(_), Template::F64)
+                | (SampleValue::Bool(_), Template::Bool)
+                | (SampleValue::Str(_), Template::Str)
+                | (SampleValue::Json(_), Template::Json)
+        )
+    }
+
+    /// Short type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SampleValue::I64(_) => "i64",
+            SampleValue::F64(_) => "f64",
+            SampleValue::Bool(_) => "bool",
+            SampleValue::Str(_) => "str",
+            SampleValue::Json(_) => "json",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let s = ChannelSchema::new(Template::I64)
+            .field("n")
+            .retention(Retention::MaxRows(10));
+        assert_eq!(s.template, Template::I64);
+        assert_eq!(s.value_field.as_deref(), Some("n"));
+        assert_eq!(s.retention, Retention::MaxRows(10));
+    }
+
+    #[test]
+    fn values_match_their_templates_only() {
+        assert!(SampleValue::I64(3).matches(Template::I64));
+        assert!(!SampleValue::I64(3).matches(Template::F64));
+        assert!(SampleValue::Json("{}".into()).matches(Template::Json));
+        assert_eq!(SampleValue::Str("x".into()).type_name(), "str");
+    }
+}

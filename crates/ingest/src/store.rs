@@ -1,0 +1,345 @@
+//! The queryable sample store: flushed batches with per-channel
+//! retention and predicate scans.
+//!
+//! The store is the read side of the ingestion pipeline — what Table-4
+//! style analytics and the chaos delivery audits query instead of
+//! re-walking raw message logs. Batches arrive whole from the batch
+//! builder and stay columnar; scans materialize [`Row`] views lazily
+//! per query.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use pogo_sim::SimTime;
+
+use crate::batch::Batch;
+use crate::schema::{Retention, SampleValue, Template};
+
+/// Predicate for a store scan. `exp` is required; everything else
+/// narrows the result.
+#[derive(Debug, Clone, Default)]
+pub struct ScanQuery {
+    /// Experiment to scan.
+    pub exp: String,
+    /// Restrict to one channel.
+    pub channel: Option<String>,
+    /// Restrict to samples from one device.
+    pub device: Option<String>,
+    /// Keep samples with `at >= since`.
+    pub since: Option<SimTime>,
+    /// Keep samples with `at < until` (half-open, like time ranges
+    /// everywhere else in the sim).
+    pub until: Option<SimTime>,
+}
+
+impl ScanQuery {
+    /// A scan over every channel of `exp`.
+    pub fn exp(exp: &str) -> Self {
+        ScanQuery {
+            exp: exp.to_owned(),
+            ..ScanQuery::default()
+        }
+    }
+
+    /// Restricts the scan to one channel.
+    #[must_use]
+    pub fn channel(mut self, channel: &str) -> Self {
+        self.channel = Some(channel.to_owned());
+        self
+    }
+
+    /// Restricts the scan to one device.
+    #[must_use]
+    pub fn device(mut self, device: &str) -> Self {
+        self.device = Some(device.to_owned());
+        self
+    }
+
+    /// Keeps samples at or after `t`.
+    #[must_use]
+    pub fn since(mut self, t: SimTime) -> Self {
+        self.since = Some(t);
+        self
+    }
+
+    /// Keeps samples strictly before `t`.
+    #[must_use]
+    pub fn until(mut self, t: SimTime) -> Self {
+        self.until = Some(t);
+        self
+    }
+}
+
+/// One materialized sample, as returned by [`SampleStore::scan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Experiment the sample belongs to.
+    pub exp: String,
+    /// Channel the sample arrived on.
+    pub channel: String,
+    /// Device that sent it.
+    pub device: String,
+    /// Collector-side ingestion time.
+    pub at: SimTime,
+    /// The typed value.
+    pub value: SampleValue,
+}
+
+#[derive(Debug)]
+struct ChannelStore {
+    template: Template,
+    retention: Retention,
+    batches: Vec<Batch>,
+    rows: u64,
+    bytes: u64,
+    /// Rows dropped by retention since registration.
+    evicted: u64,
+}
+
+impl ChannelStore {
+    fn apply_retention(&mut self, now: SimTime) {
+        loop {
+            let over = match self.retention {
+                Retention::KeepAll => false,
+                Retention::MaxRows(max) => {
+                    // Evict whole oldest batches, but never the only
+                    // remaining one (a batch larger than the cap stays
+                    // until the next one lands).
+                    self.rows as usize > max && self.batches.len() > 1
+                }
+                Retention::MaxAge(age) => self.batches.first().is_some_and(|b| {
+                    b.at.last()
+                        .is_some_and(|newest| now.saturating_duration_since(*newest) > age)
+                }),
+            };
+            if !over {
+                return;
+            }
+            let old = self.batches.remove(0);
+            self.rows -= old.rows() as u64;
+            self.bytes -= old.approx_bytes();
+            self.evicted += old.rows() as u64;
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    channels: BTreeMap<(String, String), ChannelStore>,
+}
+
+/// The collector's queryable sample store. Cheap to clone; clones
+/// share state.
+#[derive(Debug, Clone, Default)]
+pub struct SampleStore {
+    inner: Rc<RefCell<StoreInner>>,
+}
+
+/// Aggregate counters for one registered channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelCounters {
+    /// Rows currently resident.
+    pub rows: u64,
+    /// Approximate resident bytes.
+    pub bytes: u64,
+    /// Rows dropped by retention so far.
+    pub evicted: u64,
+}
+
+impl SampleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SampleStore::default()
+    }
+
+    /// Declares a channel (idempotent for an identical declaration).
+    /// Called by the pipeline when a schema is registered.
+    pub(crate) fn declare(
+        &self,
+        exp: &str,
+        channel: &str,
+        template: Template,
+        retention: Retention,
+    ) {
+        self.inner
+            .borrow_mut()
+            .channels
+            .entry((exp.to_owned(), channel.to_owned()))
+            .or_insert(ChannelStore {
+                template,
+                retention,
+                batches: Vec::new(),
+                rows: 0,
+                bytes: 0,
+                evicted: 0,
+            });
+    }
+
+    /// Ingests one flushed batch, then applies the channel's retention
+    /// with `now` as the age reference. Returns the batch's resident
+    /// size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's channel was never declared — the pipeline
+    /// only flushes builders it registered.
+    pub fn push_batch(&self, batch: Batch, now: SimTime) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let ch = inner
+            .channels
+            .get_mut(&(batch.exp.clone(), batch.channel.clone()))
+            .expect("batch for an undeclared channel");
+        let bytes = batch.approx_bytes();
+        ch.rows += batch.rows() as u64;
+        ch.bytes += bytes;
+        ch.batches.push(batch);
+        ch.apply_retention(now);
+        bytes
+    }
+
+    /// Scans resident samples matching `query`, in ingestion order
+    /// (per channel; channels in lexicographic order).
+    pub fn scan(&self, query: &ScanQuery) -> Vec<Row> {
+        let inner = self.inner.borrow();
+        let mut out = Vec::new();
+        for ((exp, channel), ch) in &inner.channels {
+            if *exp != query.exp {
+                continue;
+            }
+            if let Some(want) = &query.channel {
+                if channel != want {
+                    continue;
+                }
+            }
+            for batch in &ch.batches {
+                for row in 0..batch.rows() {
+                    let at = batch.at[row];
+                    if query.since.is_some_and(|s| at < s) || query.until.is_some_and(|u| at >= u) {
+                        continue;
+                    }
+                    let device = batch.device(row);
+                    if query.device.as_deref().is_some_and(|d| d != device) {
+                        continue;
+                    }
+                    out.push(Row {
+                        exp: exp.clone(),
+                        channel: channel.clone(),
+                        device: device.to_owned(),
+                        at,
+                        value: batch.values.value(row),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The template a channel was declared with, if registered.
+    pub fn template(&self, exp: &str, channel: &str) -> Option<Template> {
+        self.inner
+            .borrow()
+            .channels
+            .get(&(exp.to_owned(), channel.to_owned()))
+            .map(|ch| ch.template)
+    }
+
+    /// Per-channel counters, if registered.
+    pub fn channel_counters(&self, exp: &str, channel: &str) -> Option<ChannelCounters> {
+        self.inner
+            .borrow()
+            .channels
+            .get(&(exp.to_owned(), channel.to_owned()))
+            .map(|ch| ChannelCounters {
+                rows: ch.rows,
+                bytes: ch.bytes,
+                evicted: ch.evicted,
+            })
+    }
+
+    /// Registered channels as `(exp, channel)` pairs, sorted.
+    pub fn channels(&self) -> Vec<(String, String)> {
+        self.inner.borrow().channels.keys().cloned().collect()
+    }
+
+    /// Total resident rows across all channels.
+    pub fn rows(&self) -> u64 {
+        self.inner.borrow().channels.values().map(|c| c.rows).sum()
+    }
+
+    /// Approximate total resident bytes across all channels.
+    pub fn bytes(&self) -> u64 {
+        self.inner.borrow().channels.values().map(|c| c.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{BatchBuilder, Watermarks};
+    use pogo_sim::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn batch_of(exp: &str, channel: &str, samples: &[(&str, u64, i64)]) -> Batch {
+        let mut b = BatchBuilder::new(exp, channel, Template::I64, Watermarks::default());
+        for (dev, secs, n) in samples {
+            b.append(dev, t(*secs), SampleValue::I64(*n)).unwrap();
+        }
+        b.flush().unwrap()
+    }
+
+    #[test]
+    fn scan_filters_by_channel_device_and_time() {
+        let store = SampleStore::new();
+        store.declare("e", "a", Template::I64, Retention::KeepAll);
+        store.declare("e", "b", Template::I64, Retention::KeepAll);
+        store.push_batch(
+            batch_of("e", "a", &[("d1", 1, 10), ("d2", 2, 20), ("d1", 3, 30)]),
+            t(3),
+        );
+        store.push_batch(batch_of("e", "b", &[("d1", 2, 99)]), t(3));
+
+        assert_eq!(store.scan(&ScanQuery::exp("e")).len(), 4);
+        let a_d1 = store.scan(&ScanQuery::exp("e").channel("a").device("d1"));
+        assert_eq!(a_d1.len(), 2);
+        assert_eq!(a_d1[0].value, SampleValue::I64(10));
+        assert_eq!(a_d1[1].value, SampleValue::I64(30));
+        let windowed = store.scan(&ScanQuery::exp("e").since(t(2)).until(t(3)));
+        assert_eq!(windowed.len(), 2, "t=2 rows on both channels");
+        assert!(store.scan(&ScanQuery::exp("other")).is_empty());
+    }
+
+    #[test]
+    fn max_rows_retention_evicts_oldest_batches() {
+        let store = SampleStore::new();
+        store.declare("e", "c", Template::I64, Retention::MaxRows(3));
+        store.push_batch(batch_of("e", "c", &[("d", 1, 1), ("d", 2, 2)]), t(2));
+        store.push_batch(batch_of("e", "c", &[("d", 3, 3), ("d", 4, 4)]), t(4));
+        // 4 rows > 3: the oldest batch goes.
+        let rows = store.scan(&ScanQuery::exp("e"));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].value, SampleValue::I64(3));
+        let counters = store.channel_counters("e", "c").unwrap();
+        assert_eq!(counters.rows, 2);
+        assert_eq!(counters.evicted, 2);
+    }
+
+    #[test]
+    fn max_age_retention_drops_stale_batches() {
+        let store = SampleStore::new();
+        store.declare(
+            "e",
+            "c",
+            Template::I64,
+            Retention::MaxAge(SimDuration::from_secs(10)),
+        );
+        store.push_batch(batch_of("e", "c", &[("d", 1, 1)]), t(1));
+        store.push_batch(batch_of("e", "c", &[("d", 20, 2)]), t(20));
+        let rows = store.scan(&ScanQuery::exp("e"));
+        assert_eq!(rows.len(), 1, "the t=1 batch aged out at t=20");
+        assert_eq!(rows[0].value, SampleValue::I64(2));
+    }
+}

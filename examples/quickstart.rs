@@ -12,7 +12,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use pogo::core::proto::ScriptSpec;
-use pogo::core::{DeviceSetup, ExperimentSpec, ObsConfig, Testbed};
+use pogo::core::{
+    ChannelFilter, ChannelSchema, DeviceSetup, ExperimentSpec, ObsConfig, ScanQuery, Template,
+    Testbed,
+};
 use pogo::obs::export;
 use pogo::sim::{Sim, SimDuration};
 
@@ -49,13 +52,26 @@ fn main() {
         }, { interval: 5 * 60 * 1000 });
     "#;
 
-    let readings = Rc::new(RefCell::new(Vec::new()));
-    let sink = readings.clone();
+    //    Registering the channel declares its shape: each reading is the
+    //    `v` voltage as a typed f64 column in the collector's store.
     testbed
         .collector()
-        .on_data("quickstart", "readings", move |msg, from| {
-            sink.borrow_mut().push((from.to_owned(), msg.clone()));
-        });
+        .registry()
+        .register(
+            "quickstart",
+            "readings",
+            ChannelSchema::new(Template::F64).field("v"),
+        )
+        .expect("channel registers");
+    let readings = Rc::new(RefCell::new(Vec::new()));
+    let sink = readings.clone();
+    testbed.collector().attach_listener(
+        ChannelFilter::exp("quickstart").channel("readings"),
+        move |event| {
+            sink.borrow_mut()
+                .push((event.device.to_owned(), event.msg.clone()));
+        },
+    );
 
     // 4. Push-deploy to every device (no user interaction, §3.2).
     let devices: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
@@ -82,6 +98,22 @@ fn main() {
     }
     if readings.len() > 6 {
         println!("  ... and {} more", readings.len() - 6);
+    }
+
+    // Query the typed sample store and export it — the same rows can
+    // leave as CSV, JSONL, or a SenML pack.
+    let rows = testbed
+        .collector()
+        .store()
+        .scan(&ScanQuery::exp("quickstart").channel("readings"));
+    let csv = pogo::ingest::export::to_csv(&rows);
+    println!(
+        "\nsample store holds {} typed rows; CSV export is {} bytes:",
+        rows.len(),
+        csv.len()
+    );
+    for line in csv.lines().take(4) {
+        println!("  {line}");
     }
 
     // Energy accounting comes free with the platform model:

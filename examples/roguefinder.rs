@@ -44,11 +44,12 @@ fn main() {
         .install_script("rogue", "collect.js", glue::ROGUEFINDER_COLLECT_JS)
         .expect("collector script loads");
     let received = RefCell::new(0usize);
-    testbed
-        .collector()
-        .on_data("rogue", "filtered-scans", move |_msg, _from| {
+    testbed.collector().attach_listener(
+        pogo::core::ChannelFilter::exp("rogue").channel("filtered-scans"),
+        move |_event| {
             *received.borrow_mut() += 1;
-        });
+        },
+    );
 
     // Deploy Listing 2.
     testbed

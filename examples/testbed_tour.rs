@@ -6,7 +6,7 @@
 //! Run with: `cargo run --example testbed_tour`
 
 use pogo::core::proto::ScriptSpec;
-use pogo::core::{DeviceSetup, ExperimentSpec, Testbed};
+use pogo::core::{ChannelFilter, DeviceSetup, ExperimentSpec, Testbed};
 use pogo::sim::{Sim, SimDuration};
 
 fn main() {
@@ -23,12 +23,19 @@ fn main() {
     // --- Two concurrent experiments, sandboxed contexts ------------------
     // Experiment A publishes on a channel; experiment B listens on a
     // channel of the same name. Contexts are sandboxes: nothing crosses.
-    testbed.collector().on_data("exp-a", "pings", |msg, from| {
-        println!("[exp-a] {from}: {msg}");
-    });
-    testbed.collector().on_data("exp-b", "pings", |_msg, from| {
-        println!("[exp-b] LEAK from {from}! (this must never print)");
-    });
+    testbed
+        .collector()
+        .attach_listener(ChannelFilter::exp("exp-a").channel("pings"), |event| {
+            println!("[exp-a] {}: {}", event.device, event.msg)
+        });
+    testbed
+        .collector()
+        .attach_listener(ChannelFilter::exp("exp-b").channel("pings"), |event| {
+            println!(
+                "[exp-b] LEAK from {}! (this must never print)",
+                event.device
+            )
+        });
     testbed
         .collector()
         .deployment(&ExperimentSpec {

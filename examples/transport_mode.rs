@@ -89,9 +89,10 @@ fn main() {
     );
 
     let changes = RefCell::new(Vec::new());
-    testbed
-        .collector()
-        .on_data("mode", "mode-changes", move |msg, _| {
+    testbed.collector().attach_listener(
+        pogo::core::ChannelFilter::exp("mode").channel("mode-changes"),
+        move |event| {
+            let msg = event.msg;
             changes.borrow_mut().push(msg.clone());
             println!(
                 "mode -> {:<8} (variance {:.2})",
@@ -102,7 +103,8 @@ fn main() {
                     .and_then(pogo::core::Msg::as_num)
                     .unwrap_or(0.0),
             );
-        });
+        },
+    );
     testbed
         .collector()
         .deployment(&ExperimentSpec {

@@ -66,7 +66,7 @@ if [[ "$run_lint" == 1 ]]; then
 fi
 
 if [[ "$run_perf" == 1 ]]; then
-    ./target/release/perf_smoke --check BENCH_pr6.json --tolerance 0.25 \
+    ./target/release/perf_smoke --check BENCH_pr9.json --tolerance 0.25 \
         --min-speedup script_vm:25
 fi
 

@@ -15,6 +15,7 @@
 use std::fmt;
 
 use pogo_core::DeployError;
+use pogo_ingest::IngestError;
 use pogo_net::{NetError, ParseJidError};
 use pogo_script::ScriptError;
 
@@ -39,6 +40,12 @@ pub enum ErrorCode {
     DeployRejected,
     /// A script failed to parse or execute.
     ScriptError,
+    /// A sample that does not match its channel's declared schema.
+    IngestSchemaMismatch,
+    /// A channel registered twice with incompatible schemas.
+    IngestChannelConflict,
+    /// An ingest operation on a channel nobody registered.
+    IngestUnknownChannel,
 }
 
 impl ErrorCode {
@@ -52,6 +59,9 @@ impl ErrorCode {
             ErrorCode::JidInvalid => "JID_INVALID",
             ErrorCode::DeployRejected => "DEPLOY_REJECTED",
             ErrorCode::ScriptError => "SCRIPT_ERROR",
+            ErrorCode::IngestSchemaMismatch => "INGEST_SCHEMA_MISMATCH",
+            ErrorCode::IngestChannelConflict => "INGEST_CHANNEL_CONFLICT",
+            ErrorCode::IngestUnknownChannel => "INGEST_UNKNOWN_CHANNEL",
         }
     }
 }
@@ -75,6 +85,8 @@ pub enum Error {
     Deploy(DeployError),
     /// A script load or runtime failure.
     Script(ScriptError),
+    /// An ingestion pipeline / sample store failure.
+    Ingest(IngestError),
 }
 
 impl Error {
@@ -88,6 +100,12 @@ impl Error {
             Error::Jid(_) => ErrorCode::JidInvalid,
             Error::Deploy(_) => ErrorCode::DeployRejected,
             Error::Script(_) => ErrorCode::ScriptError,
+            Error::Ingest(IngestError::SchemaMismatch { .. }) => ErrorCode::IngestSchemaMismatch,
+            Error::Ingest(IngestError::ChannelConflict { .. }) => ErrorCode::IngestChannelConflict,
+            Error::Ingest(IngestError::UnknownChannel { .. }) => ErrorCode::IngestUnknownChannel,
+            // IngestError is #[non_exhaustive]; future variants get a
+            // code before they get a release.
+            Error::Ingest(_) => ErrorCode::IngestUnknownChannel,
         }
     }
 }
@@ -99,6 +117,7 @@ impl fmt::Display for Error {
             Error::Jid(e) => write!(f, "[{}] {e}", self.code()),
             Error::Deploy(e) => write!(f, "[{}] {e}", self.code()),
             Error::Script(e) => write!(f, "[{}] {e}", self.code()),
+            Error::Ingest(e) => write!(f, "[{}] {e}", self.code()),
         }
     }
 }
@@ -110,6 +129,7 @@ impl std::error::Error for Error {
             Error::Jid(e) => Some(e),
             Error::Deploy(e) => Some(e),
             Error::Script(e) => Some(e),
+            Error::Ingest(e) => Some(e),
         }
     }
 }
@@ -138,6 +158,12 @@ impl From<ScriptError> for Error {
     }
 }
 
+impl From<IngestError> for Error {
+    fn from(e: IngestError) -> Self {
+        Error::Ingest(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +184,40 @@ mod tests {
         assert_eq!(e.code(), ErrorCode::NetUnknownAccount);
         let e: Error = Jid::new("not a jid").unwrap_err().into();
         assert_eq!(e.code(), ErrorCode::JidInvalid);
+        let e: Error = IngestError::UnknownChannel {
+            exp: "e".into(),
+            channel: "c".into(),
+        }
+        .into();
+        assert_eq!(e.code(), ErrorCode::IngestUnknownChannel);
+    }
+
+    #[test]
+    fn ingest_codes_agree_with_the_crate_level_strings() {
+        // The umbrella code and the crate's own `code()` spell the
+        // same stable string — chaos/CI assertions can use either.
+        let mismatch = IngestError::SchemaMismatch {
+            exp: "e".into(),
+            channel: "c".into(),
+            device: "d@pogo".into(),
+            expected: pogo_ingest::Template::I64,
+            got: "string".into(),
+        };
+        assert_eq!(
+            Error::from(mismatch.clone()).code().as_str(),
+            mismatch.code()
+        );
+        let conflict = IngestError::ChannelConflict {
+            exp: "e".into(),
+            channel: "c".into(),
+        };
+        assert_eq!(
+            Error::from(conflict.clone()).code().as_str(),
+            conflict.code()
+        );
+        assert!(Error::from(conflict)
+            .to_string()
+            .starts_with("[INGEST_CHANNEL_CONFLICT]"));
     }
 
     #[test]

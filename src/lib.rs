@@ -42,6 +42,7 @@
 pub use pogo_chaos as chaos;
 pub use pogo_cluster as cluster;
 pub use pogo_core as core;
+pub use pogo_ingest as ingest;
 pub use pogo_mobility as mobility;
 pub use pogo_net as net;
 pub use pogo_obs as obs;

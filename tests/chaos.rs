@@ -48,14 +48,17 @@ fn deploy_counter(tb: &Testbed, period_ms: u64) {
 fn collect_delivered(tb: &Testbed) -> Rc<RefCell<Vec<i64>>> {
     let delivered = Rc::new(RefCell::new(Vec::new()));
     let sink = delivered.clone();
-    tb.collector()
-        .on_data("chaos", "chaos-data", move |msg, _| {
-            let n = msg
+    tb.collector().attach_listener(
+        pogo::core::ChannelFilter::exp("chaos").channel("chaos-data"),
+        move |event| {
+            let n = event
+                .msg
                 .get("n")
                 .and_then(pogo::core::Msg::as_num)
                 .unwrap_or(-1.0) as i64;
             sink.borrow_mut().push(n);
-        });
+        },
+    );
     delivered
 }
 
@@ -77,6 +80,22 @@ fn same_seed_soaks_produce_byte_identical_traces() {
         "same seed must replay the exact same trace"
     );
     assert!(first.passed(), "{}", first.summary());
+
+    // The sample-store exports are deterministic too: same seed, byte-
+    // identical CSV and JSONL of the audited channels.
+    assert!(
+        first.store_csv.lines().count() > 1,
+        "store export carries rows: {}",
+        first.store_csv
+    );
+    assert_eq!(
+        first.store_csv, second.store_csv,
+        "same seed must export the exact same CSV"
+    );
+    assert_eq!(
+        first.store_jsonl, second.store_jsonl,
+        "same seed must export the exact same JSONL"
+    );
 
     let other = run_soak(&SoakConfig {
         seed: 100,

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use pogo::core::proto::ScriptSpec;
 use pogo::core::sensor::{SensorSources, WifiReading};
-use pogo::core::{DeviceSetup, ExperimentSpec, Testbed};
+use pogo::core::{ChannelFilter, DeviceSetup, ExperimentSpec, Testbed};
 use pogo::glue;
 use pogo::net::FlushPolicy;
 use pogo::platform::Bearer;
@@ -82,10 +82,17 @@ fn offline_device_buffers_and_recovers_without_loss() {
     );
     let received = Rc::new(RefCell::new(Vec::new()));
     let r = received.clone();
-    testbed.collector().on_data("exp", "ticks", move |msg, _| {
-        r.borrow_mut()
-            .push(msg.get("n").and_then(pogo::core::Msg::as_num).unwrap());
-    });
+    testbed
+        .collector()
+        .attach_listener(ChannelFilter::exp("exp").channel("ticks"), move |event| {
+            r.borrow_mut().push(
+                event
+                    .msg
+                    .get("n")
+                    .and_then(pogo::core::Msg::as_num)
+                    .unwrap(),
+            );
+        });
     testbed
         .collector()
         .deployment(&ExperimentSpec {
@@ -134,7 +141,9 @@ fn wifi_to_cellular_handover_loses_nothing_end_to_end() {
     let c = count.clone();
     testbed
         .collector()
-        .on_data("exp", "ticks", move |_, _| *c.borrow_mut() += 1);
+        .attach_listener(ChannelFilter::exp("exp").channel("ticks"), move |_event| {
+            *c.borrow_mut() += 1
+        });
     testbed
         .collector()
         .deployment(&ExperimentSpec {
@@ -181,7 +190,9 @@ fn message_expiry_drops_exactly_the_stale_window() {
             .configure(immediate)
             .sensors(home_sources()),
     );
-    testbed.collector().on_data("exp", "ticks", |_, _| {});
+    testbed
+        .collector()
+        .attach_listener(ChannelFilter::exp("exp").channel("ticks"), |_event| {});
     testbed
         .collector()
         .deployment(&ExperimentSpec {
@@ -230,8 +241,8 @@ fn many_devices_fan_in_with_attribution() {
     let s = seen.clone();
     testbed
         .collector()
-        .on_data("exp", "hello", move |_msg, from| {
-            *s.borrow_mut().entry(from.to_owned()).or_default() += 1;
+        .attach_listener(ChannelFilter::exp("exp").channel("hello"), move |event| {
+            *s.borrow_mut().entry(event.device.to_owned()).or_default() += 1;
         });
     let jids: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
     testbed
@@ -297,14 +308,16 @@ fn freeze_fix_preserves_clusters_across_reboots() {
         );
         let places = Rc::new(RefCell::new(Vec::new()));
         let p = places.clone();
-        testbed
-            .collector()
-            .on_data("loc", "locations", move |msg, _| {
+        testbed.collector().attach_listener(
+            ChannelFilter::exp("loc").channel("locations"),
+            move |event| {
+                let msg = event.msg;
                 p.borrow_mut().push((
                     msg.get("entry").and_then(pogo::core::Msg::as_num).unwrap() as u64,
                     msg.get("exit").and_then(pogo::core::Msg::as_num).unwrap() as u64,
                 ));
-            });
+            },
+        );
         let mut spec = glue::localization_experiment("loc");
         if use_freeze {
             spec.scripts[1].source = glue::clustering_js_with_freeze();
@@ -369,7 +382,9 @@ fn watchdog_errors_are_contained_per_script() {
     let g = good.clone();
     testbed
         .collector()
-        .on_data("exp", "ok", move |_, _| *g.borrow_mut() += 1);
+        .attach_listener(ChannelFilter::exp("exp").channel("ok"), move |_event| {
+            *g.borrow_mut() += 1
+        });
     testbed
         .collector()
         .deployment(&ExperimentSpec {

@@ -41,9 +41,10 @@ fn run_workload(seed: u64, obs_config: ObsConfig) -> Testbed {
             .configure(|cfg| cfg.with_flush_policy(FlushPolicy::Immediate))
             .sensors(sources),
     );
-    testbed
-        .collector()
-        .on_data("accel", "magnitudes", |_, _| {});
+    testbed.collector().attach_listener(
+        pogo::core::ChannelFilter::exp("accel").channel("magnitudes"),
+        |_event| {},
+    );
     testbed
         .collector()
         .deployment(&ExperimentSpec {

@@ -83,9 +83,12 @@ fn two_researchers_share_a_pool_without_crosstalk() {
     // Each runs their own experiment on their own grant.
     let alice_seen: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let a = alice_seen.clone();
-    alice.on_data("alice-exp", "pings", move |_msg, from| {
-        a.borrow_mut().push(from.to_owned());
-    });
+    alice.attach_listener(
+        pogo::core::ChannelFilter::exp("alice-exp").channel("pings"),
+        move |event| {
+            a.borrow_mut().push(event.device.to_owned());
+        },
+    );
     alice
         .deployment(&ExperimentSpec {
             id: "alice-exp".into(),
@@ -100,9 +103,12 @@ fn two_researchers_share_a_pool_without_crosstalk() {
 
     let bob_seen: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let b = bob_seen.clone();
-    bob.on_data("bob-exp", "pings", move |_msg, from| {
-        b.borrow_mut().push(from.to_owned());
-    });
+    bob.attach_listener(
+        pogo::core::ChannelFilter::exp("bob-exp").channel("pings"),
+        move |event| {
+            b.borrow_mut().push(event.device.to_owned());
+        },
+    );
     bob.deployment(&ExperimentSpec {
         id: "bob-exp".into(),
         scripts: vec![ScriptSpec {
