@@ -1,0 +1,130 @@
+//! `fleet_soak` — the localization pipeline at testbed scale.
+//!
+//! Default mode runs the CI scale point (10k devices, 4 shards, 30
+//! simulated minutes) and writes the results to `BENCH_pr10.json`
+//! (override with `--out PATH`); `--full` climbs the whole ladder
+//! (10k/50k/100k).
+//!
+//! `--check PATH` instead compares a fresh run against a committed
+//! baseline: `devices_per_sec` must stay above baseline × (1 −
+//! `--tolerance`, default 0.5 — wall-clock varies between machines) and
+//! the deterministic `bytes_per_device` below baseline × (1 +
+//! `--bytes-tolerance`, default 0.1). `scripts/ci.sh` runs this mode.
+
+use std::process::ExitCode;
+
+use pogo_bench::{fleet, report};
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_pr10.json");
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.5;
+    let mut bytes_tolerance = 0.1;
+    let mut full = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => return usage("--check needs a path"),
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => return usage("--tolerance needs a fraction in [0, 1)"),
+            },
+            "--bytes-tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => bytes_tolerance = t,
+                _ => return usage("--bytes-tolerance needs a non-negative fraction"),
+            },
+            "--full" => full = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let scales = if full {
+        fleet::full_scales()
+    } else {
+        fleet::ci_scales()
+    };
+
+    println!("{}", report::banner("fleet_soak — localization at scale"));
+    let mut records = Vec::new();
+    for scale in &scales {
+        let r = fleet::run_scale(scale);
+        println!(
+            "{}: {} devices x {}s sim in {:.1}s wall — {:.2}M device-secs/sec, \
+             {:.1} bytes/device, {} rows",
+            r.name,
+            r.devices,
+            r.sim_secs,
+            r.wall_ns as f64 / 1e9,
+            r.devices_per_sec / 1e6,
+            r.bytes_per_device,
+            r.rows,
+        );
+        records.push(r);
+    }
+
+    match check_path {
+        Some(path) => {
+            let baseline = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("fleet_soak: cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fleet::gate(&records, &baseline, tolerance, bytes_tolerance) {
+                Ok(fails) if fails.is_empty() => {
+                    println!(
+                        "check: throughput holds the {:.0}% floor and bytes/device \
+                         the {:.0}% ceiling vs {path}",
+                        tolerance * 100.0,
+                        bytes_tolerance * 100.0
+                    );
+                    ExitCode::SUCCESS
+                }
+                Ok(fails) => {
+                    for f in &fails {
+                        eprintln!("FLEET-GATE {f}");
+                    }
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("fleet_soak: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        None => {
+            let json = fleet::to_json(&records);
+            if let Err(e) = std::fs::write(&out_path, json + "\n") {
+                eprintln!("fleet_soak: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("fleet_soak: {err}");
+    }
+    eprintln!(
+        "usage: fleet_soak [--out PATH] [--check PATH] [--tolerance FRACTION] \
+         [--bytes-tolerance FRACTION] [--full]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

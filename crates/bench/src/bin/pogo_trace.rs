@@ -11,9 +11,9 @@ use std::borrow::Cow;
 use std::process::ExitCode;
 use std::rc::Rc;
 
-use pogo::core::{DeviceSetup, ExperimentSpec, Msg, Obs, ObsConfig, Testbed};
+use pogo::core::{ExperimentSpec, FleetSpec, Msg, Obs, ObsConfig, Testbed};
 use pogo::obs::{export, Event, FieldValue};
-use pogo::sim::{Sim, SimDuration, SimTime};
+use pogo::sim::{DeviceId, Sim, SimDuration, SimTime};
 use pogo_bench::fig4;
 
 const USAGE: &str = "\
@@ -218,9 +218,7 @@ fn parse_event(line: &str) -> Option<Event> {
 fn run_quickstart() -> Obs {
     let sim = Sim::new();
     let mut testbed = Testbed::with_obs(&sim, ObsConfig::on());
-    for i in 1..=3 {
-        testbed.add(DeviceSetup::named(&format!("phone-{i}")));
-    }
+    testbed.add_fleet(FleetSpec::new(3).prefix("phone"));
     let script = r#"
         setDescription('Battery watcher');
         subscribe('battery', function (msg) {
@@ -254,9 +252,7 @@ fn run_chaos() -> Obs {
 
     let sim = Sim::new();
     let mut testbed = Testbed::with_obs(&sim, ObsConfig::on());
-    for i in 0..3 {
-        testbed.add(DeviceSetup::named(&format!("phone-{i}")));
-    }
+    testbed.add_fleet(FleetSpec::new(3).prefix("phone"));
     let harness = InvariantHarness::install(&testbed, "chaos", "chaos-data");
     let script = r#"
         var st = thaw();
@@ -294,7 +290,7 @@ fn run_chaos() -> Obs {
             Fault {
                 at: SimTime::ZERO + SimDuration::from_mins(20),
                 kind: FaultKind::BearerFlap {
-                    device: 0,
+                    device: DeviceId::new(0),
                     flaps: 12,
                     period: SimDuration::from_secs(10),
                 },
@@ -302,7 +298,7 @@ fn run_chaos() -> Obs {
             Fault {
                 at: SimTime::ZERO + SimDuration::from_mins(40),
                 kind: FaultKind::ClockSkew {
-                    device: 1,
+                    device: DeviceId::new(1),
                     step: SimDuration::from_secs(30),
                     drift_ppm: 5_000,
                     duration: SimDuration::from_mins(10),

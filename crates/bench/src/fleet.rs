@@ -1,0 +1,336 @@
+//! Fleet-scale soak: the localization pipeline at 10k–100k devices.
+//!
+//! The workload behind the `fleet_soak` binary. Each run stands up a
+//! sharded testbed, stamps out the fleet with
+//! [`Testbed::add_fleet`](pogo_core::Testbed::add_fleet) — every device
+//! carrying the paper's real `scan.js` + `clustering.js` scripts and a
+//! synthetic walker that alternates between two disjoint AP
+//! neighbourhoods (each switch is cosine distance 1 from the open
+//! cluster, forcing a close-and-publish) — registers the `locations`
+//! channel on the collector's ingestion pipeline, and steps the sim in
+//! lock-step windows.
+//!
+//! Two numbers come out:
+//!
+//! * **devices/sec** — device-sim-seconds simulated per wall-clock
+//!   second, the scalability headline. Wall-clock, so it varies between
+//!   machines; the CI gate applies a generous floor.
+//! * **bytes/device** — uplink sample bytes landed in the collector's
+//!   store per device. Fully deterministic for a given spec, so the
+//!   gate's ceiling is tight: a protocol regression that bloats the
+//!   uplink shows up here even on a fast box.
+
+use std::time::Instant;
+
+use pogo::glue;
+use pogo_core::accounting::channel_usage;
+use pogo_core::sensor::{SensorSources, WifiReading};
+use pogo_core::{FleetSpec, Msg, Testbed};
+use pogo_ingest::ChannelSchema;
+use pogo_net::FlushPolicy;
+use pogo_sim::{Sim, SimDuration};
+
+/// How often a walker crosses between its two AP neighbourhoods. Six
+/// scans per side at `scan.js`'s one-minute interval comfortably clears
+/// `clustering.js`'s `MIN_PTS = 4`, so every crossing closes a cluster.
+const SIDE_PERIOD_MS: u64 = 6 * 60 * 1000;
+
+/// Store flush cadence for the fleet (the §4.2 interval policy).
+const STORE_FLUSH: SimDuration = SimDuration::from_secs(90);
+
+/// Lock-step barrier window.
+const LOCKSTEP_WINDOW: SimDuration = SimDuration::from_mins(1);
+
+/// One scale point of the soak.
+#[derive(Debug, Clone)]
+pub struct FleetScale {
+    /// Stable key, used in `BENCH_pr10.json` and by `--check`.
+    pub name: &'static str,
+    /// Fleet size.
+    pub devices: usize,
+    /// Broker shards.
+    pub shards: usize,
+    /// Simulated duration.
+    pub sim: SimDuration,
+}
+
+/// The CI scale point: 10k devices across 4 shards for 30 simulated
+/// minutes (~4 cluster closures per device).
+pub fn ci_scales() -> Vec<FleetScale> {
+    vec![FleetScale {
+        name: "fleet_10k",
+        devices: 10_000,
+        shards: 4,
+        sim: SimDuration::from_mins(30),
+    }]
+}
+
+/// The full ladder: 10k/50k/100k. The larger rungs run a shorter
+/// simulated window so the whole ladder stays tractable; each rung is
+/// gated only against its own recorded baseline.
+pub fn full_scales() -> Vec<FleetScale> {
+    let mut scales = ci_scales();
+    scales.push(FleetScale {
+        name: "fleet_50k",
+        devices: 50_000,
+        shards: 8,
+        sim: SimDuration::from_mins(15),
+    });
+    scales.push(FleetScale {
+        name: "fleet_100k",
+        devices: 100_000,
+        shards: 8,
+        sim: SimDuration::from_mins(15),
+    });
+    scales
+}
+
+/// One scale point's outcome.
+#[derive(Debug, Clone)]
+pub struct FleetRecord {
+    pub name: &'static str,
+    pub devices: usize,
+    pub shards: usize,
+    /// Simulated seconds.
+    pub sim_secs: u64,
+    /// Wall time of the measured run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Device-sim-seconds per wall-second.
+    pub devices_per_sec: f64,
+    /// Uplink sample bytes per device (deterministic).
+    pub bytes_per_device: f64,
+    /// `locations` rows ingested (deterministic).
+    pub rows: u64,
+}
+
+/// Runs one scale point and measures it. Building the fleet and
+/// deploying the experiment are *inside* the measured window — at 100k
+/// devices, boot cost is part of what a testbed user waits for.
+pub fn run_scale(scale: &FleetScale) -> FleetRecord {
+    let start = Instant::now();
+
+    let sim = Sim::new();
+    let mut testbed = Testbed::sharded(&sim, scale.shards);
+    testbed.add_fleet(localization_fleet(scale.devices));
+
+    testbed
+        .collector()
+        .registry()
+        .register("loc", "locations", ChannelSchema::json())
+        .expect("fresh channel registers");
+    let jids: Vec<_> = testbed.devices().iter().map(|d| d.jid()).collect();
+    testbed
+        .collector()
+        .deployment(&glue::localization_experiment("loc"))
+        .to(&jids)
+        .send()
+        .expect("scripts pass pre-deployment analysis");
+
+    testbed.run_lockstep(scale.sim, LOCKSTEP_WINDOW);
+
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let usage = channel_usage(&testbed.collector().store());
+    let (rows, bytes) = usage
+        .iter()
+        .fold((0u64, 0u64), |(r, b), u| (r + u.rows, b + u.bytes));
+    assert!(rows > 0, "the fleet must land samples on the collector");
+
+    let sim_secs = scale.sim.as_millis() / 1_000;
+    let wall_secs = wall_ns as f64 / 1e9;
+    FleetRecord {
+        name: scale.name,
+        devices: scale.devices,
+        shards: scale.shards,
+        sim_secs,
+        wall_ns,
+        devices_per_sec: scale.devices as f64 * sim_secs as f64 / wall_secs,
+        bytes_per_device: bytes as f64 / scale.devices as f64,
+        rows,
+    }
+}
+
+/// The soak's fleet: `n` walkers, KPN/T-Mobile/Vodafone carrier mix,
+/// ±15% battery spread, each alternating between two disjoint 5-AP
+/// neighbourhoods every [`SIDE_PERIOD_MS`].
+pub fn localization_fleet(n: usize) -> FleetSpec {
+    use pogo_platform::CarrierProfile;
+    FleetSpec::new(n)
+        .prefix("phone")
+        .battery_jitter(0.15)
+        .carriers(vec![
+            CarrierProfile::kpn(),
+            CarrierProfile::t_mobile(),
+            CarrierProfile::vodafone(),
+        ])
+        .configure(|_, c| c.with_flush_policy(FlushPolicy::Interval(STORE_FLUSH)))
+        .sensors(|i, _| SensorSources {
+            wifi_scan: Some(Box::new(move |t_ms| {
+                let side = (t_ms / SIDE_PERIOD_MS) % 2;
+                Some(
+                    (0..5u64)
+                        .map(|j| WifiReading {
+                            bssid: format!("00:{:02x}:{:02x}:00:0{side}:{j:02x}", i / 256, i % 256),
+                            rssi_dbm: -55.0 - j as f64,
+                        })
+                        .collect(),
+                )
+            })),
+            ..SensorSources::default()
+        })
+}
+
+/// Serializes records to the `BENCH_pr10.json` schema.
+pub fn to_json(records: &[FleetRecord]) -> String {
+    let fleets = Msg::Obj(
+        records
+            .iter()
+            .map(|r| {
+                (
+                    r.name.to_owned(),
+                    Msg::Obj(vec![
+                        ("devices".to_owned(), Msg::Num(r.devices as f64)),
+                        ("shards".to_owned(), Msg::Num(r.shards as f64)),
+                        ("sim_secs".to_owned(), Msg::Num(r.sim_secs as f64)),
+                        ("wall_ns".to_owned(), Msg::Num(r.wall_ns as f64)),
+                        (
+                            "devices_per_sec".to_owned(),
+                            Msg::Num(r.devices_per_sec.round()),
+                        ),
+                        (
+                            "bytes_per_device".to_owned(),
+                            Msg::Num((r.bytes_per_device * 10.0).round() / 10.0),
+                        ),
+                        ("rows".to_owned(), Msg::Num(r.rows as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let doc = Msg::obj([("schema", Msg::str("pogo-fleet/1")), ("fleets", fleets)]);
+    doc.to_json()
+}
+
+/// Compares `current` against a committed `BENCH_pr10.json`: each
+/// record's `devices_per_sec` must stay above the baseline's floor
+/// (baseline × (1 − `floor_tolerance`)) and its `bytes_per_device`
+/// below the ceiling (baseline × (1 + `byte_tolerance`)). Records
+/// absent from the baseline are skipped.
+pub fn gate(
+    current: &[FleetRecord],
+    baseline_json: &str,
+    floor_tolerance: f64,
+    byte_tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let doc = Msg::from_json(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
+    let fleets = doc
+        .get("fleets")
+        .ok_or_else(|| "baseline has no `fleets` object".to_owned())?;
+    let mut out = Vec::new();
+    for r in current {
+        let Some(base) = fleets.get(r.name) else {
+            continue;
+        };
+        let field = |name: &str| -> Result<f64, String> {
+            base.get(name)
+                .and_then(Msg::as_num)
+                .ok_or_else(|| format!("baseline {}.{name} is missing", r.name))
+        };
+        let floor = field("devices_per_sec")? * (1.0 - floor_tolerance);
+        if r.devices_per_sec < floor {
+            out.push(format!(
+                "{}: {:.0} device-secs/sec is below the floor {floor:.0} \
+                 (baseline {:.0}, tolerance {:.0}%)",
+                r.name,
+                r.devices_per_sec,
+                field("devices_per_sec")?,
+                floor_tolerance * 100.0
+            ));
+        }
+        let ceiling = field("bytes_per_device")? * (1.0 + byte_tolerance);
+        if r.bytes_per_device > ceiling {
+            out.push(format!(
+                "{}: {:.1} bytes/device is above the ceiling {ceiling:.1} \
+                 (baseline {:.1}, tolerance {:.0}%)",
+                r.name,
+                r.bytes_per_device,
+                field("bytes_per_device")?,
+                byte_tolerance * 100.0
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(devices_per_sec: f64, bytes_per_device: f64) -> FleetRecord {
+        FleetRecord {
+            name: "fleet_10k",
+            devices: 10_000,
+            shards: 4,
+            sim_secs: 1_800,
+            wall_ns: 1,
+            devices_per_sec,
+            bytes_per_device,
+            rows: 40_000,
+        }
+    }
+
+    #[test]
+    fn gate_floors_throughput_and_ceils_bytes() {
+        let baseline = to_json(&[record(1_000_000.0, 500.0)]);
+        // At baseline: clean.
+        let ok = gate(&[record(1_000_000.0, 500.0)], &baseline, 0.5, 0.1).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // Half speed is exactly the 50% floor; just under it fails.
+        assert!(gate(&[record(500_000.0, 500.0)], &baseline, 0.5, 0.1)
+            .unwrap()
+            .is_empty());
+        let slow = gate(&[record(499_999.0, 500.0)], &baseline, 0.5, 0.1).unwrap();
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].contains("below the floor"), "{}", slow[0]);
+        // Byte bloat past the ceiling fails even when fast.
+        let fat = gate(&[record(2_000_000.0, 551.0)], &baseline, 0.5, 0.1).unwrap();
+        assert_eq!(fat.len(), 1);
+        assert!(fat[0].contains("above the ceiling"), "{}", fat[0]);
+        // Records unknown to the baseline are skipped.
+        let mut other = record(1.0, 1e9);
+        other.name = "fleet_999k";
+        assert!(gate(&[other], &baseline, 0.5, 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gate_rejects_malformed_baseline() {
+        assert!(gate(&[record(1.0, 1.0)], "not json", 0.5, 0.1).is_err());
+        assert!(gate(
+            &[record(1.0, 1.0)],
+            "{\"schema\":\"pogo-fleet/1\"}",
+            0.5,
+            0.1
+        )
+        .is_err());
+    }
+
+    /// A miniature end-to-end run: the same pipeline as the CI scale
+    /// point at 1/200 the fleet, checking the workload actually lands
+    /// deterministic samples.
+    #[test]
+    fn tiny_fleet_soaks_deterministically() {
+        let run = || {
+            run_scale(&FleetScale {
+                name: "fleet_tiny",
+                devices: 50,
+                shards: 2,
+                sim: SimDuration::from_mins(20),
+            })
+        };
+        let a = run();
+        assert!(a.rows >= 50, "each device should close a cluster: {a:?}");
+        assert!(a.bytes_per_device > 0.0);
+        let b = run();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.bytes_per_device, b.bytes_per_device);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod ablation;
 pub mod fig3;
 pub mod fig4;
+pub mod fleet;
 pub mod perf;
 pub mod report;
 pub mod session;

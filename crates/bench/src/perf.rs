@@ -746,7 +746,7 @@ pub fn bench_ingest() -> BenchRecord {
             },
         );
         for c in 0..CHANNELS {
-            let template = if c % 2 == 0 {
+            let template = if c.is_multiple_of(2) {
                 Template::I64
             } else {
                 Template::F64
@@ -757,7 +757,7 @@ pub fn bench_ingest() -> BenchRecord {
         }
         for i in 0..INGEST_SAMPLES {
             let c = i % CHANNELS;
-            let value = if c % 2 == 0 {
+            let value = if c.is_multiple_of(2) {
                 SampleValue::I64(i as i64)
             } else {
                 SampleValue::F64(i as f64 * 0.5)

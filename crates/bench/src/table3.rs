@@ -243,7 +243,7 @@ mod tests {
         );
         assert_eq!(
             metrics.counter_for(dev, "sensor.samples.battery"),
-            device.sensors().sample_count("battery") as u64
+            device.sensors().sample_count("battery")
         );
         // Every flush is classified; in steady state they ride tails.
         let hits = metrics.counter_for(dev, "tail.sync.hits");

@@ -84,7 +84,7 @@ impl ChaosController {
         let n = testbed.devices().len();
         for fault in plan.faults() {
             if let Some(d) = fault.kind.device() {
-                assert!(d < n, "fault targets device {d}, testbed has {n}");
+                assert!(d.index() < n, "fault targets device {d}, testbed has {n}");
             }
         }
         testbed
@@ -147,24 +147,26 @@ impl ChaosController {
                 loss,
                 jitter,
                 duration,
-            } => self.link_degrade(*device, *loss, *jitter, *duration),
-            FaultKind::Reboot { device } => self.reboot(*device),
-            FaultKind::BatteryDeath { device, off_for } => self.battery_death(*device, *off_for),
+            } => self.link_degrade(device.index(), *loss, *jitter, *duration),
+            FaultKind::Reboot { device } => self.reboot(device.index()),
+            FaultKind::BatteryDeath { device, off_for } => {
+                self.battery_death(device.index(), *off_for)
+            }
             FaultKind::RosterChurn {
                 device,
                 rejoin_after,
-            } => self.roster_churn(*device, *rejoin_after),
+            } => self.roster_churn(device.index(), *rejoin_after),
             FaultKind::BearerFlap {
                 device,
                 flaps,
                 period,
-            } => self.bearer_flap(*device, *flaps, *period),
+            } => self.bearer_flap(device.index(), *flaps, *period),
             FaultKind::ClockSkew {
                 device,
                 step,
                 drift_ppm,
                 duration,
-            } => self.clock_skew(*device, *step, *drift_ppm, *duration),
+            } => self.clock_skew(device.index(), *step, *drift_ppm, *duration),
         }
     }
 
@@ -451,7 +453,7 @@ mod tests {
     use super::*;
     use crate::plan::Fault;
     use pogo_core::{DeviceSetup, Testbed};
-    use pogo_sim::SimTime;
+    use pogo_sim::{DeviceId, SimTime};
 
     fn testbed(sim: &Sim, phones: usize) -> Testbed {
         let mut tb = Testbed::new(sim);
@@ -498,13 +500,15 @@ mod tests {
             Fault {
                 at: SimTime::from_millis(1_000),
                 kind: FaultKind::BatteryDeath {
-                    device: 0,
+                    device: DeviceId::new(0),
                     off_for: SimDuration::from_secs(60),
                 },
             },
             Fault {
                 at: SimTime::from_millis(10_000),
-                kind: FaultKind::Reboot { device: 0 },
+                kind: FaultKind::Reboot {
+                    device: DeviceId::new(0),
+                },
             },
         ]);
         let ctl = ChaosController::install(&tb, &plan);
@@ -527,7 +531,7 @@ mod tests {
         let plan = FaultPlan::scripted(vec![Fault {
             at: SimTime::from_millis(1_000),
             kind: FaultKind::BearerFlap {
-                device: 0,
+                device: DeviceId::new(0),
                 flaps: 6,
                 period: SimDuration::from_secs(5),
             },
@@ -553,7 +557,7 @@ mod tests {
         let plan = FaultPlan::scripted(vec![Fault {
             at: SimTime::from_millis(1_000),
             kind: FaultKind::ClockSkew {
-                device: 0,
+                device: DeviceId::new(0),
                 step: SimDuration::from_secs(30),
                 drift_ppm: 10_000,
                 duration: SimDuration::from_mins(2),
@@ -577,7 +581,7 @@ mod tests {
         let plan = FaultPlan::scripted(vec![Fault {
             at: SimTime::from_millis(1_000),
             kind: FaultKind::RosterChurn {
-                device: 0,
+                device: DeviceId::new(0),
                 rejoin_after: SimDuration::from_secs(30),
             },
         }]);

@@ -9,13 +9,13 @@
 
 use std::collections::BTreeSet;
 
-use pogo_sim::{SimDuration, SimRng, SimTime};
+use pogo_sim::{DeviceId, SimDuration, SimRng, SimTime};
 
 /// One class of injected failure.
 ///
-/// Device-scoped kinds carry the *index* of the device in the testbed's
-/// creation order (not a JID), so a plan can be generated before the
-/// testbed exists.
+/// Device-scoped kinds carry the dense [`DeviceId`] of the target —
+/// the device's index in the testbed's creation order, not a JID — so
+/// a plan can be generated before the testbed exists.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
     /// Bounce the switchboard: every session drops, the server accepts
@@ -30,8 +30,8 @@ pub enum FaultKind {
     /// Degrade one device's link: independent per-leg drop probability
     /// plus uniform jitter, for a bounded window.
     LinkDegrade {
-        /// Device index in testbed creation order.
-        device: usize,
+        /// Dense id of the target in testbed creation order.
+        device: DeviceId,
         /// Per-leg drop probability in `[0, 1]`.
         loss: f64,
         /// Upper bound on extra uniform per-leg delay.
@@ -42,22 +42,22 @@ pub enum FaultKind {
     /// Reboot one device: volatile state dies, frozen state survives,
     /// the middleware boots again after its configured boot delay.
     Reboot {
-        /// Device index in testbed creation order.
-        device: usize,
+        /// Dense id of the target in testbed creation order.
+        device: DeviceId,
     },
     /// Hard power loss: the device is off (no middleware, no radio)
     /// until the window ends, then charges back up and boots.
     BatteryDeath {
-        /// Device index in testbed creation order.
-        device: usize,
+        /// Dense id of the target in testbed creation order.
+        device: DeviceId,
         /// How long the device stays dark.
         off_for: SimDuration,
     },
     /// Administrative roster churn: the device is unfriended from the
     /// collector (sends fail `NotAuthorized`) and re-befriended later.
     RosterChurn {
-        /// Device index in testbed creation order.
-        device: usize,
+        /// Dense id of the target in testbed creation order.
+        device: DeviceId,
         /// How long until the administrator re-adds the device.
         rejoin_after: SimDuration,
     },
@@ -66,8 +66,8 @@ pub enum FaultKind {
     /// restored. Each handover drops the session's in-flight envelopes
     /// (§4.6), hammering reconnect, tail-sync, and store-and-forward.
     BearerFlap {
-        /// Device index in testbed creation order.
-        device: usize,
+        /// Dense id of the target in testbed creation order.
+        device: DeviceId,
         /// Number of handovers in the storm.
         flaps: u32,
         /// Gap between consecutive handovers.
@@ -78,8 +78,8 @@ pub enum FaultKind {
     /// ends, when an NITZ-style fix snaps it back to truth. Timers are
     /// unaffected (elapsed-time semantics); sensor timestamps are not.
     ClockSkew {
-        /// Device index in testbed creation order.
-        device: usize,
+        /// Dense id of the target in testbed creation order.
+        device: DeviceId,
         /// Forward step applied at injection.
         step: SimDuration,
         /// Drift rate while the fault is active (may be negative).
@@ -118,8 +118,8 @@ impl FaultKind {
         }
     }
 
-    /// The targeted device index, if this is a device-scoped fault.
-    pub fn device(&self) -> Option<usize> {
+    /// The targeted device id, if this is a device-scoped fault.
+    pub fn device(&self) -> Option<DeviceId> {
         match self {
             FaultKind::ServerRestart | FaultKind::ServerOutage { .. } => None,
             FaultKind::LinkDegrade { device, .. }
@@ -276,7 +276,7 @@ impl FaultPlanBuilder {
     /// administrative faults are rarer; clock trouble is the background
     /// hum every deployment has.
     fn pick_kind(&self, rng: &mut SimRng, remaining: SimDuration) -> FaultKind {
-        let device = rng.index(self.devices);
+        let device = DeviceId::new(rng.index(self.devices));
         let roll = rng.unit();
         if roll < 0.22 {
             FaultKind::Reboot { device }
@@ -378,7 +378,7 @@ mod tests {
         let p = plan(5).extended(vec![Fault {
             at: SimTime::ZERO + SimDuration::from_mins(11),
             kind: FaultKind::BearerFlap {
-                device: 0,
+                device: DeviceId::new(0),
                 flaps: 4,
                 period: SimDuration::from_secs(10),
             },
@@ -399,10 +399,17 @@ mod tests {
             },
             Fault {
                 at: SimTime::from_millis(1_000),
-                kind: FaultKind::Reboot { device: 0 },
+                kind: FaultKind::Reboot {
+                    device: DeviceId::new(0),
+                },
             },
         ]);
-        assert_eq!(p.faults()[0].kind, FaultKind::Reboot { device: 0 });
+        assert_eq!(
+            p.faults()[0].kind,
+            FaultKind::Reboot {
+                device: DeviceId::new(0),
+            }
+        );
         assert_eq!(p.seed(), 0);
     }
 }

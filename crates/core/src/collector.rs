@@ -324,16 +324,6 @@ impl CollectorNode {
         self.inner.borrow().logs.clone()
     }
 
-    /// Data messages received from devices.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `stats().data_received` — `CollectorStats` folds this and the \
-                ingestion counters into one snapshot"
-    )]
-    pub fn data_received(&self) -> u64 {
-        self.inner.borrow().data_received
-    }
-
     /// A snapshot of the collector's counters: transport receipts, the
     /// ingestion pipeline's write-side stats, and diagnostic log sizes.
     pub fn stats(&self) -> CollectorStats {
@@ -370,9 +360,9 @@ impl CollectorNode {
     /// (schema-mismatched samples are rejected and never reach
     /// listeners). When the filter names a single `(exp, channel)`,
     /// the channel is auto-registered with the catch-all JSON schema —
-    /// so attaching a listener alone is enough to start consuming, as
-    /// `on_data` was. Filters broader than one channel only see
-    /// channels that were (or later are) registered.
+    /// so attaching a listener alone is enough to start consuming.
+    /// Filters broader than one channel only see channels that were
+    /// (or later are) registered.
     pub fn attach_listener(&self, filter: ChannelFilter, f: impl Fn(&SampleEvent) + 'static) {
         if let (Some(exp), Some(channel)) = (filter.exp_name(), filter.channel_name()) {
             let (exp, channel) = (exp.to_owned(), channel.to_owned());
@@ -929,32 +919,6 @@ impl CollectorNode {
             }
         }
     }
-
-    /// Registers a Rust-side data listener on an experiment channel —
-    /// how benches and examples read collected data without going through
-    /// a collector script.
-    ///
-    /// One-release shim over the registry API: registers the channel
-    /// with the catch-all JSON schema (so samples also land in the
-    /// [`SampleStore`]) and attaches a listener. The wire behavior is
-    /// identical — one subscription, mirrored to devices.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `attach_listener(ChannelFilter::exp(exp).channel(channel), …)`; \
-                declare a typed schema with `registry().register(…)` to also get \
-                store queries and export"
-    )]
-    pub fn on_data(
-        &self,
-        exp: &str,
-        channel: &str,
-        f: impl Fn(&crate::value::Msg, &str) + 'static,
-    ) {
-        self.attach_listener(
-            ChannelFilter::exp(exp).channel(channel),
-            move |event: &SampleEvent| f(event.msg, event.device),
-        );
-    }
 }
 
 #[cfg(test)]
@@ -1136,14 +1100,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn on_data_shim_still_delivers_and_ingests() {
+    fn single_channel_listener_delivers_and_ingests() {
         let (sim, _server, collector, device, _phone) = testbed();
         let heard = Rc::new(RefCell::new(Vec::new()));
         let h = heard.clone();
-        collector.on_data("exp", "pings", move |msg, from| {
-            h.borrow_mut().push((from.to_owned(), msg.clone()));
-        });
+        collector.attach_listener(
+            ChannelFilter::exp("exp").channel("pings"),
+            move |event: &SampleEvent| {
+                h.borrow_mut()
+                    .push((event.device.to_owned(), event.msg.clone()));
+            },
+        );
         collector
             .deployment(&ExperimentSpec {
                 id: "exp".into(),

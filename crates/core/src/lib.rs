@@ -37,6 +37,7 @@ pub mod broker;
 pub mod collector;
 pub mod context;
 pub mod device;
+pub mod fleet;
 pub mod host;
 pub mod privacy;
 pub mod proto;
@@ -51,6 +52,7 @@ pub use assignment::{Admin, DeviceProfile, DeviceRequest};
 pub use broker::{Broker, SubscriptionId};
 pub use collector::{CollectorNode, DeployError, Deployment, LintPolicy};
 pub use device::{DeviceConfig, DeviceNode};
+pub use fleet::{Fleet, FleetMember, FleetSpec};
 pub use host::{ScriptHost, WATCHDOG_BUDGET};
 pub use pogo_ingest::{
     ChannelSchema, IngestError, IngestStats, Retention, SampleStore, SampleValue, ScanQuery,

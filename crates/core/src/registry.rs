@@ -1,7 +1,6 @@
 //! The collector's registry-style consumption API.
 //!
-//! Instead of wiring a raw callback per channel (the deprecated
-//! [`CollectorNode::on_data`](crate::CollectorNode::on_data)), a
+//! Instead of wiring a raw callback per channel, a
 //! consumer *declares* the channels it wants with a
 //! [`ChannelSchema`](pogo_ingest::ChannelSchema) — type template,
 //! optional value field, retention — and the collector does the rest:
@@ -13,7 +12,7 @@
 //! [`store()`](crate::CollectorNode::store).
 //!
 //! Registering a channel creates a collector-side broker subscription
-//! (with optional sensor parameters), exactly like `on_data` did — so
+//! (with optional sensor parameters) — so
 //! the §4.3 subscription mirroring still wakes the right sensors on
 //! the devices, and the wire cost of consuming a channel is unchanged:
 //! one copy per collector subscription.
@@ -162,7 +161,7 @@ impl ChannelRegistry {
 /// A read-only snapshot of a collector's counters: transport-level
 /// data receipts, the ingestion pipeline's [`IngestStats`], and the
 /// sizes of the diagnostic log streams. Replaces scattered accessors
-/// (`data_received()`, log-length spelunking) with one struct.
+/// (per-counter getters, log-length spelunking) with one struct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CollectorStats {
     /// Data messages received from devices (transport level, before

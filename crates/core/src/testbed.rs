@@ -8,11 +8,12 @@
 
 use pogo_net::{Jid, Switchboard};
 use pogo_obs::{Obs, ObsConfig};
-use pogo_platform::{Phone, PhoneConfig};
-use pogo_sim::Sim;
+use pogo_platform::{FleetArena, Phone, PhoneConfig};
+use pogo_sim::{DeviceId, Sim, SimDuration};
 
 use crate::collector::CollectorNode;
 use crate::device::{DeviceConfig, DeviceNode};
+use crate::fleet::{Fleet, FleetMember, FleetSpec};
 use crate::sensor::SensorSources;
 
 /// A volunteer device about to join a [`Testbed`], built field by field
@@ -73,6 +74,7 @@ pub struct Testbed {
     server: Switchboard,
     collector: CollectorNode,
     devices: Vec<DeviceNode>,
+    arena: FleetArena,
     obs: Obs,
 }
 
@@ -83,13 +85,30 @@ impl Testbed {
         Self::with_obs(sim, ObsConfig::off())
     }
 
+    /// Like [`Testbed::new`], but the switchboard is split into
+    /// `shards` broker shards (JID-hash routed). Shard layout is pure
+    /// partitioning: any shard count produces byte-identical traces.
+    pub fn sharded(sim: &Sim, shards: usize) -> Self {
+        Self::with_obs_sharded(sim, ObsConfig::off(), shards)
+    }
+
     /// Like [`Testbed::new`], with observability per `config`: one
     /// shared recorder and metrics registry covers the collector and
     /// every device (scoped by JID), so [`Testbed::obs`] yields a
     /// single, time-ordered trace of the whole deployment.
     pub fn with_obs(sim: &Sim, config: ObsConfig) -> Self {
+        Self::with_obs_sharded(sim, config, 1)
+    }
+
+    /// The general constructor: observability per `config` and a
+    /// switchboard of `shards` broker shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_obs_sharded(sim: &Sim, config: ObsConfig, shards: usize) -> Self {
         let obs = config.build(sim);
-        let server = Switchboard::new(sim);
+        let server = Switchboard::with_shards(sim, shards);
         let jid = Jid::new("collector@pogo").expect("static JID is valid");
         server.register(&jid);
         let collector = CollectorNode::with_obs(sim, &server, &jid, &obs);
@@ -98,6 +117,7 @@ impl Testbed {
             server,
             collector,
             devices: Vec::new(),
+            arena: FleetArena::new(sim),
             obs,
         }
     }
@@ -117,9 +137,29 @@ impl Testbed {
         &self.collector
     }
 
-    /// The device nodes, in creation order.
+    /// The device nodes, in creation order. Index `i` is device
+    /// [`DeviceId`] `i`.
     pub fn devices(&self) -> &[DeviceNode] {
         &self.devices
+    }
+
+    /// The device with the given dense id, if it exists.
+    pub fn device(&self, id: DeviceId) -> Option<&DeviceNode> {
+        self.devices.get(id.index())
+    }
+
+    /// Looks up a device's dense id by JID (creation-order scan).
+    pub fn device_id(&self, jid: &Jid) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| &d.jid() == jid)
+            .map(DeviceId::new)
+    }
+
+    /// The columnar arena holding every device's hot state (clocks,
+    /// bearers, power rails), indexed by [`DeviceId`].
+    pub fn arena(&self) -> &FleetArena {
+        &self.arena
     }
 
     /// The testbed-wide observability handle (unscoped). Off unless the
@@ -141,12 +181,85 @@ impl Testbed {
         self.server
             .befriend(&jid, &self.collector.jid())
             .expect("both registered");
-        let phone = Phone::new(&self.sim, setup.phone_config);
+        let phone = Phone::new_in(&self.sim, setup.phone_config, &self.arena);
         let cfg = (setup.config)(DeviceConfig::new(jid).with_obs(&self.obs));
         let device = DeviceNode::new(&phone, &self.server, cfg, setup.sources);
         device.boot();
         self.devices.push(device.clone());
         (device, phone)
+    }
+
+    /// Builds every device a [`FleetSpec`] describes: names them
+    /// `{prefix}-{i}@pogo`, applies the spec's factories and seeded
+    /// jitter (battery spread, carrier mix, per-device sensor streams),
+    /// and boots each through [`Testbed::add`]. Returns the fleet with
+    /// each member's dense [`DeviceId`].
+    pub fn add_fleet(&mut self, spec: FleetSpec) -> Fleet {
+        let mut members = Vec::with_capacity(spec.count);
+        for i in 0..spec.count {
+            let mut rng = spec.device_rng(i);
+            let mut phone_config = (spec.phone)(i, PhoneConfig::default());
+            if spec.battery_jitter > 0.0 {
+                let spread = rng.range_f64(-spec.battery_jitter, spec.battery_jitter);
+                phone_config.battery_capacity_joules *= 1.0 + spread;
+            }
+            if !spec.carriers.is_empty() {
+                phone_config.carrier = rng.pick(&spec.carriers).clone();
+            }
+            let sources = (spec.sensors)(i, &mut rng);
+            let configure = spec.configure.clone();
+            let id = DeviceId::new(self.devices.len());
+            let (device, phone) = self.add(
+                DeviceSetup::named(&format!("{}-{i}", spec.prefix))
+                    .phone(phone_config)
+                    .sensors(sources)
+                    .configure(move |c| configure(i, c)),
+            );
+            members.push(FleetMember { id, device, phone });
+        }
+        Fleet { members }
+    }
+
+    /// Runs the simulation for `duration` in fixed lock-step windows,
+    /// the stepping discipline of the sharded 100k-device testbed:
+    /// every shard advances exactly one window, then all shards
+    /// synchronize at a barrier where per-shard bookkeeping
+    /// (`net.shard.<i>.sessions/routed/dropped/relayed` gauges) is
+    /// published. Bookkeeping only *reads* switchboard state and writes
+    /// metrics — never the event queue or the recorder — so the event
+    /// trace is byte-identical to a straight [`Sim::run_for`] of the
+    /// same duration, for any shard count. Returns the number of
+    /// windows stepped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn run_lockstep(&self, duration: SimDuration, window: SimDuration) -> u64 {
+        assert!(!window.is_zero(), "lock-step window must be non-zero");
+        let deadline = self.sim.now() + duration;
+        let mut windows = 0;
+        while self.sim.now() < deadline {
+            let remaining = deadline.duration_since(self.sim.now());
+            self.sim.run_for(remaining.min(window));
+            windows += 1;
+            self.publish_shard_metrics();
+        }
+        windows
+    }
+
+    /// Snapshots per-shard switchboard counters into the metrics
+    /// registry (the pogo-top per-shard view reads these).
+    pub fn publish_shard_metrics(&self) {
+        let metrics = self.obs.metrics();
+        if !metrics.is_enabled() {
+            return;
+        }
+        for (i, stats) in self.server.shard_stats().into_iter().enumerate() {
+            metrics.gauge(format!("net.shard.{i}.sessions"), stats.sessions as f64);
+            metrics.gauge(format!("net.shard.{i}.routed"), stats.routed as f64);
+            metrics.gauge(format!("net.shard.{i}.dropped"), stats.dropped as f64);
+            metrics.gauge(format!("net.shard.{i}.relayed"), stats.relayed as f64);
+        }
     }
 }
 
@@ -170,6 +283,78 @@ mod tests {
             tb.server().roster(&device.jid()),
             vec![tb.collector().jid()]
         );
+    }
+
+    #[test]
+    fn add_fleet_builds_named_jittered_devices() {
+        use pogo_platform::CarrierProfile;
+        let build = |count: usize| {
+            let sim = Sim::new();
+            let mut tb = Testbed::new(&sim);
+            let fleet = tb.add_fleet(
+                FleetSpec::new(count)
+                    .prefix("phone")
+                    .seed(42)
+                    .battery_jitter(0.2)
+                    .carriers(vec![
+                        CarrierProfile::kpn(),
+                        CarrierProfile::t_mobile(),
+                        CarrierProfile::vodafone(),
+                    ]),
+            );
+            fleet
+                .iter()
+                .map(|m| (m.device.jid().to_string(), m.phone.modem().carrier_name()))
+                .collect::<Vec<_>>()
+        };
+        let a = build(8);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[0].0, "phone-0@pogo");
+        assert_eq!(a[7].0, "phone-7@pogo");
+        let carriers: std::collections::BTreeSet<&str> =
+            a.iter().map(|(_, c)| c.as_str()).collect();
+        assert!(carriers.len() > 1, "mix draws more than one carrier: {a:?}");
+        // Same seed → same draws; a bigger fleet keeps the prefix stable.
+        assert_eq!(a, build(8));
+        assert_eq!(build(12)[..8], a[..]);
+    }
+
+    #[test]
+    fn fleet_ids_are_dense_creation_order() {
+        let sim = Sim::new();
+        let mut tb = Testbed::new(&sim);
+        tb.add(DeviceSetup::named("solo"));
+        let fleet = tb.add_fleet(FleetSpec::new(3));
+        let ids: Vec<usize> = fleet.ids().iter().map(|id| id.index()).collect();
+        assert_eq!(ids, vec![1, 2, 3], "fleet ids continue after add()");
+        assert_eq!(tb.devices().len(), 4);
+        assert_eq!(tb.arena().len(), 4, "every phone fills an arena slot");
+        let jid = fleet.members()[1].device.jid();
+        assert_eq!(tb.device_id(&jid), Some(pogo_sim::DeviceId::new(2)));
+        assert_eq!(
+            tb.device(pogo_sim::DeviceId::new(2)).map(|d| d.jid()),
+            Some(jid)
+        );
+    }
+
+    #[test]
+    fn lockstep_publishes_shard_metrics() {
+        let sim = Sim::new();
+        let mut tb = Testbed::with_obs_sharded(&sim, pogo_obs::ObsConfig::on(), 4);
+        tb.add_fleet(
+            FleetSpec::new(6).configure(|_, c| c.with_flush_policy(FlushPolicy::Immediate)),
+        );
+        let windows = tb.run_lockstep(SimDuration::from_mins(10), SimDuration::from_mins(1));
+        assert_eq!(windows, 10);
+        let metrics = tb.obs().metrics();
+        let sessions: f64 = (0..4)
+            .map(|i| {
+                metrics
+                    .gauge_for(None, &format!("net.shard.{i}.sessions"))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert_eq!(sessions, 7.0, "6 devices + collector across shards");
     }
 
     #[test]

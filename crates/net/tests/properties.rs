@@ -165,4 +165,32 @@ proptest! {
         prop_assert_eq!(got, want);
         prop_assert!(store.is_empty(), "all messages eventually acked");
     }
+
+    #[test]
+    fn jid_interning_round_trips(
+        names in proptest::collection::vec("[a-z][a-z0-9-]{0,12}", 1..24),
+    ) {
+        // Interning is a pure function of the text: re-parsing yields
+        // the same record (same uid, salt, parts), accessors rebuild
+        // the text exactly, and ordering matches plain string order.
+        let jids: Vec<Jid> = names
+            .iter()
+            .map(|n| Jid::new(&format!("{n}@pogo")).unwrap())
+            .collect();
+        for (name, jid) in names.iter().zip(&jids) {
+            let again = Jid::new(jid.as_str()).unwrap();
+            prop_assert_eq!(&again, jid);
+            prop_assert_eq!(again.uid(), jid.uid());
+            prop_assert_eq!(again.salt(), jid.salt());
+            prop_assert_eq!(jid.node(), name.as_str());
+            prop_assert_eq!(jid.domain(), "pogo");
+            prop_assert_eq!(jid.as_str(), format!("{name}@pogo"));
+        }
+        let mut by_jid = jids.clone();
+        by_jid.sort();
+        let mut by_text: Vec<String> = names.iter().map(|n| format!("{n}@pogo")).collect();
+        by_text.sort();
+        let sorted: Vec<&str> = by_jid.iter().map(Jid::as_str).collect();
+        prop_assert_eq!(sorted, by_text.iter().map(String::as_str).collect::<Vec<_>>());
+    }
 }

@@ -1,0 +1,88 @@
+//! Fleet-scale device state: one arena bundling every per-device hot
+//! column.
+//!
+//! A [`FleetArena`] composes the three columnar stores a simulated
+//! handset draws its hot state from — [`ClockArena`] (skewable
+//! real-time clocks), [`ConnArena`] (active bearer + handover counts),
+//! and [`EnergyArena`] (power rails) — so that booting 100k phones via
+//! [`Phone::new_in`](crate::Phone::new_in) fills a handful of flat
+//! `Vec`s instead of allocating 300k+ scattered `Rc<RefCell<…>>` cells.
+//! Slot `i` of each arena belongs to the `i`-th phone booted into it,
+//! which is also the phone's dense [`DeviceId`](pogo_sim::DeviceId) when
+//! a testbed owns the arena.
+//!
+//! [`Phone::new`](crate::Phone::new) still works standalone: it boots
+//! into a throwaway single-phone arena.
+
+use pogo_sim::{ClockArena, Sim};
+
+use crate::connectivity::ConnArena;
+use crate::energy::EnergyArena;
+
+/// The columnar backing store for a fleet of phones. Cheap to clone;
+/// clones share the underlying columns.
+#[derive(Clone, Debug)]
+pub struct FleetArena {
+    clocks: ClockArena,
+    conn: ConnArena,
+    energy: EnergyArena,
+}
+
+impl FleetArena {
+    /// An empty arena on `sim`.
+    pub fn new(sim: &Sim) -> Self {
+        FleetArena {
+            clocks: ClockArena::new(sim),
+            conn: ConnArena::new(),
+            energy: EnergyArena::new(sim),
+        }
+    }
+
+    /// The per-device real-time-clock columns.
+    pub fn clocks(&self) -> &ClockArena {
+        &self.clocks
+    }
+
+    /// The per-device bearer-state columns.
+    pub fn connectivity(&self) -> &ConnArena {
+        &self.conn
+    }
+
+    /// The shared power-rail columns.
+    pub fn energy(&self) -> &EnergyArena {
+        &self.energy
+    }
+
+    /// Number of phones booted into this arena.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True if no phone has booted into this arena yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phone::{Phone, PhoneConfig};
+
+    #[test]
+    fn phones_fill_arena_slots_in_boot_order() {
+        let sim = Sim::new();
+        let arena = FleetArena::new(&sim);
+        let a = Phone::new_in(&sim, PhoneConfig::default(), &arena);
+        let b = Phone::new_in(&sim, PhoneConfig::default(), &arena);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.clocks().len(), 2);
+        assert_eq!(arena.connectivity().len(), 2);
+        assert_eq!(arena.energy().len(), 2);
+        // Rails land in the shared columns (cpu + modem + wifi per phone).
+        assert_eq!(arena.energy().rail_count(), 6);
+        // Slots stay independent.
+        a.clock().set_skew(1_000, 0);
+        assert_eq!(b.clock().skew_ms(), 0);
+    }
+}

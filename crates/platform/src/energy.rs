@@ -6,58 +6,108 @@
 //! simulated time exactly (power is piecewise constant between state
 //! changes) and can optionally record the total-power step function as a
 //! [`PowerTrace`], which is how Figure 3 is regenerated.
+//!
+//! At fleet scale the rail state lives in an [`EnergyArena`]: one set of
+//! flat columns (`watts`, `joules`, `last_update`) shared by every meter
+//! allocated from it, so 100k phones' worth of rails are four contiguous
+//! `Vec`s instead of 100k scattered three-rail allocations. An
+//! [`EnergyMeter`] is a lightweight view — the list of *its* rail
+//! indices plus an optional trace — and [`EnergyMeter::new`] wraps a
+//! private arena for standalone use.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use pogo_sim::{Sim, SimDuration, SimTime};
 
 /// Identifies one power rail (CPU, 3G modem, Wi-Fi, …) on a meter.
+///
+/// Indexes the owning meter's rails in registration order; two meters
+/// from the same arena each start at rail 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RailId(usize);
 
-#[derive(Debug)]
-struct Rail {
-    name: String,
-    watts: f64,
-    joules: f64,
-    last_update: SimTime,
+/// Structure-of-arrays rail state, shared by every meter of an arena:
+/// column `g` belongs to the `g`-th rail registered fleet-wide.
+#[derive(Default)]
+struct EnergyCols {
+    names: Vec<String>,
+    watts: Vec<f64>,
+    joules: Vec<f64>,
+    last_update: Vec<SimTime>,
 }
 
-#[derive(Debug)]
-struct Inner {
+impl EnergyCols {
+    /// Integrates rail `g`'s current draw up to `now`.
+    fn settle(&mut self, now: SimTime, g: usize) {
+        let dt = now.saturating_duration_since(self.last_update[g]);
+        self.joules[g] += self.watts[g] * dt.as_secs_f64();
+        self.last_update[g] = now;
+    }
+}
+
+/// A fleet of power meters backed by shared flat rail columns. Allocate
+/// one meter per device with [`EnergyArena::alloc`].
+#[derive(Clone)]
+pub struct EnergyArena {
     sim: Sim,
-    rails: Vec<Rail>,
-    trace: Option<Vec<(SimTime, f64)>>,
+    cols: Rc<RefCell<EnergyCols>>,
+    meters: Rc<Cell<usize>>,
 }
 
-impl Inner {
-    fn settle(&mut self, rail: usize) {
-        let now = self.sim.now();
-        let r = &mut self.rails[rail];
-        let dt = now.saturating_duration_since(r.last_update);
-        r.joules += r.watts * dt.as_secs_f64();
-        r.last_update = now;
+impl std::fmt::Debug for EnergyArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnergyArena")
+            .field("meters", &self.len())
+            .field("rails", &self.rail_count())
+            .finish()
     }
+}
 
-    fn total_watts(&self) -> f64 {
-        self.rails.iter().map(|r| r.watts).sum()
-    }
-
-    fn record_trace_point(&mut self) {
-        if let Some(trace) = &mut self.trace {
-            let now = self.sim.now();
-            let watts = self.rails.iter().map(|r| r.watts).sum();
-            // Collapse multiple changes at the same instant into one point.
-            if let Some(last) = trace.last_mut() {
-                if last.0 == now {
-                    last.1 = watts;
-                    return;
-                }
-            }
-            trace.push((now, watts));
+impl EnergyArena {
+    /// An empty arena on `sim`.
+    pub fn new(sim: &Sim) -> Self {
+        EnergyArena {
+            sim: sim.clone(),
+            cols: Rc::new(RefCell::new(EnergyCols::default())),
+            meters: Rc::new(Cell::new(0)),
         }
     }
+
+    /// Allocates a meter with no rails yet; components add theirs via
+    /// [`EnergyMeter::register`].
+    pub fn alloc(&self) -> EnergyMeter {
+        self.meters.set(self.meters.get() + 1);
+        EnergyMeter {
+            sim: self.sim.clone(),
+            cols: self.cols.clone(),
+            local: Rc::new(RefCell::new(MeterLocal::default())),
+        }
+    }
+
+    /// Number of meters allocated from this arena.
+    pub fn len(&self) -> usize {
+        self.meters.get()
+    }
+
+    /// True if no meter has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total rails registered across all meters of this arena.
+    pub fn rail_count(&self) -> usize {
+        self.cols.borrow().names.len()
+    }
+}
+
+/// The per-meter (cold) state: which shared columns belong to this
+/// meter, and the optional Figure-3 trace.
+#[derive(Default)]
+struct MeterLocal {
+    /// Global column indices of this meter's rails, in registration order.
+    rails: Vec<usize>,
+    trace: Option<Vec<(SimTime, f64)>>,
 }
 
 /// Integrates per-rail power draw over simulated time.
@@ -77,42 +127,44 @@ impl Inner {
 /// ```
 #[derive(Clone)]
 pub struct EnergyMeter {
-    inner: Rc<RefCell<Inner>>,
+    sim: Sim,
+    cols: Rc<RefCell<EnergyCols>>,
+    local: Rc<RefCell<MeterLocal>>,
 }
 
 impl std::fmt::Debug for EnergyMeter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
         f.debug_struct("EnergyMeter")
-            .field("rails", &inner.rails.len())
-            .field("total_watts", &inner.total_watts())
+            .field("rails", &self.local.borrow().rails.len())
+            .field("total_watts", &self.total_power())
             .finish()
     }
 }
 
 impl EnergyMeter {
-    /// Creates a meter bound to the simulation clock.
+    /// Creates a standalone meter bound to the simulation clock (its own
+    /// private arena).
     pub fn new(sim: &Sim) -> Self {
-        EnergyMeter {
-            inner: Rc::new(RefCell::new(Inner {
-                sim: sim.clone(),
-                rails: Vec::new(),
-                trace: None,
-            })),
-        }
+        EnergyArena::new(sim).alloc()
+    }
+
+    /// The shared-column index behind `rail`.
+    fn global(&self, rail: RailId) -> usize {
+        self.local.borrow().rails[rail.0]
     }
 
     /// Registers a new rail drawing 0 W.
     pub fn register(&self, name: &str) -> RailId {
-        let mut inner = self.inner.borrow_mut();
-        let id = RailId(inner.rails.len());
-        let now = inner.sim.now();
-        inner.rails.push(Rail {
-            name: name.to_owned(),
-            watts: 0.0,
-            joules: 0.0,
-            last_update: now,
-        });
+        let now = self.sim.now();
+        let mut cols = self.cols.borrow_mut();
+        let g = cols.names.len();
+        cols.names.push(name.to_owned());
+        cols.watts.push(0.0);
+        cols.joules.push(0.0);
+        cols.last_update.push(now);
+        let mut local = self.local.borrow_mut();
+        let id = RailId(local.rails.len());
+        local.rails.push(g);
         id
     }
 
@@ -127,10 +179,13 @@ impl EnergyMeter {
             watts.is_finite() && watts >= 0.0,
             "power must be a non-negative finite wattage, got {watts}"
         );
-        let mut inner = self.inner.borrow_mut();
-        inner.settle(rail.0);
-        inner.rails[rail.0].watts = watts;
-        inner.record_trace_point();
+        let g = self.global(rail);
+        {
+            let mut cols = self.cols.borrow_mut();
+            cols.settle(self.sim.now(), g);
+            cols.watts[g] = watts;
+        }
+        self.record_trace_point();
     }
 
     /// Adds a fixed energy cost to a rail (for events modelled as
@@ -144,57 +199,69 @@ impl EnergyMeter {
             joules.is_finite() && joules >= 0.0,
             "energy must be a non-negative finite joule amount, got {joules}"
         );
-        let mut inner = self.inner.borrow_mut();
-        inner.settle(rail.0);
-        inner.rails[rail.0].joules += joules;
+        let g = self.global(rail);
+        let mut cols = self.cols.borrow_mut();
+        cols.settle(self.sim.now(), g);
+        cols.joules[g] += joules;
     }
 
     /// Current draw of one rail in watts.
     pub fn power(&self, rail: RailId) -> f64 {
-        self.inner.borrow().rails[rail.0].watts
+        self.cols.borrow().watts[self.global(rail)]
     }
 
-    /// Current total draw across all rails in watts.
+    /// Current total draw across all of this meter's rails in watts.
     pub fn total_power(&self) -> f64 {
-        self.inner.borrow().total_watts()
+        let local = self.local.borrow();
+        let cols = self.cols.borrow();
+        local.rails.iter().map(|&g| cols.watts[g]).sum()
     }
 
     /// Energy consumed by one rail up to the current instant, in joules.
     pub fn energy_joules(&self, rail: RailId) -> f64 {
-        let mut inner = self.inner.borrow_mut();
-        inner.settle(rail.0);
-        inner.rails[rail.0].joules
+        let g = self.global(rail);
+        let mut cols = self.cols.borrow_mut();
+        cols.settle(self.sim.now(), g);
+        cols.joules[g]
     }
 
-    /// Total energy across all rails up to the current instant, in joules.
+    /// Total energy across this meter's rails up to the current instant,
+    /// in joules.
     pub fn total_joules(&self) -> f64 {
-        let mut inner = self.inner.borrow_mut();
-        for i in 0..inner.rails.len() {
-            inner.settle(i);
-        }
-        inner.rails.iter().map(|r| r.joules).sum()
+        let local = self.local.borrow();
+        let mut cols = self.cols.borrow_mut();
+        let now = self.sim.now();
+        local
+            .rails
+            .iter()
+            .map(|&g| {
+                cols.settle(now, g);
+                cols.joules[g]
+            })
+            .sum()
     }
 
     /// Per-rail `(name, joules)` breakdown up to the current instant.
     pub fn breakdown(&self) -> Vec<(String, f64)> {
-        let mut inner = self.inner.borrow_mut();
-        for i in 0..inner.rails.len() {
-            inner.settle(i);
-        }
-        inner
+        let local = self.local.borrow();
+        let mut cols = self.cols.borrow_mut();
+        let now = self.sim.now();
+        local
             .rails
             .iter()
-            .map(|r| (r.name.clone(), r.joules))
+            .map(|&g| {
+                cols.settle(now, g);
+                (cols.names[g].clone(), cols.joules[g])
+            })
             .collect()
     }
 
     /// Starts recording the total-power step function (used for Figure 3).
     /// Recording begins at the current instant with the current total.
     pub fn start_trace(&self) {
-        let mut inner = self.inner.borrow_mut();
-        let now = inner.sim.now();
-        let watts = inner.total_watts();
-        inner.trace = Some(vec![(now, watts)]);
+        let watts = self.total_power();
+        let now = self.sim.now();
+        self.local.borrow_mut().trace = Some(vec![(now, watts)]);
     }
 
     /// Stops recording and returns the trace.
@@ -202,11 +269,27 @@ impl EnergyMeter {
     /// Returns an empty trace if [`EnergyMeter::start_trace`] was never
     /// called.
     pub fn take_trace(&self) -> PowerTrace {
-        let mut inner = self.inner.borrow_mut();
-        let end = inner.sim.now();
         PowerTrace {
-            points: inner.trace.take().unwrap_or_default(),
-            end,
+            points: self.local.borrow_mut().trace.take().unwrap_or_default(),
+            end: self.sim.now(),
+        }
+    }
+
+    fn record_trace_point(&self) {
+        let mut local = self.local.borrow_mut();
+        let MeterLocal { rails, trace } = &mut *local;
+        if let Some(trace) = trace {
+            let cols = self.cols.borrow();
+            let now = self.sim.now();
+            let watts: f64 = rails.iter().map(|&g| cols.watts[g]).sum();
+            // Collapse multiple changes at the same instant into one point.
+            if let Some(last) = trace.last_mut() {
+                if last.0 == now {
+                    last.1 = watts;
+                    return;
+                }
+            }
+            trace.push((now, watts));
         }
     }
 }
@@ -454,5 +537,27 @@ mod tests {
         assert_eq!(bd[0].0, "cpu");
         assert!((bd[0].1 - 2.0).abs() < 1e-9);
         assert_eq!(bd[1].1, 0.0);
+    }
+
+    #[test]
+    fn arena_meters_share_columns_but_not_rails() {
+        let sim = Sim::new();
+        let arena = EnergyArena::new(&sim);
+        let m1 = arena.alloc();
+        let m2 = arena.alloc();
+        let r1 = m1.register("cpu");
+        let r2 = m2.register("cpu");
+        m1.set_power(r1, 1.0);
+        m2.set_power(r2, 0.25);
+        sim.run_for(SimDuration::from_secs(4));
+        assert!((m1.total_joules() - 4.0).abs() < 1e-9);
+        assert!((m2.total_joules() - 1.0).abs() < 1e-9, "meters independent");
+        assert_eq!(arena.rail_count(), 2, "columns shared fleet-wide");
+        assert_eq!(arena.len(), 2);
+        // Per-meter traces see only their own rails.
+        m1.start_trace();
+        m2.set_power(r2, 5.0);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!((m1.take_trace().peak_watts() - 1.0).abs() < 1e-12);
     }
 }

@@ -4,6 +4,7 @@ use std::fmt;
 
 use pogo_sim::{DeviceClock, Sim};
 
+use crate::arena::FleetArena;
 use crate::battery::{Battery, DEFAULT_CAPACITY_JOULES};
 use crate::connectivity::{Bearer, Connectivity};
 use crate::cpu::{Cpu, CpuConfig};
@@ -68,15 +69,23 @@ pub struct Phone {
 }
 
 impl Phone {
-    /// Boots a phone on the given simulation.
+    /// Boots a phone on the given simulation (its own single-phone
+    /// [`FleetArena`]).
     pub fn new(sim: &Sim, config: PhoneConfig) -> Self {
-        let meter = EnergyMeter::new(sim);
+        Phone::new_in(sim, config, &FleetArena::new(sim))
+    }
+
+    /// Boots a phone whose hot state (clock, bearer, power rails) lives
+    /// in `arena`'s shared columns — the constructor fleet builders use
+    /// so 100k phones fill flat `Vec`s instead of scattered allocations.
+    pub fn new_in(sim: &Sim, config: PhoneConfig, arena: &FleetArena) -> Self {
+        let meter = arena.energy().alloc();
         let cpu = Cpu::new(sim, &meter, config.cpu);
         let modem = CellularModem::new(sim, &meter, config.carrier);
         let wifi = WifiRadio::new(sim, &meter, config.wifi);
-        let connectivity = Connectivity::new(config.initial_bearer);
+        let connectivity = arena.connectivity().alloc(config.initial_bearer);
         let battery = Battery::new(&meter, config.battery_capacity_joules);
-        let clock = DeviceClock::new(sim);
+        let clock = arena.clocks().alloc();
         Phone {
             sim: sim.clone(),
             meter,

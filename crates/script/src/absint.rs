@@ -2215,7 +2215,7 @@ mod tests {
 
     fn load_cost(src: &str) -> Cost {
         let prog = compile(src).expect("compile");
-        analyze_costs(&prog).entries[0].cost.clone()
+        analyze_costs(&prog).entries[0].cost
     }
 
     #[test]

@@ -189,10 +189,10 @@ fn main() -> ExitCode {
         return usage();
     }
     if opts.dump_bytecode {
-        return dump(&opts.files, |p| disassemble(p));
+        return dump(&opts.files, disassemble);
     }
     if opts.dump_cfg {
-        return dump(&opts.files, |p| render_cfg(p));
+        return dump(&opts.files, render_cfg);
     }
 
     let mut sources: Vec<(String, String, u32)> = Vec::new(); // (label, source, line offset)
@@ -402,7 +402,7 @@ fn extract_embedded_scripts(rust_src: &str) -> Vec<(u32, String)> {
             j += 1;
             let body_start = j;
             let closer: Vec<u8> = std::iter::once(b'"')
-                .chain(std::iter::repeat(b'#').take(hashes))
+                .chain(std::iter::repeat_n(b'#', hashes))
                 .collect();
             while j < bytes.len() && !bytes[j..].starts_with(&closer) {
                 if bytes[j] == b'\n' {

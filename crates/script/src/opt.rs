@@ -454,7 +454,6 @@ fn propagate_const_slots(chunk: &mut Chunk, params: &[(u16, bool)]) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::bytecode::disassemble;
     use crate::compile::{compile_with, CompileOptions};
 

@@ -659,10 +659,7 @@ fn property_scope_clean_scripts_never_raise_reference_errors() {
             .collect();
         let mut interp = Interpreter::new();
         interp.set_budget(Some(2_000_000));
-        let runtime_ref = match interp.eval(&src) {
-            Err(e) if e.kind() == ErrorKind::Reference => true,
-            _ => false,
-        };
+        let runtime_ref = matches!(interp.eval(&src), Err(e) if e.kind() == ErrorKind::Reference);
         if scope_errors.is_empty() {
             clean += 1;
             assert!(

@@ -245,15 +245,13 @@ fn optimizer_never_raises_static_bounds() {
                 .iter()
                 .find(|e| e.kind == EntryKind::Load)
                 .unwrap()
-                .cost
-                .clone(),
+                .cost,
             analyze_costs(&raw)
                 .entries
                 .iter()
                 .find(|e| e.kind == EntryKind::Load)
                 .unwrap()
-                .cost
-                .clone(),
+                .cost,
         );
         if let (Max::Finite(o), Max::Finite(r)) = (opt_load.budget_max(), raw_load.budget_max()) {
             assert!(

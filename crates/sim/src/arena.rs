@@ -1,0 +1,75 @@
+//! Dense device identities for fleet-scale simulations.
+//!
+//! At 100k devices, `Rc<RefCell<…>>` per hot field costs a pointer chase
+//! and a cache miss per access, and hash-keyed lookups cost more. The
+//! fleet layers instead keep per-device hot state (clock skew, bearer,
+//! energy rails) in structure-of-arrays *arenas*: parallel `Vec` columns
+//! indexed by a dense [`DeviceId`] assigned in creation order. A
+//! device's handle is then `(Rc<arena>, u32)` — cloneable, cheap, and
+//! column scans over the whole fleet are sequential memory walks.
+//!
+//! `DeviceId` is also the stable way to *name* a device across
+//! subsystems: chaos fault plans target it, observability scopes carry
+//! it, and the testbed hands it out from [`Testbed::add`]-style entry
+//! points in creation order, so a seeded plan stays valid for any run
+//! that builds the same fleet.
+
+/// Dense per-device index, assigned in creation order by whatever arena
+/// or testbed owns the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(u32);
+
+impl DeviceId {
+    /// Wraps a raw creation-order index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` devices.
+    pub fn new(index: usize) -> Self {
+        DeviceId(u32::try_from(index).expect("more than u32::MAX devices"))
+    }
+
+    /// The creation-order index, usable to subscript fleet columns.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw dense id.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<usize> for DeviceId {
+    fn from(index: usize) -> Self {
+        DeviceId::new(index)
+    }
+}
+
+impl From<u32> for DeviceId {
+    fn from(index: u32) -> Self {
+        DeviceId(index)
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_round_trips_and_orders() {
+        let a = DeviceId::new(3);
+        let b = DeviceId::from(7usize);
+        assert_eq!(a.index(), 3);
+        assert_eq!(b.as_u32(), 7);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "#3");
+        assert_eq!(DeviceId::from(3u32), a);
+    }
+}

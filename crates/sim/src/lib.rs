@@ -25,13 +25,15 @@
 //! assert_eq!(hits.get(), 1);
 //! ```
 
+pub mod arena;
 pub mod clock;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
 
-pub use clock::DeviceClock;
+pub use arena::DeviceId;
+pub use clock::{ClockArena, DeviceClock};
 pub use queue::EventId;
 pub use rng::SimRng;
 pub use sim::Sim;

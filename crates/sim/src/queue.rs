@@ -1,8 +1,26 @@
-//! The pending-event queue: a binary heap keyed by (time, sequence) with
-//! O(1) cancellation through a side table.
+//! The pending-event queue: a hierarchical calendar wheel keyed by
+//! (time, sequence) with O(1) cancellation through a side table.
+//!
+//! The binary heap that shipped with the seed pays `O(log n)` per
+//! operation with `n` the *total* pending population — at fleet scale
+//! (100k devices × a handful of timers each) that is a ~20-deep sift
+//! through cache-cold memory on every schedule and fire. The wheel
+//! makes push O(1) and pop amortized O(levels): an event is touched at
+//! most once per level as it cascades toward the slot it fires from.
+//!
+//! Layout: [`LEVELS`] wheels of [`SLOTS`] slots each; level `l` slots
+//! span `64^l` ms, so the hierarchy covers `64^7` ms ≈ 139 years.
+//! Entries are placed at the *smallest* level whose current frame
+//! (the span of one parent slot) contains their deadline, which keeps
+//! every slot free of wrap-around ambiguity: scanning the slots of one
+//! frame sees every entry of that level, full stop. Events behind the
+//! cursor (possible because [`EventQueue::peek_time`] advances the
+//! wheel ahead of the simulation clock) and events past the top-level
+//! horizon fall back to a small binary heap, preserving the exact
+//! (time, sequence) total order in all cases.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -10,29 +28,17 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: u32 = 7; // 64^7 ms ≈ 139 years of horizon
+
+/// One scheduled entry. The id doubles as the scheduling sequence
+/// number (ids are assigned monotonically), so ordering by `(time, id)`
+/// is exactly time-then-schedule order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
-    time: SimTime,
-    seq: u64,
-    id: EventId,
-}
-
-// Reverse ordering: the BinaryHeap is a max-heap, we want earliest first.
-// Ties on `time` break by sequence number so same-instant events fire in
-// scheduling order, keeping runs deterministic.
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    time: u64,
+    id: u64,
 }
 
 /// A time-ordered queue of callbacks.
@@ -41,9 +47,19 @@ impl PartialOrd for Entry {
 /// [`crate::Sim`] — but it is public so alternative drivers can be built on
 /// the same ordering guarantees.
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
-    callbacks: HashMap<EventId, Box<dyn FnOnce()>>,
-    next_seq: u64,
+    callbacks: HashMap<u64, Box<dyn FnOnce()>>,
+    /// `levels[l][slot]` holds entries whose deadline falls in that slot
+    /// of the cursor's current level-`l` frame.
+    levels: Vec<Vec<Vec<Entry>>>,
+    /// Physical entries (live or cancelled) sitting in `levels`.
+    wheel_count: usize,
+    /// Wheel time in ms. Only advances; never passes a live wheel entry.
+    cursor: u64,
+    /// Entries due exactly at `cursor`, sorted by id (sequence order).
+    due: VecDeque<Entry>,
+    /// Fallback heap: entries scheduled behind the cursor (the queue was
+    /// peeked ahead of the sim clock) or beyond the top-level horizon.
+    slow: BinaryHeap<Reverse<(u64, u64)>>,
     next_id: u64,
 }
 
@@ -51,7 +67,8 @@ impl std::fmt::Debug for EventQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("pending", &self.callbacks.len())
-            .field("next_seq", &self.next_seq)
+            .field("cursor_ms", &self.cursor)
+            .field("next_seq", &self.next_id)
             .finish()
     }
 }
@@ -66,9 +83,12 @@ impl EventQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
             callbacks: HashMap::new(),
-            next_seq: 0,
+            levels: (0..LEVELS).map(|_| vec![Vec::new(); SLOTS]).collect(),
+            wheel_count: 0,
+            cursor: 0,
+            due: VecDeque::new(),
+            slow: BinaryHeap::new(),
             next_id: 0,
         }
     }
@@ -76,36 +96,45 @@ impl EventQueue {
     /// Schedules `callback` to fire at `time`. Returns a handle that can be
     /// passed to [`EventQueue::cancel`].
     pub fn push(&mut self, time: SimTime, callback: Box<dyn FnOnce()>) -> EventId {
-        let id = EventId(self.next_id);
+        let id = self.next_id;
         self.next_id += 1;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { time, seq, id });
         self.callbacks.insert(id, callback);
-        id
+        self.place(Entry {
+            time: time.as_millis(),
+            id,
+        });
+        EventId(id)
     }
 
     /// Cancels a pending event. Returns `true` if the event existed and had
-    /// not fired yet.
+    /// not fired yet. The wheel entry is dropped lazily.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.callbacks.remove(&id).is_some()
+        self.callbacks.remove(&id.0).is_some()
     }
 
     /// Time of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.drop_dead_heads();
-        self.heap.peek().map(|e| e.time)
+        self.next_entry().map(|e| SimTime::from_millis(e.time))
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, Box<dyn FnOnce()>)> {
-        self.drop_dead_heads();
-        let entry = self.heap.pop()?;
+        let entry = self.next_entry()?;
+        // Consume it from whichever structure holds it.
+        match self.due.front() {
+            Some(front) if *front == entry => {
+                self.due.pop_front();
+            }
+            _ => {
+                let popped = self.slow.pop();
+                debug_assert_eq!(popped, Some(Reverse((entry.time, entry.id))));
+            }
+        }
         let cb = self
             .callbacks
             .remove(&entry.id)
-            .expect("live head must have a callback");
-        Some((entry.time, cb))
+            .expect("next_entry returns live events");
+        Some((SimTime::from_millis(entry.time), cb))
     }
 
     /// Number of live (non-cancelled) events.
@@ -118,15 +147,244 @@ impl EventQueue {
         self.callbacks.is_empty()
     }
 
-    // Pops heap entries whose callbacks were cancelled.
-    fn drop_dead_heads(&mut self) {
-        while let Some(head) = self.heap.peek() {
-            if self.callbacks.contains_key(&head.id) {
-                break;
+    // ---- wheel internals -------------------------------------------------
+
+    fn is_live(callbacks: &HashMap<u64, Box<dyn FnOnce()>>, e: &Entry) -> bool {
+        callbacks.contains_key(&e.id)
+    }
+
+    /// Inserts an entry into the wheel, the due list, or the slow heap.
+    fn place(&mut self, e: Entry) {
+        if e.time < self.cursor {
+            // Behind the wheel: the queue was peeked ahead of the sim
+            // clock and something was then scheduled in the gap.
+            self.slow.push(Reverse((e.time, e.id)));
+            return;
+        }
+        if e.time == self.cursor {
+            // Due now; ids are monotonic so appending keeps `due` sorted.
+            debug_assert!(self.due.back().is_none_or(|b| b.id < e.id));
+            self.due.push_back(e);
+            return;
+        }
+        let Some(level) = level_for(self.cursor, e.time) else {
+            self.slow.push(Reverse((e.time, e.id)));
+            return;
+        };
+        let slot = slot_index(e.time, level);
+        self.levels[level as usize][slot].push(e);
+        self.wheel_count += 1;
+    }
+
+    /// The earliest live event across due list, wheel, and slow heap,
+    /// without consuming it. Advances the cursor as a side effect.
+    fn next_entry(&mut self) -> Option<Entry> {
+        let wheel = self.locate_wheel_next();
+        let slow = self.peek_slow();
+        match (wheel, slow) {
+            (Some(w), Some(s)) => {
+                if (w.time, w.id) <= (s.time, s.id) {
+                    Some(w)
+                } else {
+                    Some(s)
+                }
             }
-            self.heap.pop();
+            (w, s) => w.or(s),
         }
     }
+
+    /// Drops cancelled heads off the slow heap and peeks the top.
+    fn peek_slow(&mut self) -> Option<Entry> {
+        while let Some(&Reverse((time, id))) = self.slow.peek() {
+            if self.callbacks.contains_key(&id) {
+                return Some(Entry { time, id });
+            }
+            self.slow.pop();
+        }
+        None
+    }
+
+    /// Advances the cursor to the earliest live wheel event, filling the
+    /// due list, and returns that event. Cancelled entries encountered
+    /// along the way are dropped.
+    fn locate_wheel_next(&mut self) -> Option<Entry> {
+        loop {
+            // Due entries first: they sit exactly at the cursor.
+            while let Some(front) = self.due.front() {
+                if Self::is_live(&self.callbacks, front) {
+                    return Some(*front);
+                }
+                self.due.pop_front();
+            }
+            if self.wheel_count == 0 {
+                return None;
+            }
+
+            // Pull anything due at the cursor out of its level-0 slot.
+            if self.extract_due_at_cursor() {
+                continue;
+            }
+
+            // Scan the rest of the current level-0 frame for the nearest
+            // deadline and jump the cursor straight to it.
+            if self.advance_within_level0_frame() {
+                continue;
+            }
+
+            // Level-0 frame exhausted: cascade the nearest populated slot
+            // of the first level that has one in its current frame.
+            if !self.cascade_from_higher_level() {
+                // Nothing live anywhere ahead of the cursor; whatever is
+                // physically left is cancelled debris in slots behind the
+                // cursor index that the forward scans never revisit.
+                self.purge_dead();
+                return None;
+            }
+        }
+    }
+
+    /// Moves entries with `time == cursor` from the wheel into `due`.
+    /// Returns true if any live entry became due.
+    fn extract_due_at_cursor(&mut self) -> bool {
+        let slot = &mut self.levels[0][(self.cursor as usize) & (SLOTS - 1)];
+        let cursor = self.cursor;
+        let callbacks = &self.callbacks;
+        let before = slot.len();
+        let mut extracted: Vec<Entry> = Vec::new();
+        slot.retain(|e| {
+            if !Self::is_live(callbacks, e) {
+                return false;
+            }
+            if e.time == cursor {
+                extracted.push(*e);
+                return false;
+            }
+            true
+        });
+        self.wheel_count -= before - slot.len();
+        if extracted.is_empty() {
+            return false;
+        }
+        extracted.sort_unstable_by_key(|e| e.id);
+        // `due` is either empty or holds later-scheduled ids already at
+        // this cursor time; extraction happens before any such append, so
+        // plain extension keeps sequence order.
+        debug_assert!(self.due.is_empty());
+        self.due.extend(extracted);
+        true
+    }
+
+    /// Scans the remaining level-0 slots of the current frame; on finding
+    /// live entries, jumps the cursor to the earliest deadline among them.
+    fn advance_within_level0_frame(&mut self) -> bool {
+        let frame_end = (self.cursor | (SLOTS as u64 - 1)) + 1;
+        let start = ((self.cursor as usize) & (SLOTS - 1)) + 1;
+        let mut best: Option<u64> = None;
+        for slot_idx in start..SLOTS {
+            let slot = &mut self.levels[0][slot_idx];
+            let callbacks = &self.callbacks;
+            let before = slot.len();
+            slot.retain(|e| Self::is_live(callbacks, e));
+            self.wheel_count -= before - slot.len();
+            if let Some(min) = slot.iter().map(|e| e.time).min() {
+                debug_assert!(min > self.cursor && min < frame_end);
+                best = Some(best.map_or(min, |b| b.min(min)));
+            }
+        }
+        match best {
+            Some(t) => {
+                self.cursor = t;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Finds the nearest populated slot at or above level 1, jumps the
+    /// cursor to it, and re-places its entries at lower levels. Returns
+    /// false if every level is empty of live entries.
+    fn cascade_from_higher_level(&mut self) -> bool {
+        // The level-0 frame is exhausted; logically the cursor now sits
+        // at its end (a level-1 slot boundary).
+        let mut cursor = (self.cursor | (SLOTS as u64 - 1)) + 1;
+        for level in 1..LEVELS {
+            // Entries for the region around `cursor` may be parked in a
+            // higher-level slot *covering* this position (the walk just
+            // crossed into its span); those must come down before this
+            // level's forward scan can be trusted. Highest first.
+            for k in (level..LEVELS).rev() {
+                if self.dump_slot(k, slot_index(cursor, k), cursor) {
+                    return true;
+                }
+            }
+            // Covering slots are clear: the nearest remaining candidates
+            // at this level sit in the forward slots of its current frame.
+            let shift = SLOT_BITS * level;
+            for slot_idx in slot_index(cursor, level) + 1..SLOTS {
+                let frame_base = cursor & !((1u64 << (shift + SLOT_BITS)) - 1);
+                let slot_start = frame_base | ((slot_idx as u64) << shift);
+                if self.dump_slot(level, slot_idx, slot_start) {
+                    return true;
+                }
+            }
+            // Nothing in this level's current frame: move to the frame
+            // boundary and look one level up.
+            cursor = (cursor | ((1u64 << (shift + SLOT_BITS)) - 1)) + 1;
+        }
+        false
+    }
+
+    /// Drops dead entries from `levels[level][slot_idx]`; if live ones
+    /// remain, advances the cursor to `target` (never backward) and
+    /// re-places them relative to it. Returns true if anything moved.
+    fn dump_slot(&mut self, level: u32, slot_idx: usize, target: u64) -> bool {
+        let slot = &mut self.levels[level as usize][slot_idx];
+        let callbacks = &self.callbacks;
+        let before = slot.len();
+        slot.retain(|e| Self::is_live(callbacks, e));
+        self.wheel_count -= before - slot.len();
+        if slot.is_empty() {
+            return false;
+        }
+        self.cursor = self.cursor.max(target);
+        let entries = std::mem::take(slot);
+        self.wheel_count -= entries.len();
+        for e in entries {
+            debug_assert!(e.time >= self.cursor);
+            self.place(e);
+        }
+        true
+    }
+    /// Clears cancelled entries out of every slot. Live entries are always
+    /// ahead of the cursor and reachable by the forward scans, so this is
+    /// only called once those scans prove the wheel holds nothing live.
+    fn purge_dead(&mut self) {
+        let callbacks = &self.callbacks;
+        let mut removed = 0;
+        for level in &mut self.levels {
+            for slot in level {
+                debug_assert!(slot.iter().all(|e| !callbacks.contains_key(&e.id)));
+                removed += slot.len();
+                slot.clear();
+            }
+        }
+        self.wheel_count -= removed;
+        debug_assert_eq!(self.wheel_count, 0);
+    }
+}
+
+/// The wheel level whose current frame (relative to `cursor`) contains
+/// `time`, or `None` when `time` lies beyond the top-level horizon.
+/// `time` must be strictly ahead of the cursor.
+fn level_for(cursor: u64, time: u64) -> Option<u32> {
+    debug_assert!(time > cursor);
+    let highest_bit = 63 - (time ^ cursor).leading_zeros();
+    let level = highest_bit / SLOT_BITS;
+    (level < LEVELS).then_some(level)
+}
+
+fn slot_index(time: u64, level: u32) -> usize {
+    ((time >> (SLOT_BITS * level)) as usize) & (SLOTS - 1)
 }
 
 #[cfg(test)]
@@ -204,5 +462,125 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn distant_deadlines_cascade_correctly() {
+        let (log, cb) = recorder();
+        let mut q = EventQueue::new();
+        // One entry per wheel level, far apart, pushed out of order.
+        let times = [
+            3_u64,
+            200,
+            10_000,
+            2_000_000,
+            40_000_000,
+            5_000_000_000,
+            90_000_000_000,
+        ];
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.push(SimTime::from_millis(t), cb(i as u32));
+        }
+        let mut fired_at = Vec::new();
+        while let Some((t, f)) = q.pop() {
+            fired_at.push(t.as_millis());
+            f();
+        }
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(fired_at, times);
+    }
+
+    #[test]
+    fn beyond_horizon_times_still_fire_in_order() {
+        let (log, cb) = recorder();
+        let mut q = EventQueue::new();
+        let horizon = 1u64 << 50; // far past the 2^42 ms wheel span
+        q.push(SimTime::from_millis(horizon + 5), cb(2));
+        q.push(SimTime::from_millis(7), cb(0));
+        q.push(SimTime::from_millis(horizon), cb(1));
+        while let Some((_, f)) = q.pop() {
+            f();
+        }
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn schedule_behind_peeked_cursor_is_not_lost() {
+        let (log, cb) = recorder();
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(1_000), cb(9));
+        // Peeking advances the wheel cursor to 1000…
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1_000)));
+        // …but a later schedule in the gap must still fire first.
+        q.push(SimTime::from_millis(20), cb(1));
+        q.push(SimTime::from_millis(500), cb(2));
+        let mut order = Vec::new();
+        while let Some((t, f)) = q.pop() {
+            order.push(t.as_millis());
+            f();
+        }
+        assert_eq!(*log.borrow(), vec![1, 2, 9]);
+        assert_eq!(order, vec![20, 500, 1_000]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_total_order() {
+        // A deterministic pseudo-random workload mixing pushes, pops, and
+        // cancels; mirror it against a sorted reference model.
+        let mut q = EventQueue::new();
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (time, seq) expected
+        let mut ids: Vec<(EventId, u64, u64)> = Vec::new();
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..4_000 {
+            match rand() % 4 {
+                0 | 1 => {
+                    let t = now + rand() % 300_000;
+                    let s = seq;
+                    seq += 1;
+                    let f = fired.clone();
+                    let id = q.push(
+                        SimTime::from_millis(t),
+                        Box::new(move || {
+                            f.borrow_mut().push(s);
+                        }),
+                    );
+                    model.push((t, s));
+                    ids.push((id, t, s));
+                }
+                2 => {
+                    if let Some((t, f)) = q.pop() {
+                        assert!(t.as_millis() >= now, "time went backwards");
+                        now = t.as_millis();
+                        f();
+                    }
+                }
+                _ => {
+                    if !ids.is_empty() {
+                        let (id, t, s) = ids.swap_remove((rand() % ids.len() as u64) as usize);
+                        if q.cancel(id) {
+                            model.retain(|&(mt, ms)| (mt, ms) != (t, s));
+                        }
+                    }
+                }
+            }
+        }
+        while let Some((t, f)) = q.pop() {
+            assert!(t.as_millis() >= now);
+            now = t.as_millis();
+            f();
+        }
+        model.sort_unstable();
+        let expected: Vec<u64> = model.into_iter().map(|(_, s)| s).collect();
+        assert_eq!(*fired.borrow(), expected);
+        assert!(q.is_empty());
     }
 }

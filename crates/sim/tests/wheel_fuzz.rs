@@ -1,0 +1,92 @@
+//! Randomized differential test for the calendar-wheel event queue:
+//! replays seeded push/pop/cancel workloads against a sorted reference
+//! model and demands the exact (time, schedule-sequence) total order.
+
+use pogo_sim::queue::EventQueue;
+use pogo_sim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run_seed(seed: u64, ops: usize, tmax: u64) {
+    let mut q = EventQueue::new();
+    let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut model: Vec<(u64, u64)> = Vec::new();
+    let mut ids = Vec::new();
+    let mut state = seed | 1;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    for _ in 0..ops {
+        match rand() % 4 {
+            0 | 1 => {
+                let t = now + rand() % tmax;
+                let s = seq;
+                seq += 1;
+                let f = fired.clone();
+                let id = q.push(
+                    SimTime::from_millis(t),
+                    Box::new(move || f.borrow_mut().push(s)),
+                );
+                model.push((t, s));
+                ids.push((id, t, s));
+            }
+            2 => {
+                if let Some((t, f)) = q.pop() {
+                    assert!(t.as_millis() >= now, "seed {seed}: time went backwards");
+                    now = t.as_millis();
+                    f();
+                }
+            }
+            _ => {
+                if !ids.is_empty() {
+                    let (id, t, s) = ids.swap_remove((rand() % ids.len() as u64) as usize);
+                    if q.cancel(id) {
+                        model.retain(|&(mt, ms)| (mt, ms) != (t, s));
+                    }
+                }
+            }
+        }
+    }
+    while let Some((t, f)) = q.pop() {
+        assert!(
+            t.as_millis() >= now,
+            "seed {seed}: time went backwards in drain"
+        );
+        now = t.as_millis();
+        f();
+    }
+    model.sort_unstable();
+    let expected: Vec<u64> = model.into_iter().map(|(_, s)| s).collect();
+    assert_eq!(
+        *fired.borrow(),
+        expected,
+        "seed {seed} ops {ops} tmax {tmax}"
+    );
+    assert!(q.is_empty());
+}
+
+#[test]
+fn dense_near_deadlines() {
+    for seed in 1..200 {
+        run_seed(seed, 400, 100);
+    }
+}
+
+#[test]
+fn mid_range_deadlines_cross_levels() {
+    for seed in 1..200 {
+        run_seed(seed, 400, 5_000);
+    }
+}
+
+#[test]
+fn sparse_far_deadlines() {
+    for seed in 1..100 {
+        run_seed(seed, 400, 300_000_000);
+    }
+}

@@ -16,7 +16,7 @@ use pogo::chaos::{ChaosController, Fault, FaultKind, FaultPlan, InvariantHarness
 use pogo::core::proto::ScriptSpec;
 use pogo::core::{DeviceSetup, ExperimentSpec, Testbed};
 use pogo::net::FlushPolicy;
-use pogo::sim::{Sim, SimDuration, SimTime};
+use pogo::sim::{DeviceId, Sim, SimDuration, SimTime};
 
 fn main() {
     let sim = Sim::new();
@@ -73,7 +73,7 @@ fn main() {
         Fault {
             at: at(20),
             kind: FaultKind::LinkDegrade {
-                device: 0,
+                device: DeviceId::new(0),
                 loss: 0.4,
                 jitter: SimDuration::from_millis(250),
                 duration: SimDuration::from_mins(8),
@@ -84,21 +84,23 @@ fn main() {
             // 20 handovers in 200 s: every switch drops the session's
             // in-flight envelopes, hammering reconnect and tail-sync.
             kind: FaultKind::BearerFlap {
-                device: 0,
+                device: DeviceId::new(0),
                 flaps: 20,
                 period: SimDuration::from_secs(10),
             },
         },
         Fault {
             at: at(35),
-            kind: FaultKind::Reboot { device: 1 },
+            kind: FaultKind::Reboot {
+                device: DeviceId::new(1),
+            },
         },
         Fault {
             at: at(42),
             // Device 1's clock jumps a minute ahead and gains 1% until
             // an NITZ-style fix snaps it back; timers keep true time.
             kind: FaultKind::ClockSkew {
-                device: 1,
+                device: DeviceId::new(1),
                 step: SimDuration::from_secs(60),
                 drift_ppm: 10_000,
                 duration: SimDuration::from_mins(12),
@@ -113,14 +115,14 @@ fn main() {
         Fault {
             at: at(65),
             kind: FaultKind::BatteryDeath {
-                device: 0,
+                device: DeviceId::new(0),
                 off_for: SimDuration::from_mins(10),
             },
         },
         Fault {
             at: at(85),
             kind: FaultKind::RosterChurn {
-                device: 1,
+                device: DeviceId::new(1),
                 rejoin_after: SimDuration::from_mins(5),
             },
         },

@@ -68,6 +68,11 @@ fi
 if [[ "$run_perf" == 1 ]]; then
     ./target/release/perf_smoke --check BENCH_pr9.json --tolerance 0.25 \
         --min-speedup script_vm:25
+    # Fleet gate: the 10k-device localization soak must hold at least
+    # half the recorded device-sim-seconds/sec (wall-clock, so the
+    # floor is generous) and must not bloat the deterministic uplink
+    # bytes/device by more than 10%.
+    ./target/release/fleet_soak --check BENCH_pr10.json
 fi
 
 # Chaos gate: the fixed-seed table4 cohort replay (24 days, 8 phones)

@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use pogo_chaos::{ChannelAudit, SoakConfig, WorkloadSpec};
 use pogo_core::proto::ScriptSpec;
 use pogo_core::sensor::{LocationFix, SensorSources, WifiReading};
-use pogo_core::{DeviceNode, DeviceSetup, ExperimentSpec, Testbed};
+use pogo_core::{DeviceNode, DeviceSetup, ExperimentSpec, FleetSpec, Testbed};
 use pogo_mobility::{
     paper_cohort, GeolocationService, ScanSynthesizer, UserScenario, UserSpec, Whereabouts, World,
 };
@@ -127,33 +127,31 @@ impl WorkloadSpec for LocalizationWorkload {
 
     fn setup(&self, testbed: &mut Testbed, cfg: &SoakConfig) {
         let age = cfg.max_msg_age;
-        for i in 0..cfg.phones {
-            let sources = SensorSources {
-                wifi_scan: Some(Box::new(move |t_ms| {
-                    // Two disjoint AP sets per device, alternating every
-                    // 30 minutes: each switch is cosine distance 1 from
-                    // the open cluster, forcing a close-and-publish.
-                    let side = (t_ms / 1_800_000) % 2;
-                    Some(
-                        (0..5u64)
-                            .map(|j| WifiReading {
-                                bssid: format!("00:{i:02x}:00:00:0{side}:{j:02x}"),
-                                rssi_dbm: -55.0 - j as f64,
-                            })
-                            .collect(),
-                    )
-                })),
-                ..SensorSources::default()
-            };
-            testbed.add(
-                DeviceSetup::named(&format!("phone-{i}"))
-                    .sensors(sources)
-                    .configure(move |c| {
-                        c.with_flush_policy(FlushPolicy::Interval(STORE_FLUSH))
-                            .with_max_msg_age(age)
-                    }),
-            );
-        }
+        testbed.add_fleet(
+            FleetSpec::new(cfg.phones)
+                .prefix("phone")
+                .configure(move |_, c| {
+                    c.with_flush_policy(FlushPolicy::Interval(STORE_FLUSH))
+                        .with_max_msg_age(age)
+                })
+                .sensors(|i, _| SensorSources {
+                    wifi_scan: Some(Box::new(move |t_ms| {
+                        // Two disjoint AP sets per device, alternating every
+                        // 30 minutes: each switch is cosine distance 1 from
+                        // the open cluster, forcing a close-and-publish.
+                        let side = (t_ms / 1_800_000) % 2;
+                        Some(
+                            (0..5u64)
+                                .map(|j| WifiReading {
+                                    bssid: format!("00:{i:02x}:00:00:0{side}:{j:02x}"),
+                                    rssi_dbm: -55.0 - j as f64,
+                                })
+                                .collect(),
+                        )
+                    })),
+                    ..SensorSources::default()
+                }),
+        );
     }
 
     fn deploy(&self, testbed: &Testbed, cfg: &SoakConfig) {
@@ -183,36 +181,40 @@ impl WorkloadSpec for RogueFinderWorkload {
 
     fn setup(&self, testbed: &mut Testbed, cfg: &SoakConfig) {
         let age = cfg.max_msg_age;
-        for i in 0..cfg.phones {
-            let phase = i as f64 * 0.3;
-            let sources = SensorSources {
-                location: Some(Box::new(move |t_ms| {
-                    // Loop east through the target triangle {(1,1),
-                    // (2,2),(3,0)} at 2.5 units/hour, wrapping at x=5.
-                    let x = (t_ms as f64 / 3_600_000.0 * 2.5 + phase) % 5.0;
-                    Some(LocationFix {
-                        lon: x,
-                        lat: 1.2,
-                        provider: "GPS".into(),
-                    })
-                })),
-                wifi_scan: Some(Box::new(move |t_ms| {
-                    Some(vec![WifiReading {
-                        bssid: format!("00:{:02x}:00:00:00:{:02x}", i, (t_ms / 600_000) % 64),
-                        rssi_dbm: -63.0,
-                    }])
-                })),
-                ..SensorSources::default()
-            };
-            testbed.add(
-                DeviceSetup::named(&format!("phone-{i}"))
-                    .sensors(sources)
-                    .configure(move |c| {
-                        c.with_flush_policy(FlushPolicy::Interval(STORE_FLUSH))
-                            .with_max_msg_age(age)
-                    }),
-            );
-        }
+        testbed.add_fleet(
+            FleetSpec::new(cfg.phones)
+                .prefix("phone")
+                .configure(move |_, c| {
+                    c.with_flush_policy(FlushPolicy::Interval(STORE_FLUSH))
+                        .with_max_msg_age(age)
+                })
+                .sensors(|i, _| {
+                    let phase = i as f64 * 0.3;
+                    SensorSources {
+                        location: Some(Box::new(move |t_ms| {
+                            // Loop east through the target triangle {(1,1),
+                            // (2,2),(3,0)} at 2.5 units/hour, wrapping at x=5.
+                            let x = (t_ms as f64 / 3_600_000.0 * 2.5 + phase) % 5.0;
+                            Some(LocationFix {
+                                lon: x,
+                                lat: 1.2,
+                                provider: "GPS".into(),
+                            })
+                        })),
+                        wifi_scan: Some(Box::new(move |t_ms| {
+                            Some(vec![WifiReading {
+                                bssid: format!(
+                                    "00:{:02x}:00:00:00:{:02x}",
+                                    i,
+                                    (t_ms / 600_000) % 64
+                                ),
+                                rssi_dbm: -63.0,
+                            }])
+                        })),
+                        ..SensorSources::default()
+                    }
+                }),
+        );
     }
 
     fn deploy(&self, testbed: &Testbed, _cfg: &SoakConfig) {
